@@ -1,0 +1,83 @@
+// Figure 10: the algorithms form a spectrum of eagerness in pullup:
+//   PushDown (never) ... PullRank/Migration (rank-based) ... LDL
+//   (inner-forced) ... PullUp (always).
+// We quantify eagerness as the average normalized height of expensive
+// filters in the chosen plans across the five queries: 0 = glued to the
+// scan, 1 = at the root.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "optimizer/optimizer.h"
+
+namespace {
+
+using ppp::plan::PlanKind;
+using ppp::plan::PlanNode;
+
+// Collects (depth-from-root, subtree-height) of expensive filters.
+void Walk(const PlanNode& node, int depth, int* tree_height,
+          std::vector<int>* filter_depths) {
+  if (node.kind == PlanKind::kFilter && node.predicate.is_expensive()) {
+    filter_depths->push_back(depth);
+  }
+  *tree_height = std::max(*tree_height, depth);
+  for (const auto& child : node.children) {
+    Walk(*child, depth + 1, tree_height, filter_depths);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppp;
+  const int64_t scale = bench::BenchScale(300);
+  auto db = bench::MakeBenchDatabase(scale);
+  workload::BenchmarkConfig config;
+  config.scale = scale;
+
+  bench::PrintHeader("Figure 10 — spectrum of eagerness in pullup (scale " +
+                     std::to_string(scale) + ")");
+
+  std::map<std::string, std::pair<double, int>> eagerness;  // sum, count.
+  for (const char* id : {"Q1", "Q2", "Q3", "Q4", "Q5"}) {
+    for (const optimizer::Algorithm algorithm : bench::kAllAlgorithms) {
+      auto spec = workload::GetBenchmarkQuery(*db, config, id);
+      PPP_CHECK(spec.ok());
+      optimizer::Optimizer opt(&db->catalog(), {});
+      auto result = opt.Optimize(*spec, algorithm);
+      PPP_CHECK(result.ok()) << result.status().ToString();
+      int height = 0;
+      std::vector<int> depths;
+      Walk(*result->plan, 0, &height, &depths);
+      for (const int d : depths) {
+        // Height above the leaves, normalized: 1 - depth/height.
+        const double h =
+            height > 0 ? 1.0 - static_cast<double>(d) / height : 0.0;
+        auto& [sum, count] = eagerness[optimizer::AlgorithmName(algorithm)];
+        sum += h;
+        ++count;
+      }
+    }
+  }
+
+  std::printf("%-20s %s\n", "algorithm",
+              "avg normalized pullup height (0=scan, 1=root)");
+  // Print in the paper's spectrum order.
+  for (const char* name :
+       {"PushDown", "LDL", "PullRank", "PredicateMigration", "Exhaustive",
+        "PullUp"}) {
+    auto it = eagerness.find(name);
+    if (it == eagerness.end() || it->second.second == 0) continue;
+    const double avg = it->second.first / it->second.second;
+    std::printf("%-20s %.3f  ", name, avg);
+    const int stars = static_cast<int>(avg * 40);
+    for (int i = 0; i < stars; ++i) std::printf("*");
+    std::printf("\n");
+  }
+  std::printf("\npaper's Fig. 10 ordering: PushDown < PullRank/Migration "
+              "(rank-based) < LDL (inner-forced) < PullUp.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ppp::bench {
+
+const optimizer::Algorithm kAllAlgorithms[7] = {
+    optimizer::Algorithm::kPushDown,  optimizer::Algorithm::kPullUp,
+    optimizer::Algorithm::kPullRank,  optimizer::Algorithm::kMigration,
+    optimizer::Algorithm::kLdl,       optimizer::Algorithm::kLdlBushy,
+    optimizer::Algorithm::kExhaustive,
+};
+
+int64_t BenchScale(int64_t default_scale) {
+  const char* env = std::getenv("PPP_SCALE");
+  if (env != nullptr) {
+    const int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return default_scale;
+}
+
+std::unique_ptr<workload::Database> MakeBenchDatabase(
+    int64_t scale, const std::vector<int>& tables) {
+  auto db = std::make_unique<workload::Database>();
+  workload::BenchmarkConfig config;
+  config.scale = scale;
+  config.table_numbers = tables;
+  common::Status status = workload::LoadBenchmarkDatabase(db.get(), config);
+  PPP_CHECK(status.ok()) << status.ToString();
+  status = workload::RegisterBenchmarkFunctions(db.get());
+  PPP_CHECK(status.ok()) << status.ToString();
+  return db;
+}
+
+workload::Measurement RunQuery(workload::Database* db,
+                               const workload::BenchmarkConfig& config,
+                               const std::string& id,
+                               optimizer::Algorithm algorithm,
+                               cost::CostParams cost_params, bool execute) {
+  auto spec = workload::GetBenchmarkQuery(*db, config, id);
+  PPP_CHECK(spec.ok()) << spec.status().ToString();
+  exec::ExecParams exec_params;
+  exec_params.predicate_caching = cost_params.predicate_caching;
+  auto m = workload::RunWithAlgorithm(db, *spec, algorithm, cost_params,
+                                      exec_params, execute);
+  PPP_CHECK(m.ok()) << m.status().ToString();
+  return *m;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void PrintFigure(const std::string& caption,
+                 const std::vector<workload::Measurement>& bars) {
+  PPP_CHECK(!bars.empty());
+  double best = bars[0].charged_time;
+  for (const workload::Measurement& m : bars) {
+    best = std::min(best, m.charged_time);
+  }
+  if (best <= 0) best = 1;
+  std::printf("%s\n", caption.c_str());
+  std::printf("%-20s %14s %14s %8s  %s\n", "algorithm", "measured", "est",
+              "ratio", "invocations");
+  for (const workload::Measurement& m : bars) {
+    std::vector<std::string> invs;
+    for (const auto& [name, count] : m.invocations) {
+      invs.push_back(name + "×" + std::to_string(count));
+    }
+    std::sort(invs.begin(), invs.end());
+    std::printf("%-20s %14.6g %14.6g %7.2fx  %s\n", m.algorithm.c_str(),
+                m.charged_time, m.est_cost, m.charged_time / best,
+                common::Join(invs, " ").c_str());
+  }
+}
+
+}  // namespace ppp::bench

@@ -1,0 +1,102 @@
+// Where does pullup start to pay? §4.2 notes PullUp suits systems whose
+// predicates are "either negligibly cheap ... or extremely expensive", and
+// that it is "difficult to quantify exactly where to draw the lines". This
+// example draws the line empirically: it sweeps the per-call cost of a
+// selection from 0.01 to 1000 random I/Os and reports, at each point,
+// where Predicate Migration places the predicate and what PushDown/PullUp
+// would have paid.
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "workload/database.h"
+#include "workload/measurement.h"
+#include "workload/queries.h"
+#include "workload/schema_gen.h"
+
+using namespace ppp;
+
+namespace {
+
+/// Depth of the expensive filter from the root: 0 = fully pulled up.
+int FilterDepth(const plan::PlanNode& node, int depth = 0) {
+  if (node.kind == plan::PlanKind::kFilter &&
+      node.predicate.is_expensive()) {
+    return depth;
+  }
+  for (const auto& child : node.children) {
+    const int d = FilterDepth(*child, depth + 1);
+    if (d >= 0) return d;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  workload::Database db;
+  workload::BenchmarkConfig config;
+  config.scale = 400;
+  config.table_numbers = {3, 10};
+  common::Status st = workload::LoadBenchmarkDatabase(&db, config);
+  PPP_CHECK(st.ok()) << st.ToString();
+
+  std::printf("sweep: SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND "
+              "f(t10.ua), cost(f) from 0.01 to 1000 I/Os, sel 0.5\n\n");
+  std::printf("%10s %12s %12s %12s %18s\n", "cost(f)", "PushDown",
+              "PullUp", "Migration", "migrated placement");
+
+  // A small modeled working memory makes the join spill, giving it a real
+  // per-tuple cost — below some predicate cost, filtering first is the
+  // better deal and the optimizer's crossover becomes visible.
+  cost::CostParams params;
+  params.buffer_pages = 16;
+
+  const double costs[] = {0.001, 0.01, 0.05, 0.1, 0.5, 1,
+                          2,     5,    10,   50,  100, 1000};
+  int variant = 0;
+  for (const double cost : costs) {
+    const std::string fn = "f" + std::to_string(variant++);
+    st = db.catalog().functions().RegisterCostlyPredicate(fn, cost, 0.5);
+    PPP_CHECK(st.ok());
+    const std::string sql =
+        "SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND " + fn +
+        "(t10.ua)";
+    auto spec = parser::ParseAndBind(sql, db.catalog());
+    PPP_CHECK(spec.ok()) << spec.status().ToString();
+
+    double measured[3];
+    std::string placement;
+    const optimizer::Algorithm algorithms[] = {
+        optimizer::Algorithm::kPushDown, optimizer::Algorithm::kPullUp,
+        optimizer::Algorithm::kMigration};
+    for (int i = 0; i < 3; ++i) {
+      auto m = workload::RunWithAlgorithm(&db, *spec, algorithms[i], params, {});
+      PPP_CHECK(m.ok()) << m.status().ToString();
+      measured[i] = m->charged_time;
+      if (i == 2) {
+        optimizer::Optimizer opt(&db.catalog(), params);
+        auto result = opt.Optimize(*spec, algorithms[i]);
+        PPP_CHECK(result.ok());
+        const int depth = FilterDepth(*result->plan);
+        placement = depth == 0 ? "above the join"
+                               : (depth > 0 ? "below the join" : "absorbed");
+      }
+    }
+    std::printf("%10.4g %12.6g %12.6g %12.6g %18s\n", cost, measured[0],
+                measured[1], measured[2], placement.c_str());
+  }
+  std::printf(
+      "\nReading: below ~0.05 I/Os per call the modeled join is the\n"
+      "pricier per-tuple operation, so Migration keeps the selection on\n"
+      "the scan; above it the selection dominates and migrates over the\n"
+      "join, after which PushDown's bill scales with |t10| while the\n"
+      "pulled-up plans scale with the join's survivors. The crossover\n"
+      "point depends on data sizes, selectivities and join methods —\n"
+      "which is the paper's argument for rank-based placement instead of\n"
+      "an always-push or always-pull heuristic (§4.2).\n");
+  return 0;
+}

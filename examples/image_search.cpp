@@ -1,0 +1,105 @@
+// Domain example from the paper's introduction and §5.1: an employee
+// database with image-analysis predicates. `beard_color(picture)` costs
+// hundreds of random I/Os per call, so the classic "selections first"
+// heuristic is exactly wrong — the department join should run first.
+//
+// Demonstrates: building your own schema, registering UDFs with cost and
+// selectivity metadata, SQL with mixed cheap/expensive predicates, EXPLAIN
+// output, predicate-cache statistics.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "workload/database.h"
+#include "workload/measurement.h"
+
+using namespace ppp;
+
+namespace {
+
+common::Status Setup(workload::Database* db) {
+  catalog::Catalog& cat = db->catalog();
+
+  // emp(id, dept, picture_handle, salary): 8000 employees in 40 depts.
+  PPP_ASSIGN_OR_RETURN(
+      catalog::Table * emp,
+      cat.CreateTable("emp", {{"id", types::TypeId::kInt64},
+                              {"dept", types::TypeId::kInt64},
+                              {"picture", types::TypeId::kInt64},
+                              {"salary", types::TypeId::kInt64}}));
+  // dept(id, budget): 40 departments, 4 with a big budget.
+  PPP_ASSIGN_OR_RETURN(
+      catalog::Table * dept,
+      cat.CreateTable("dept", {{"id", types::TypeId::kInt64},
+                               {"budget", types::TypeId::kInt64}}));
+
+  common::Random rng(7);
+  for (int64_t i = 0; i < 8000; ++i) {
+    PPP_RETURN_IF_ERROR(emp->Insert(types::Tuple(
+        {types::Value(i), types::Value(i % 40), types::Value(i),
+         types::Value(static_cast<int64_t>(rng.NextUint64(200000)))})));
+  }
+  for (int64_t d = 0; d < 40; ++d) {
+    PPP_RETURN_IF_ERROR(dept->Insert(types::Tuple(
+        {types::Value(d), types::Value(d < 4 ? int64_t{1} : int64_t{0})})));
+  }
+  // No index on emp.dept: the join must consume a full employee stream,
+  // so predicate placement on that stream is a real decision.
+  PPP_RETURN_IF_ERROR(emp->CreateIndex("id"));
+  PPP_RETURN_IF_ERROR(dept->CreateIndex("id"));
+  PPP_RETURN_IF_ERROR(emp->Analyze());
+  PPP_RETURN_IF_ERROR(dept->Analyze());
+
+  // The expensive predicate: fetching and analysing the image costs ~250
+  // random I/Os; about 4% of employees have a red beard.
+  PPP_RETURN_IF_ERROR(cat.functions().RegisterCostlyPredicate(
+      "has_red_beard", /*cost=*/250.0, /*selectivity=*/0.04));
+  return common::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  workload::Database db;
+  const common::Status status = Setup(&db);
+  if (!status.ok()) {
+    std::fprintf(stderr, "setup: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const std::string sql =
+      "SELECT * FROM emp, dept WHERE emp.dept = dept.id "
+      "AND dept.budget = 1 AND has_red_beard(emp.picture)";
+  std::printf("query: %s\n\n", sql.c_str());
+
+  auto spec = parser::ParseAndBind(sql, db.catalog());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "bind: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const optimizer::Algorithm algorithm :
+       {optimizer::Algorithm::kPushDown, optimizer::Algorithm::kMigration}) {
+    auto m = workload::RunWithAlgorithm(&db, *spec, algorithm, {}, {});
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("--- %s ---\n%scharged relative time: %.6g "
+                "(beard checks: %llu)\n\n",
+                m->algorithm.c_str(), m->plan_text.c_str(), m->charged_time,
+                static_cast<unsigned long long>(
+                    m->invocations.count("has_red_beard")
+                        ? m->invocations.at("has_red_beard")
+                        : 0));
+  }
+
+  std::printf(
+      "The pushdown plan analyses every employee photo; the migrated plan\n"
+      "joins the 4 big-budget departments' employees first and analyses\n"
+      "only those — the paper's core argument, on a business schema.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// A minimal interactive shell over the engine: type SELECT statements
+// against the benchmark database, get the optimized plan (EXPLAIN) and the
+// first rows, with the measured I/O + invocation bill. Reads from stdin;
+// pipe a script in, or run interactively. Meta-commands:
+//   \tables            list tables
+//   \functions         list registered functions
+//   \algorithm NAME    switch placement algorithm (pushdown, pullup,
+//                      pullrank, migration, ldl, exhaustive)
+//   \explain on|off    toggle plan printing
+//   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "subquery/rewrite.h"
+#include "workload/database.h"
+#include "workload/measurement.h"
+#include "workload/schema_gen.h"
+
+using namespace ppp;
+
+namespace {
+
+bool ParseAlgorithm(const std::string& name, optimizer::Algorithm* out) {
+  const std::string lower = common::ToLower(name);
+  if (lower == "pushdown") *out = optimizer::Algorithm::kPushDown;
+  else if (lower == "pullup") *out = optimizer::Algorithm::kPullUp;
+  else if (lower == "pullrank") *out = optimizer::Algorithm::kPullRank;
+  else if (lower == "migration") *out = optimizer::Algorithm::kMigration;
+  else if (lower == "ldl") *out = optimizer::Algorithm::kLdl;
+  else if (lower == "exhaustive") *out = optimizer::Algorithm::kExhaustive;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  workload::Database db;
+  workload::BenchmarkConfig config;
+  config.scale = 200;
+  config.table_numbers = {1, 3, 6, 7, 9, 10};
+  if (!workload::LoadBenchmarkDatabase(&db, config).ok() ||
+      !workload::RegisterBenchmarkFunctions(&db).ok()) {
+    std::fprintf(stderr, "failed to load benchmark database\n");
+    return 1;
+  }
+
+  optimizer::Algorithm algorithm = optimizer::Algorithm::kMigration;
+  bool explain = true;
+
+  std::printf("ppp shell — benchmark database at scale %lld. Try:\n",
+              static_cast<long long>(config.scale));
+  std::printf("  SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND "
+              "costly100(t10.ua);\n");
+  std::printf("  SELECT t3.a FROM t3 WHERE t3.u10 IN (SELECT u10 FROM t6 "
+              "WHERE t6.a10 = t3.a10);\n\\quit to exit.\n");
+
+  std::string line;
+  std::string statement;
+  while (true) {
+    std::printf(statement.empty() ? "ppp> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (statement.empty() && !line.empty() && line[0] == '\\') {
+      std::istringstream cmd(line.substr(1));
+      std::string word;
+      cmd >> word;
+      if (word == "quit" || word == "q") break;
+      if (word == "tables") {
+        for (const std::string& name : db.catalog().TableNames()) {
+          auto table = db.catalog().GetTable(name);
+          std::printf("  %-6s %8lld tuples, %lld pages\n", name.c_str(),
+                      static_cast<long long>((*table)->NumTuples()),
+                      static_cast<long long>((*table)->NumPages()));
+        }
+        continue;
+      }
+      if (word == "functions") {
+        for (const std::string& name : db.catalog().functions().Names()) {
+          const catalog::FunctionDef* def =
+              *db.catalog().functions().Lookup(name);
+          std::printf("  %-14s cost=%-8.4g selectivity=%.3g\n",
+                      name.c_str(), def->cost_per_call, def->selectivity);
+        }
+        continue;
+      }
+      if (word == "algorithm") {
+        std::string name;
+        cmd >> name;
+        if (!ParseAlgorithm(name, &algorithm)) {
+          std::printf("unknown algorithm '%s'\n", name.c_str());
+        } else {
+          std::printf("using %s\n", optimizer::AlgorithmName(algorithm));
+        }
+        continue;
+      }
+      if (word == "explain") {
+        std::string mode;
+        cmd >> mode;
+        explain = (mode != "off");
+        std::printf("explain %s\n", explain ? "on" : "off");
+        continue;
+      }
+      std::printf("unknown command \\%s\n", word.c_str());
+      continue;
+    }
+
+    statement += line;
+    if (statement.find(';') == std::string::npos) {
+      statement += ' ';
+      continue;  // Accumulate until ';'.
+    }
+    const std::string sql = statement;
+    statement.clear();
+
+    auto spec = subquery::ParseBindRewrite(sql, &db.catalog());
+    if (!spec.ok()) {
+      std::printf("error: %s\n", spec.status().ToString().c_str());
+      continue;
+    }
+    auto m = workload::RunWithAlgorithm(&db, *spec, algorithm, {}, {});
+    if (!m.ok()) {
+      std::printf("error: %s\n", m.status().ToString().c_str());
+      continue;
+    }
+    if (explain) std::printf("%s", m->plan_text.c_str());
+    std::printf("%llu rows; charged time %.6g (io %.6g + udf %.6g)\n",
+                static_cast<unsigned long long>(m->output_rows),
+                m->charged_time, m->charged_io, m->charged_udf);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

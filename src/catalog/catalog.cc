@@ -1,0 +1,49 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace ppp::catalog {
+
+common::Result<Table*> Catalog::CreateTable(const std::string& name,
+                                            std::vector<ColumnDef> columns) {
+  if (name.empty()) {
+    return common::Status::InvalidArgument("table name must be non-empty");
+  }
+  if (tables_.count(name) > 0) {
+    return common::Status::AlreadyExists("table " + name + " already exists");
+  }
+  if (columns.empty()) {
+    return common::Status::InvalidArgument("table " + name +
+                                           " must have at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[i].name == columns[j].name) {
+        return common::Status::InvalidArgument("duplicate column " +
+                                               columns[i].name);
+      }
+    }
+  }
+  auto table = std::make_unique<Table>(name, std::move(columns), pool_);
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+common::Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return common::Status::NotFound("no table named " + name);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace ppp::catalog

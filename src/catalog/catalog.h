@@ -1,0 +1,48 @@
+#ifndef PPP_CATALOG_CATALOG_H_
+#define PPP_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/function_registry.h"
+#include "catalog/table.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace ppp::catalog {
+
+/// The system catalog: tables (with their storage) and user-defined
+/// functions. One Catalog per Database instance; all storage goes through
+/// the single BufferPool passed at construction so every experiment's I/O
+/// is centrally counted.
+class Catalog {
+ public:
+  explicit Catalog(storage::BufferPool* pool) : pool_(pool) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; AlreadyExists if the name is taken.
+  common::Result<Table*> CreateTable(const std::string& name,
+                                     std::vector<ColumnDef> columns);
+
+  common::Result<Table*> GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  FunctionRegistry& functions() { return functions_; }
+  const FunctionRegistry& functions() const { return functions_; }
+
+  storage::BufferPool* buffer_pool() const { return pool_; }
+
+ private:
+  storage::BufferPool* pool_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  FunctionRegistry functions_;
+};
+
+}  // namespace ppp::catalog
+
+#endif  // PPP_CATALOG_CATALOG_H_

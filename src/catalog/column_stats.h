@@ -1,0 +1,27 @@
+#ifndef PPP_CATALOG_COLUMN_STATS_H_
+#define PPP_CATALOG_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppp::catalog {
+
+/// Per-column statistics used by selectivity estimation. Collected at load
+/// time (the workload generator knows them exactly; Analyze() recomputes
+/// them from data for tables loaded by hand).
+struct ColumnStats {
+  /// Number of distinct non-null values.
+  int64_t num_distinct = 0;
+  /// Domain bounds (int64 columns only; 0 otherwise).
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+
+  std::string ToString() const {
+    return "distinct=" + std::to_string(num_distinct) + " range=[" +
+           std::to_string(min_value) + "," + std::to_string(max_value) + "]";
+  }
+};
+
+}  // namespace ppp::catalog
+
+#endif  // PPP_CATALOG_COLUMN_STATS_H_

@@ -1,0 +1,64 @@
+#include "catalog/function_registry.h"
+
+#include <algorithm>
+
+namespace ppp::catalog {
+
+common::Status FunctionRegistry::Register(FunctionDef def) {
+  if (def.name.empty()) {
+    return common::Status::InvalidArgument("function name must be non-empty");
+  }
+  if (functions_.count(def.name) > 0) {
+    return common::Status::AlreadyExists("function " + def.name +
+                                         " already registered");
+  }
+  functions_.emplace(def.name, std::move(def));
+  return common::Status::OK();
+}
+
+common::Result<const FunctionDef*> FunctionRegistry::Lookup(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return common::Status::NotFound("no function named " + name);
+  }
+  return &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, def] : functions_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+common::Status FunctionRegistry::RegisterCostlyPredicate(
+    const std::string& name, double cost, double selectivity) {
+  FunctionDef def;
+  def.name = name;
+  def.cost_per_call = cost;
+  def.selectivity = selectivity;
+  def.return_type = types::TypeId::kBool;
+  def.cacheable = true;
+  def.impl = [selectivity](const std::vector<types::Value>& args) {
+    // Deterministic pseudo-random decision from the argument values, so the
+    // realized pass rate over a uniform domain tracks `selectivity` while
+    // repeated invocations on the same binding agree (cacheable).
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const types::Value& v : args) {
+      h ^= static_cast<uint64_t>(v.Hash()) + 0x9E3779B97F4A7C15ULL +
+           (h << 6) + (h >> 2);
+    }
+    // One extra mix so consecutive integers do not alias the modulus.
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    return types::Value(u < selectivity);
+  };
+  return Register(std::move(def));
+}
+
+}  // namespace ppp::catalog

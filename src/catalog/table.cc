@@ -1,0 +1,126 @@
+#include "catalog/table.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace ppp::catalog {
+
+Table::Table(std::string name, std::vector<ColumnDef> columns,
+             storage::BufferPool* pool)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      pool_(pool),
+      heap_(pool),
+      stats_(columns_.size()) {}
+
+std::optional<size_t> Table::FindColumn(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return std::nullopt;
+}
+
+common::Status Table::Insert(const types::Tuple& tuple) {
+  if (tuple.NumValues() != columns_.size()) {
+    return common::Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.NumValues()) +
+        " does not match table " + name_ + " arity " +
+        std::to_string(columns_.size()));
+  }
+  PPP_ASSIGN_OR_RETURN(storage::RecordId rid, heap_.Insert(tuple.Serialize()));
+  for (auto& [col_index, index] : indexes_) {
+    const types::Value& v = tuple.Get(col_index);
+    if (v.is_null()) continue;
+    index->Insert(v.AsInt64(), rid);
+  }
+  return common::Status::OK();
+}
+
+common::Result<types::Tuple> Table::Read(storage::RecordId rid) const {
+  PPP_ASSIGN_OR_RETURN(std::string bytes, heap_.Read(rid));
+  return types::Tuple::Deserialize(bytes);
+}
+
+common::Status Table::CreateIndex(const std::string& column) {
+  const std::optional<size_t> col = FindColumn(column);
+  if (!col.has_value()) {
+    return common::Status::NotFound("no column " + column + " in table " +
+                                    name_);
+  }
+  if (columns_[*col].type != types::TypeId::kInt64) {
+    return common::Status::InvalidArgument(
+        "indexes are supported on INT64 columns only; " + name_ + "." +
+        column + " is " + types::TypeIdName(columns_[*col].type));
+  }
+  if (indexes_.count(*col) > 0) {
+    return common::Status::AlreadyExists("index on " + name_ + "." + column +
+                                         " already exists");
+  }
+  auto index = std::make_unique<storage::BTree>(pool_);
+  storage::HeapFile::Iterator it = heap_.Scan();
+  storage::RecordId rid;
+  std::string bytes;
+  while (it.Next(&rid, &bytes)) {
+    PPP_ASSIGN_OR_RETURN(types::Tuple tuple, types::Tuple::Deserialize(bytes));
+    const types::Value& v = tuple.Get(*col);
+    if (v.is_null()) continue;
+    index->Insert(v.AsInt64(), rid);
+  }
+  indexes_[*col] = std::move(index);
+  return common::Status::OK();
+}
+
+const storage::BTree* Table::GetIndex(const std::string& column) const {
+  const std::optional<size_t> col = FindColumn(column);
+  if (!col.has_value()) return nullptr;
+  auto it = indexes_.find(*col);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+common::Status Table::Analyze() {
+  std::vector<std::set<types::Value>> distinct(columns_.size());
+  std::vector<ColumnStats> stats(columns_.size());
+  std::vector<bool> bounded(columns_.size(), false);
+
+  storage::HeapFile::Iterator it = heap_.Scan();
+  storage::RecordId rid;
+  std::string bytes;
+  while (it.Next(&rid, &bytes)) {
+    PPP_ASSIGN_OR_RETURN(types::Tuple tuple, types::Tuple::Deserialize(bytes));
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const types::Value& v = tuple.Get(i);
+      if (v.is_null()) continue;
+      distinct[i].insert(v);
+      if (v.type() == types::TypeId::kInt64) {
+        const int64_t x = v.AsInt64();
+        if (!bounded[i] || x < stats[i].min_value) stats[i].min_value = x;
+        if (!bounded[i] || x > stats[i].max_value) stats[i].max_value = x;
+        bounded[i] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    stats[i].num_distinct = static_cast<int64_t>(distinct[i].size());
+  }
+  stats_ = std::move(stats);
+  return common::Status::OK();
+}
+
+const ColumnStats& Table::GetColumnStats(const std::string& column) const {
+  static const ColumnStats kEmpty;
+  const std::optional<size_t> col = FindColumn(column);
+  if (!col.has_value()) return kEmpty;
+  return stats_[*col];
+}
+
+types::RowSchema Table::RowSchemaForAlias(const std::string& alias) const {
+  std::vector<types::ColumnInfo> cols;
+  cols.reserve(columns_.size());
+  for (const ColumnDef& col : columns_) {
+    cols.push_back({alias, col.name, col.type});
+  }
+  return types::RowSchema(std::move(cols));
+}
+
+}  // namespace ppp::catalog

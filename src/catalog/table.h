@@ -1,0 +1,85 @@
+#ifndef PPP_CATALOG_TABLE_H_
+#define PPP_CATALOG_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/column_stats.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "types/row_schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace ppp::catalog {
+
+/// Column definition of a stored base table.
+struct ColumnDef {
+  std::string name;
+  types::TypeId type = types::TypeId::kInt64;
+};
+
+/// A stored base table: schema + heap file + secondary B-tree indexes +
+/// statistics. Owned by the Catalog.
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns,
+        storage::BufferPool* pool);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  std::optional<size_t> FindColumn(const std::string& column) const;
+
+  /// Inserts a tuple (must match the column count/types) and maintains all
+  /// existing indexes.
+  common::Status Insert(const types::Tuple& tuple);
+
+  /// Reads one tuple by record id.
+  common::Result<types::Tuple> Read(storage::RecordId rid) const;
+
+  /// Builds a B-tree index over `column` (must be INT64) from the current
+  /// contents; future inserts maintain it.
+  common::Status CreateIndex(const std::string& column);
+
+  /// Returns the index over `column`, or nullptr if none exists.
+  const storage::BTree* GetIndex(const std::string& column) const;
+  bool HasIndex(const std::string& column) const {
+    return GetIndex(column) != nullptr;
+  }
+
+  /// Recomputes per-column statistics with a full scan.
+  common::Status Analyze();
+
+  /// Statistics for `column` (zeroes if Analyze was never run).
+  const ColumnStats& GetColumnStats(const std::string& column) const;
+
+  int64_t NumTuples() const {
+    return static_cast<int64_t>(heap_.NumRecords());
+  }
+  int64_t NumPages() const { return static_cast<int64_t>(heap_.NumPages()); }
+
+  const storage::HeapFile& heap() const { return heap_; }
+
+  /// Row descriptor of a scan of this table under range-variable `alias`.
+  types::RowSchema RowSchemaForAlias(const std::string& alias) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  storage::BufferPool* pool_;
+  storage::HeapFile heap_;
+  std::unordered_map<size_t, std::unique_ptr<storage::BTree>> indexes_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace ppp::catalog
+
+#endif  // PPP_CATALOG_TABLE_H_

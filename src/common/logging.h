@@ -1,0 +1,99 @@
+#ifndef PPP_COMMON_LOGGING_H_
+#define PPP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ppp::common {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Not thread-safe by design (set once at startup).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage variant that aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when a check is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lets a streamed FatalLogMessage appear in a void-typed ternary branch:
+/// `&` binds more loosely than `<<`, and returns void.
+struct Voidify {
+  void operator&(const FatalLogMessage&) {}
+  void operator&(const NullStream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace ppp::common
+
+#define PPP_LOG(level)                                          \
+  ::ppp::common::internal_logging::LogMessage(                  \
+      ::ppp::common::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Enabled in all builds:
+/// optimizer and storage invariants are cheap relative to I/O.
+#define PPP_CHECK(condition)                                      \
+  (condition) ? (void)0                                           \
+              : ::ppp::common::internal_logging::Voidify() &     \
+                    ::ppp::common::internal_logging::FatalLogMessage( \
+                        __FILE__, __LINE__, #condition)
+
+#ifndef NDEBUG
+#define PPP_DCHECK(condition) PPP_CHECK(condition)
+#else
+#define PPP_DCHECK(condition)                                \
+  true ? (void)0                                             \
+       : ::ppp::common::internal_logging::Voidify() &        \
+             ::ppp::common::internal_logging::NullStream()
+#endif
+
+#endif  // PPP_COMMON_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef PPP_COMMON_RANDOM_H_
+#define PPP_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace ppp::common {
+
+/// Deterministic 64-bit PRNG (xorshift128+). All data generation and
+/// property tests seed explicitly so experiments are reproducible across
+/// platforms, unlike std::mt19937 whose distributions are not portable.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Reseed(seed); }
+
+  /// Re-initializes the internal state from `seed` (any value, including 0).
+  void Reseed(uint64_t seed) {
+    // SplitMix64 to spread low-entropy seeds over the full state.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextUint64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound) { return NextUint64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli with probability `p` of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace ppp::common
+
+#endif  // PPP_COMMON_RANDOM_H_

@@ -1,0 +1,152 @@
+#ifndef PPP_COMMON_STATUS_H_
+#define PPP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ppp::common {
+
+/// Error categories used throughout the library. Mirrors the usual
+/// database-engine taxonomy: user errors (parse / catalog lookup), internal
+/// invariant violations, and resource exhaustion.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kInternal,
+  kNotImplemented,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for a status code ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after absl::Status.
+///
+/// The library does not use exceptions; every fallible operation returns a
+/// Status (or a Result<T>, below). Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error union, modeled after absl::StatusOr<T>.
+///
+/// Holds either an OK status plus a T, or a non-OK status. Accessing the
+/// value of an errored Result aborts in debug builds (assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ppp::common
+
+/// Propagates a non-OK Status from an expression, like absl's macro.
+#define PPP_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ppp::common::Status _ppp_status = (expr);  \
+    if (!_ppp_status.ok()) return _ppp_status;   \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its status, otherwise
+/// move-assigns the value into `lhs`.
+#define PPP_ASSIGN_OR_RETURN(lhs, expr)              \
+  PPP_ASSIGN_OR_RETURN_IMPL_(                        \
+      PPP_STATUS_MACRO_CONCAT_(_ppp_res, __LINE__), lhs, expr)
+
+#define PPP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define PPP_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define PPP_STATUS_MACRO_CONCAT_(x, y) PPP_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // PPP_COMMON_STATUS_H_

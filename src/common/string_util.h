@@ -1,0 +1,28 @@
+#ifndef PPP_COMMON_STRING_UTIL_H_
+#define PPP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppp::common {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ppp::common
+
+#endif  // PPP_COMMON_STRING_UTIL_H_

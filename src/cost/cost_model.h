@@ -1,0 +1,93 @@
+#ifndef PPP_COST_COST_MODEL_H_
+#define PPP_COST_COST_MODEL_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_params.h"
+#include "expr/predicate.h"
+#include "plan/plan_node.h"
+
+namespace ppp::cost {
+
+/// Per-stream view of a join operator, the quantities every placement
+/// algorithm in the paper reasons with: how many of this input's tuples
+/// survive the join (selectivity over the input, §3.2), what the join
+/// costs per tuple of this input (the "differential" cost), and the
+/// resulting rank = (selectivity - 1) / cost.
+struct JoinStreamInfo {
+  double selectivity = 1.0;
+  double cost_per_tuple = 0.0;
+  double rank = 0.0;
+};
+
+/// The Montage cost model: strictly linear join costs `k{R} + l{S} + m`
+/// (with an extra `c_p{R}{S}` term only for expensive primary join
+/// predicates), per-input join selectivities, and System R scan costs.
+///
+/// Annotate() fills est_rows / est_cost / est_width / est_order /
+/// est_udf_cost / est_rows_noexp over a plan tree bottom-up; every
+/// placement algorithm re-annotates after rewriting a tree.
+class CostModel {
+ public:
+  CostModel(const catalog::Catalog* catalog, expr::TableBinding binding,
+            CostParams params)
+      : catalog_(catalog), binding_(std::move(binding)), params_(params) {}
+
+  /// Recomputes all annotations of `node`'s subtree. Fails on unresolvable
+  /// tables or malformed trees.
+  common::Status Annotate(plan::PlanNode* node) const;
+
+  /// Join-local cost of the join node itself (children excluded), given
+  /// hypothetical input cardinalities. Used both by Annotate and — with
+  /// perturbed cardinalities — to obtain differential per-tuple costs.
+  /// `join` must have annotated children (for widths and rescan I/O).
+  double JoinExtraCost(const plan::PlanNode& join, double outer_rows,
+                       double inner_rows) const;
+
+  /// Selectivity / differential cost / rank of annotated `join` with
+  /// respect to input `side` (0 = outer, 1 = inner).
+  JoinStreamInfo JoinStream(const plan::PlanNode& join, int side) const;
+
+  /// Rank of a selection predicate: (selectivity - 1) / cost, with
+  /// caching-aware cost discounting disabled (the paper ranks selections
+  /// on their per-tuple cost).
+  double SelectionRank(const expr::PredicateInfo& pred) const {
+    return pred.rank();
+  }
+
+  /// Number of pages occupied by `rows` tuples of `width` bytes.
+  static double PagesFor(double rows, double width);
+
+  /// Expected number of distinct values among `rows` rows drawn from a
+  /// population of `base_rows` rows carrying `distinct` distinct values
+  /// (Yao's approximation). Equals `distinct` for an unreduced stream —
+  /// the refinement that makes §5.1's value-based selectivities track
+  /// streams already shrunk by selections and joins.
+  static double DistinctInStream(double distinct, double rows,
+                                 double base_rows);
+
+  /// Extra I/O to sort `pages` pages (0 if they fit in working memory).
+  double SortCost(double pages) const;
+
+  const CostParams& params() const { return params_; }
+  const expr::TableBinding& binding() const { return binding_; }
+
+ private:
+  common::Result<const catalog::Table*> ResolveTable(
+      const std::string& alias) const;
+
+  /// Cost of re-executing a (pipelined) inner subtree once more: its I/O
+  /// cost, plus its UDF cost again unless predicate caching absorbs the
+  /// repeats.
+  double RescanCost(const plan::PlanNode& inner) const;
+
+  const catalog::Catalog* catalog_;
+  expr::TableBinding binding_;
+  CostParams params_;
+};
+
+}  // namespace ppp::cost
+
+#endif  // PPP_COST_COST_MODEL_H_

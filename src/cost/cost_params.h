@@ -1,0 +1,48 @@
+#ifndef PPP_COST_COST_PARAMS_H_
+#define PPP_COST_COST_PARAMS_H_
+
+namespace ppp::cost {
+
+/// Knobs of the cost model. All costs are in random-I/O units, the same
+/// currency as FunctionDef::cost_per_call, so "costly100 = 100" means one
+/// hundred random page reads per invocation exactly as in the paper.
+struct CostParams {
+  /// Cost of reading one page sequentially / randomly.
+  double seq_page_io = 1.0;
+  double rand_page_io = 1.0;
+
+  /// Cost of one B-tree descent ("typically 3 I/Os or less", §3.2).
+  double index_probe_ios = 3.0;
+
+  /// Pages of working memory available to a sort or hash join before it
+  /// must spill. Chosen well below the benchmark table sizes, mirroring the
+  /// paper's 32 MB memory vs 110 MB database.
+  double buffer_pages = 256.0;
+
+  /// Merge fanout of the external sort.
+  double sort_fanout = 8.0;
+
+  /// When true (the Montage model of §3.2), a join node has a *different*
+  /// selectivity for each input stream: sel over R = s * {S}. When false,
+  /// the "global" cost model of [HS93a] is used (same selectivity `s` for
+  /// both inputs) — the model the paper discards as inaccurate. Ablation A1.
+  bool per_input_selectivity = true;
+
+  /// When true, rank calculations assume predicate caching (§5.1):
+  /// join selectivities are computed on *values* rather than tuples and
+  /// clamped at 1, and a Filter is charged for at most one evaluation per
+  /// distinct input binding. Must match ExecParams::predicate_caching so
+  /// the optimizer models what the executor does. Ablation A2.
+  bool predicate_caching = true;
+
+  /// When true (Montage behaviour, §5.2), `{R}` in per-input selectivities
+  /// and differential costs is the *current* planned cardinality, including
+  /// expensive selections currently placed below the join — risking
+  /// over-eager pullup. When false, expensive selections below are assumed
+  /// to pass everything (the under-eager direction). Ablation A4.
+  bool current_cardinality_estimate = true;
+};
+
+}  // namespace ppp::cost
+
+#endif  // PPP_COST_COST_PARAMS_H_

@@ -1,0 +1,340 @@
+#include "exec/executor.h"
+
+#include "common/string_util.h"
+#include "exec/filter_op.h"
+#include "exec/join_ops.h"
+#include "exec/misc_ops.h"
+#include "exec/scan_ops.h"
+
+namespace ppp::exec {
+
+namespace {
+
+common::Result<const catalog::Table*> TableFor(const ExecContext& ctx,
+                                               const std::string& alias) {
+  auto it = ctx.binding.find(alias);
+  if (it == ctx.binding.end() || it->second == nullptr) {
+    return common::Status::NotFound("alias " + alias + " is unbound");
+  }
+  return it->second;
+}
+
+common::Result<size_t> ResolveQualified(const types::RowSchema& schema,
+                                        const std::string& table,
+                                        const std::string& column) {
+  const std::optional<size_t> index = schema.FindColumn(table, column);
+  if (!index.has_value()) {
+    return common::Status::NotFound("column " + table + "." + column +
+                                    " not found in [" + schema.ToString() +
+                                    "]");
+  }
+  return *index;
+}
+
+/// For a simple equi-join, returns the (table, column) pair that lives on
+/// the side whose schema is `schema`.
+common::Result<std::pair<std::string, std::string>> JoinKeyFor(
+    const expr::PredicateInfo& pred, const types::RowSchema& schema) {
+  if (!pred.is_simple_equijoin) {
+    return common::Status::InvalidArgument(
+        "join method requires a simple equi-join primary, got " +
+        (pred.expr != nullptr ? pred.expr->ToString() : std::string("none")));
+  }
+  if (schema.FindColumn(pred.left_table, pred.left_column).has_value()) {
+    return std::make_pair(pred.left_table, pred.left_column);
+  }
+  if (schema.FindColumn(pred.right_table, pred.right_column).has_value()) {
+    return std::make_pair(pred.right_table, pred.right_column);
+  }
+  return common::Status::InvalidArgument(
+      "neither side of " + pred.expr->ToString() +
+      " resolves in [" + schema.ToString() + "]");
+}
+
+types::TypeId InferType(const expr::Expr& e,
+                        const types::RowSchema& schema,
+                        const catalog::Catalog& catalog) {
+  switch (e.kind) {
+    case expr::ExprKind::kColumnRef: {
+      const std::optional<size_t> i = schema.FindColumn(e.table, e.column);
+      return i.has_value() ? schema.Column(*i).type : types::TypeId::kNull;
+    }
+    case expr::ExprKind::kConstant:
+      return e.constant.type();
+    case expr::ExprKind::kComparison:
+    case expr::ExprKind::kAnd:
+    case expr::ExprKind::kOr:
+    case expr::ExprKind::kNot:
+    case expr::ExprKind::kInSubquery:
+      return types::TypeId::kBool;
+    case expr::ExprKind::kArithmetic:
+      return types::TypeId::kInt64;
+    case expr::ExprKind::kFunctionCall: {
+      auto def = catalog.functions().Lookup(e.function_name);
+      return def.ok() ? (*def)->return_type : types::TypeId::kNull;
+    }
+  }
+  return types::TypeId::kNull;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<Operator>> BuildExecutor(
+    const plan::PlanNode& plan, ExecContext* ctx) {
+  switch (plan.kind) {
+    case plan::PlanKind::kSeqScan: {
+      PPP_ASSIGN_OR_RETURN(const catalog::Table* table,
+                           TableFor(*ctx, plan.alias));
+      return std::unique_ptr<Operator>(
+          std::make_unique<SeqScanOp>(table, plan.alias));
+    }
+    case plan::PlanKind::kIndexScan: {
+      PPP_ASSIGN_OR_RETURN(const catalog::Table* table,
+                           TableFor(*ctx, plan.alias));
+      if (plan.index_is_range) {
+        return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
+            table, plan.alias, plan.index_column, plan.index_lo,
+            plan.index_hi));
+      }
+      if (plan.index_key.type() != types::TypeId::kInt64) {
+        return common::Status::InvalidArgument(
+            "index scan key must be INT64");
+      }
+      return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
+          table, plan.alias, plan.index_column, plan.index_key.AsInt64()));
+    }
+    case plan::PlanKind::kFilter: {
+      PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child,
+                           BuildExecutor(*plan.children[0], ctx));
+      PPP_ASSIGN_OR_RETURN(
+          CachedPredicate pred,
+          CachedPredicate::Bind(plan.predicate, child->schema(),
+                                *ctx->catalog, ctx->params));
+      return std::unique_ptr<Operator>(std::make_unique<FilterOp>(
+          std::move(child), std::move(pred), ctx));
+    }
+    case plan::PlanKind::kJoin: {
+      PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> outer,
+                           BuildExecutor(*plan.children[0], ctx));
+      const plan::PlanNode& inner_plan = *plan.children[1];
+      switch (plan.join_method) {
+        case plan::JoinMethod::kNestLoop: {
+          PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                               BuildExecutor(inner_plan, ctx));
+          std::optional<CachedPredicate> primary;
+          if (plan.predicate.expr != nullptr) {
+            const types::RowSchema joined = types::RowSchema::Concat(
+                outer->schema(), inner->schema());
+            PPP_ASSIGN_OR_RETURN(
+                CachedPredicate bound,
+                CachedPredicate::Bind(plan.predicate, joined, *ctx->catalog,
+                                      ctx->params));
+            primary = std::move(bound);
+          }
+          return std::unique_ptr<Operator>(
+              std::make_unique<NestedLoopJoinOp>(
+                  std::move(outer), std::move(inner), std::move(primary),
+                  ctx));
+        }
+        case plan::JoinMethod::kIndexNestLoop: {
+          if (inner_plan.kind != plan::PlanKind::kSeqScan) {
+            return common::Status::InvalidArgument(
+                "index nested loops requires a bare scan inner");
+          }
+          PPP_ASSIGN_OR_RETURN(const catalog::Table* inner_table,
+                               TableFor(*ctx, inner_plan.alias));
+          const expr::PredicateInfo& pred = plan.predicate;
+          if (!pred.is_simple_equijoin) {
+            return common::Status::InvalidArgument(
+                "index nested loops requires a simple equi-join primary");
+          }
+          const bool left_is_inner = pred.left_table == inner_plan.alias;
+          const std::string& inner_column =
+              left_is_inner ? pred.left_column : pred.right_column;
+          const std::string& outer_table =
+              left_is_inner ? pred.right_table : pred.left_table;
+          const std::string& outer_column =
+              left_is_inner ? pred.right_column : pred.left_column;
+          PPP_ASSIGN_OR_RETURN(
+              const size_t outer_key,
+              ResolveQualified(outer->schema(), outer_table, outer_column));
+          return std::unique_ptr<Operator>(
+              std::make_unique<IndexNestedLoopJoinOp>(
+                  std::move(outer), inner_table, inner_plan.alias,
+                  inner_column, outer_key));
+        }
+        case plan::JoinMethod::kMerge:
+        case plan::JoinMethod::kHash: {
+          PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
+                               BuildExecutor(inner_plan, ctx));
+          PPP_ASSIGN_OR_RETURN(const auto outer_key_col,
+                               JoinKeyFor(plan.predicate, outer->schema()));
+          PPP_ASSIGN_OR_RETURN(const auto inner_key_col,
+                               JoinKeyFor(plan.predicate, inner->schema()));
+          PPP_ASSIGN_OR_RETURN(
+              const size_t outer_key,
+              ResolveQualified(outer->schema(), outer_key_col.first,
+                               outer_key_col.second));
+          PPP_ASSIGN_OR_RETURN(
+              const size_t inner_key,
+              ResolveQualified(inner->schema(), inner_key_col.first,
+                               inner_key_col.second));
+          if (plan.join_method == plan::JoinMethod::kMerge) {
+            return std::unique_ptr<Operator>(std::make_unique<MergeJoinOp>(
+                std::move(outer), std::move(inner), outer_key, inner_key));
+          }
+          return std::unique_ptr<Operator>(std::make_unique<HashJoinOp>(
+              std::move(outer), std::move(inner), outer_key, inner_key));
+        }
+      }
+      return common::Status::Internal("unknown join method");
+    }
+    case plan::PlanKind::kSort: {
+      PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child,
+                           BuildExecutor(*plan.children[0], ctx));
+      const std::vector<std::string> parts =
+          common::Split(plan.sort_column, '.');
+      if (parts.size() != 2) {
+        return common::Status::InvalidArgument("bad sort column " +
+                                               plan.sort_column);
+      }
+      PPP_ASSIGN_OR_RETURN(
+          const size_t key,
+          ResolveQualified(child->schema(), parts[0], parts[1]));
+      return std::unique_ptr<Operator>(
+          std::make_unique<SortOp>(std::move(child), key));
+    }
+    case plan::PlanKind::kMaterialize: {
+      PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child,
+                           BuildExecutor(*plan.children[0], ctx));
+      return std::unique_ptr<Operator>(
+          std::make_unique<MaterializeOp>(std::move(child)));
+    }
+    case plan::PlanKind::kAggregate: {
+      PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child,
+                           BuildExecutor(*plan.children[0], ctx));
+      std::vector<size_t> keys;
+      std::vector<types::ColumnInfo> columns;
+      for (const std::string& qualified : plan.group_columns) {
+        const std::vector<std::string> parts =
+            common::Split(qualified, '.');
+        if (parts.size() != 2) {
+          return common::Status::InvalidArgument("bad group column " +
+                                                 qualified);
+        }
+        PPP_ASSIGN_OR_RETURN(
+            const size_t index,
+            ResolveQualified(child->schema(), parts[0], parts[1]));
+        keys.push_back(index);
+        columns.push_back(child->schema().Column(index));
+      }
+      std::vector<HashAggregateOp::BoundAggregate> aggs;
+      for (const plan::AggregateItem& item : plan.aggregates) {
+        HashAggregateOp::BoundAggregate bound;
+        bound.op = item.op;
+        types::TypeId type = types::TypeId::kInt64;
+        if (item.arg != nullptr) {
+          PPP_ASSIGN_OR_RETURN(
+              std::unique_ptr<expr::BoundExpr> arg,
+              expr::BoundExpr::Bind(item.arg, child->schema(),
+                                    ctx->catalog->functions()));
+          bound.arg = std::move(arg);
+          type = InferType(*item.arg, child->schema(), *ctx->catalog);
+        }
+        switch (item.op) {
+          case plan::AggregateItem::Op::kCount:
+            type = types::TypeId::kInt64;
+            break;
+          case plan::AggregateItem::Op::kSum:
+          case plan::AggregateItem::Op::kAvg:
+            type = types::TypeId::kDouble;
+            break;
+          default:
+            break;  // min/max keep the argument type.
+        }
+        columns.push_back({"", item.name, type});
+        aggs.push_back(std::move(bound));
+      }
+      return std::unique_ptr<Operator>(std::make_unique<HashAggregateOp>(
+          std::move(child), std::move(keys), std::move(aggs),
+          types::RowSchema(std::move(columns)), ctx));
+    }
+    case plan::PlanKind::kProject: {
+      PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child,
+                           BuildExecutor(*plan.children[0], ctx));
+      std::vector<std::shared_ptr<expr::BoundExpr>> bound;
+      std::vector<types::ColumnInfo> columns;
+      for (size_t i = 0; i < plan.projections.size(); ++i) {
+        const expr::ExprPtr& e = plan.projections[i];
+        PPP_ASSIGN_OR_RETURN(
+            std::unique_ptr<expr::BoundExpr> b,
+            expr::BoundExpr::Bind(e, child->schema(),
+                                  ctx->catalog->functions()));
+        bound.push_back(std::move(b));
+        std::string name = i < plan.projection_names.size()
+                               ? plan.projection_names[i]
+                               : e->ToString();
+        columns.push_back(
+            {"", std::move(name), InferType(*e, child->schema(),
+                                            *ctx->catalog)});
+      }
+      return std::unique_ptr<Operator>(std::make_unique<ProjectOp>(
+          std::move(child), std::move(bound),
+          types::RowSchema(std::move(columns)), ctx));
+    }
+  }
+  return common::Status::Internal("unknown plan node kind");
+}
+
+std::string ExecStats::ToString() const {
+  std::string out = "rows=" + std::to_string(output_rows) + " " +
+                    io.ToString();
+  for (const auto& [name, count] : invocations) {
+    out += " " + name + "×" + std::to_string(count);
+  }
+  return out;
+}
+
+common::Result<std::vector<types::Tuple>> ExecutePlan(
+    const plan::PlanNode& plan, ExecContext* ctx, ExecStats* stats,
+    types::RowSchema* out_schema) {
+  storage::BufferPool* pool = ctx->catalog->buffer_pool();
+  const storage::IoStats before = pool->stats();
+  ctx->eval.invocation_counts.clear();
+
+  // Wire the function-level cache when that mode is selected.
+  if (ctx->params.predicate_caching &&
+      ctx->params.cache_mode == CacheMode::kFunction) {
+    ctx->function_cache_storage.max_entries = ctx->params.cache_max_entries;
+    ctx->eval.function_cache = &ctx->function_cache_storage;
+  } else {
+    ctx->eval.function_cache = nullptr;
+  }
+
+  PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
+                       BuildExecutor(plan, ctx));
+  if (out_schema != nullptr) *out_schema = root->schema();
+  PPP_RETURN_IF_ERROR(root->Open());
+  std::vector<types::Tuple> out;
+  types::Tuple tuple;
+  bool eof = false;
+  while (true) {
+    PPP_RETURN_IF_ERROR(root->Next(&tuple, &eof));
+    if (eof) break;
+    out.push_back(std::move(tuple));
+  }
+
+  if (stats != nullptr) {
+    const storage::IoStats after = pool->stats();
+    stats->output_rows = out.size();
+    stats->io.sequential_reads =
+        after.sequential_reads - before.sequential_reads;
+    stats->io.random_reads = after.random_reads - before.random_reads;
+    stats->io.writes = after.writes - before.writes;
+    stats->io.buffer_hits = after.buffer_hits - before.buffer_hits;
+    stats->invocations = ctx->eval.invocation_counts;
+  }
+  return out;
+}
+
+}  // namespace ppp::exec

@@ -1,0 +1,45 @@
+#ifndef PPP_EXEC_EXECUTOR_H_
+#define PPP_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/plan_node.h"
+#include "storage/io_stats.h"
+
+namespace ppp::exec {
+
+/// Compiles a physical plan into an operator tree. The plan must be
+/// executable: joins with methods whose requirements hold (e.g. merge/hash
+/// need a simple equi-join primary; index nested loops needs a bare scan
+/// inner with an index on the join column).
+common::Result<std::unique_ptr<Operator>> BuildExecutor(
+    const plan::PlanNode& plan, ExecContext* ctx);
+
+/// What one execution cost, in the paper's measurement currency: physical
+/// page I/O (from the buffer pool) plus per-function invocation counts.
+/// The harness converts these to "charged time" with the function costs,
+/// exactly as §2 describes.
+struct ExecStats {
+  uint64_t output_rows = 0;
+  storage::IoStats io;
+  std::unordered_map<std::string, uint64_t> invocations;
+
+  std::string ToString() const;
+};
+
+/// Executes `plan` to completion, returning all output tuples. I/O deltas
+/// are measured against the catalog's buffer pool; invocation counts come
+/// from ctx->eval. `out_schema`, when non-null, receives the output row
+/// descriptor (plans with different join orders emit columns in different
+/// orders; compare results with CanonicalResults + schema).
+common::Result<std::vector<types::Tuple>> ExecutePlan(
+    const plan::PlanNode& plan, ExecContext* ctx, ExecStats* stats,
+    types::RowSchema* out_schema = nullptr);
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_EXECUTOR_H_

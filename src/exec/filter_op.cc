@@ -1,0 +1,21 @@
+#include "exec/filter_op.h"
+
+namespace ppp::exec {
+
+FilterOp::FilterOp(std::unique_ptr<Operator> child,
+                   CachedPredicate predicate, ExecContext* ctx)
+    : child_(std::move(child)), predicate_(std::move(predicate)), ctx_(ctx) {
+  schema_ = child_->schema();
+}
+
+common::Status FilterOp::Open() { return child_->Open(); }
+
+common::Status FilterOp::Next(types::Tuple* tuple, bool* eof) {
+  while (true) {
+    PPP_RETURN_IF_ERROR(child_->Next(tuple, eof));
+    if (*eof) return common::Status::OK();
+    if (predicate_.Eval(*tuple, &ctx_->eval)) return common::Status::OK();
+  }
+}
+
+}  // namespace ppp::exec

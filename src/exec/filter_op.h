@@ -1,0 +1,32 @@
+#ifndef PPP_EXEC_FILTER_OP_H_
+#define PPP_EXEC_FILTER_OP_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+
+namespace ppp::exec {
+
+/// Applies one predicate, with the §5.1 predicate cache when enabled. The
+/// cache belongs to the operator instance and survives Open() — a
+/// nested-loop rescan re-runs the filter but pays no repeated function
+/// invocations for bindings already seen.
+class FilterOp : public Operator {
+ public:
+  FilterOp(std::unique_ptr<Operator> child, CachedPredicate predicate,
+           ExecContext* ctx);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+  const CachedPredicate& predicate() const { return predicate_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  CachedPredicate predicate_;
+  ExecContext* ctx_;
+};
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_FILTER_OP_H_

@@ -1,0 +1,267 @@
+#include "exec/join_ops.h"
+
+#include <algorithm>
+
+namespace ppp::exec {
+
+namespace {
+
+/// Drains `op` into `out` (after Open).
+common::Status Drain(Operator* op, std::vector<types::Tuple>* out) {
+  PPP_RETURN_IF_ERROR(op->Open());
+  types::Tuple tuple;
+  bool eof = false;
+  while (true) {
+    PPP_RETURN_IF_ERROR(op->Next(&tuple, &eof));
+    if (eof) return common::Status::OK();
+    out->push_back(std::move(tuple));
+  }
+}
+
+}  // namespace
+
+// ---- NestedLoopJoinOp ------------------------------------------------------
+
+NestedLoopJoinOp::NestedLoopJoinOp(std::unique_ptr<Operator> outer,
+                                   std::unique_ptr<Operator> inner,
+                                   std::optional<CachedPredicate> primary,
+                                   ExecContext* ctx)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      primary_(std::move(primary)),
+      ctx_(ctx) {
+  schema_ = types::RowSchema::Concat(outer_->schema(), inner_->schema());
+}
+
+common::Status NestedLoopJoinOp::Open() {
+  have_outer_ = false;
+  return outer_->Open();
+}
+
+common::Status NestedLoopJoinOp::Next(types::Tuple* tuple, bool* eof) {
+  while (true) {
+    if (!have_outer_) {
+      bool outer_eof = false;
+      PPP_RETURN_IF_ERROR(outer_->Next(&outer_tuple_, &outer_eof));
+      if (outer_eof) {
+        *eof = true;
+        return common::Status::OK();
+      }
+      // Rescan: the inner pipeline restarts and re-reads its pages.
+      PPP_RETURN_IF_ERROR(inner_->Open());
+      have_outer_ = true;
+    }
+    types::Tuple inner_tuple;
+    bool inner_eof = false;
+    PPP_RETURN_IF_ERROR(inner_->Next(&inner_tuple, &inner_eof));
+    if (inner_eof) {
+      have_outer_ = false;
+      continue;
+    }
+    types::Tuple joined = types::Tuple::Concat(outer_tuple_, inner_tuple);
+    if (!primary_.has_value() || primary_->Eval(joined, &ctx_->eval)) {
+      *tuple = std::move(joined);
+      *eof = false;
+      return common::Status::OK();
+    }
+  }
+}
+
+// ---- IndexNestedLoopJoinOp -------------------------------------------------
+
+IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(
+    std::unique_ptr<Operator> outer, const catalog::Table* inner_table,
+    const std::string& inner_alias, std::string inner_column,
+    size_t outer_key_index)
+    : outer_(std::move(outer)),
+      inner_table_(inner_table),
+      inner_column_(std::move(inner_column)),
+      outer_key_index_(outer_key_index) {
+  schema_ = types::RowSchema::Concat(
+      outer_->schema(), inner_table->RowSchemaForAlias(inner_alias));
+}
+
+common::Status IndexNestedLoopJoinOp::Open() {
+  have_outer_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  return outer_->Open();
+}
+
+common::Status IndexNestedLoopJoinOp::Next(types::Tuple* tuple, bool* eof) {
+  const storage::BTree* index = inner_table_->GetIndex(inner_column_);
+  if (index == nullptr) {
+    return common::Status::NotFound("no index on " + inner_table_->name() +
+                                    "." + inner_column_);
+  }
+  while (true) {
+    if (have_outer_ && match_pos_ < matches_.size()) {
+      PPP_ASSIGN_OR_RETURN(types::Tuple inner_tuple,
+                           inner_table_->Read(matches_[match_pos_]));
+      ++match_pos_;
+      *tuple = types::Tuple::Concat(outer_tuple_, inner_tuple);
+      *eof = false;
+      return common::Status::OK();
+    }
+    bool outer_eof = false;
+    PPP_RETURN_IF_ERROR(outer_->Next(&outer_tuple_, &outer_eof));
+    if (outer_eof) {
+      *eof = true;
+      return common::Status::OK();
+    }
+    const types::Value& key = outer_tuple_.Get(outer_key_index_);
+    matches_.clear();
+    match_pos_ = 0;
+    have_outer_ = true;
+    if (!key.is_null() && key.type() == types::TypeId::kInt64) {
+      matches_ = index->Lookup(key.AsInt64());
+    }
+  }
+}
+
+// ---- MergeJoinOp -----------------------------------------------------------
+
+MergeJoinOp::MergeJoinOp(std::unique_ptr<Operator> outer,
+                         std::unique_ptr<Operator> inner,
+                         size_t outer_key_index, size_t inner_key_index)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      outer_key_(outer_key_index),
+      inner_key_(inner_key_index) {
+  schema_ = types::RowSchema::Concat(outer_->schema(), inner_->schema());
+}
+
+common::Status MergeJoinOp::Open() {
+  outer_rows_.clear();
+  inner_rows_.clear();
+  PPP_RETURN_IF_ERROR(Drain(outer_.get(), &outer_rows_));
+  PPP_RETURN_IF_ERROR(Drain(inner_.get(), &inner_rows_));
+  // NULL keys never join.
+  auto null_key = [](size_t key) {
+    return [key](const types::Tuple& t) { return t.Get(key).is_null(); };
+  };
+  outer_rows_.erase(std::remove_if(outer_rows_.begin(), outer_rows_.end(),
+                                   null_key(outer_key_)),
+                    outer_rows_.end());
+  inner_rows_.erase(std::remove_if(inner_rows_.begin(), inner_rows_.end(),
+                                   null_key(inner_key_)),
+                    inner_rows_.end());
+  auto by_key = [](size_t key) {
+    return [key](const types::Tuple& a, const types::Tuple& b) {
+      return a.Get(key).Compare(b.Get(key)) < 0;
+    };
+  };
+  std::stable_sort(outer_rows_.begin(), outer_rows_.end(),
+                   by_key(outer_key_));
+  std::stable_sort(inner_rows_.begin(), inner_rows_.end(),
+                   by_key(inner_key_));
+  oi_ = 0;
+  inner_base_ = 0;
+  inner_end_ = 0;
+  group_pos_ = 0;
+  group_active_ = false;
+  return common::Status::OK();
+}
+
+common::Status MergeJoinOp::Next(types::Tuple* tuple, bool* eof) {
+  while (true) {
+    if (group_active_) {
+      if (group_pos_ < inner_end_) {
+        *tuple = types::Tuple::Concat(outer_rows_[oi_],
+                                      inner_rows_[group_pos_]);
+        ++group_pos_;
+        *eof = false;
+        return common::Status::OK();
+      }
+      // Outer row exhausted its group; the next outer row may share the
+      // key and reuse the same group.
+      const types::Value key = outer_rows_[oi_].Get(outer_key_);
+      ++oi_;
+      group_active_ = false;
+      if (oi_ < outer_rows_.size() &&
+          outer_rows_[oi_].Get(outer_key_).Compare(key) == 0) {
+        group_pos_ = inner_base_;
+        group_active_ = true;
+        continue;
+      }
+      inner_base_ = inner_end_;
+      continue;
+    }
+    if (oi_ >= outer_rows_.size() || inner_base_ >= inner_rows_.size()) {
+      *eof = true;
+      return common::Status::OK();
+    }
+    const int cmp = outer_rows_[oi_].Get(outer_key_).Compare(
+        inner_rows_[inner_base_].Get(inner_key_));
+    if (cmp < 0) {
+      ++oi_;
+    } else if (cmp > 0) {
+      ++inner_base_;
+    } else {
+      // Delimit the inner group of this key.
+      const types::Value key = inner_rows_[inner_base_].Get(inner_key_);
+      inner_end_ = inner_base_ + 1;
+      while (inner_end_ < inner_rows_.size() &&
+             inner_rows_[inner_end_].Get(inner_key_).Compare(key) == 0) {
+        ++inner_end_;
+      }
+      group_pos_ = inner_base_;
+      group_active_ = true;
+    }
+  }
+}
+
+// ---- HashJoinOp ------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(std::unique_ptr<Operator> outer,
+                       std::unique_ptr<Operator> inner,
+                       size_t outer_key_index, size_t inner_key_index)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      outer_key_(outer_key_index),
+      inner_key_(inner_key_index) {
+  schema_ = types::RowSchema::Concat(outer_->schema(), inner_->schema());
+}
+
+common::Status HashJoinOp::Open() {
+  table_.clear();
+  std::vector<types::Tuple> build_rows;
+  PPP_RETURN_IF_ERROR(Drain(inner_.get(), &build_rows));
+  for (types::Tuple& row : build_rows) {
+    const types::Value& key = row.Get(inner_key_);
+    if (key.is_null()) continue;
+    table_[key].push_back(std::move(row));
+  }
+  have_outer_ = false;
+  current_matches_ = nullptr;
+  match_pos_ = 0;
+  return outer_->Open();
+}
+
+common::Status HashJoinOp::Next(types::Tuple* tuple, bool* eof) {
+  while (true) {
+    if (have_outer_ && current_matches_ != nullptr &&
+        match_pos_ < current_matches_->size()) {
+      *tuple = types::Tuple::Concat(outer_tuple_,
+                                    (*current_matches_)[match_pos_]);
+      ++match_pos_;
+      *eof = false;
+      return common::Status::OK();
+    }
+    bool outer_eof = false;
+    PPP_RETURN_IF_ERROR(outer_->Next(&outer_tuple_, &outer_eof));
+    if (outer_eof) {
+      *eof = true;
+      return common::Status::OK();
+    }
+    have_outer_ = true;
+    match_pos_ = 0;
+    current_matches_ = nullptr;
+    const types::Value& key = outer_tuple_.Get(outer_key_);
+    if (key.is_null()) continue;
+    auto it = table_.find(key);
+    if (it != table_.end()) current_matches_ = &it->second;
+  }
+}
+
+}  // namespace ppp::exec

@@ -1,0 +1,113 @@
+#ifndef PPP_EXEC_JOIN_OPS_H_
+#define PPP_EXEC_JOIN_OPS_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/table.h"
+#include "exec/operator.h"
+#include "storage/record_id.h"
+
+namespace ppp::exec {
+
+/// Pipelined nested-loop join: the inner subtree is re-Open()ed for every
+/// outer tuple, re-reading its pages through the buffer pool — the
+/// behaviour the paper's `j{R}|S|` cost term describes. The primary
+/// predicate (possibly expensive, possibly absent for a cross product) is
+/// evaluated on each candidate pair through a CachedPredicate.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(std::unique_ptr<Operator> outer,
+                   std::unique_ptr<Operator> inner,
+                   std::optional<CachedPredicate> primary, ExecContext* ctx);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  std::optional<CachedPredicate> primary_;
+  ExecContext* ctx_;
+  types::Tuple outer_tuple_;
+  bool have_outer_ = false;
+};
+
+/// Index nested-loop join: for each outer tuple, probes the inner table's
+/// B-tree on the join column and fetches the matching tuples.
+class IndexNestedLoopJoinOp : public Operator {
+ public:
+  IndexNestedLoopJoinOp(std::unique_ptr<Operator> outer,
+                        const catalog::Table* inner_table,
+                        const std::string& inner_alias,
+                        std::string inner_column, size_t outer_key_index);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  const catalog::Table* inner_table_;
+  std::string inner_column_;
+  size_t outer_key_index_;
+  types::Tuple outer_tuple_;
+  std::vector<storage::RecordId> matches_;
+  size_t match_pos_ = 0;
+  bool have_outer_ = false;
+};
+
+/// Sort-merge join on a simple equi-join key. Inputs are drained and
+/// sorted in memory on Open (the sort's I/O is modeled, not simulated —
+/// see DESIGN.md); rows with NULL keys never match and are dropped.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(std::unique_ptr<Operator> outer,
+              std::unique_ptr<Operator> inner, size_t outer_key_index,
+              size_t inner_key_index);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  size_t outer_key_;
+  size_t inner_key_;
+  std::vector<types::Tuple> outer_rows_;
+  std::vector<types::Tuple> inner_rows_;
+  size_t oi_ = 0;
+  size_t inner_base_ = 0;   // First inner row of the current key group.
+  size_t inner_end_ = 0;    // One past the group.
+  size_t group_pos_ = 0;    // Cursor within the group.
+  bool group_active_ = false;
+};
+
+/// In-memory hash join: builds on the inner input, streams the outer.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(std::unique_ptr<Operator> outer,
+             std::unique_ptr<Operator> inner, size_t outer_key_index,
+             size_t inner_key_index);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  std::unique_ptr<Operator> outer_;
+  std::unique_ptr<Operator> inner_;
+  size_t outer_key_;
+  size_t inner_key_;
+  std::unordered_map<types::Value, std::vector<types::Tuple>,
+                     types::ValueHasher>
+      table_;
+  types::Tuple outer_tuple_;
+  const std::vector<types::Tuple>* current_matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool have_outer_ = false;
+};
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_JOIN_OPS_H_

@@ -1,0 +1,96 @@
+#ifndef PPP_EXEC_MISC_OPS_H_
+#define PPP_EXEC_MISC_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/plan_node.h"
+
+namespace ppp::exec {
+
+/// In-memory sort on one column, ascending, NULLs first.
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> child, size_t key_index);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t key_;
+  std::vector<types::Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// Buffers the child's output on first Open; later Opens replay from
+/// memory without re-executing the child.
+class MaterializeOp : public Operator {
+ public:
+  explicit MaterializeOp(std::unique_ptr<Operator> child);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<types::Tuple> rows_;
+  bool filled_ = false;
+  size_t pos_ = 0;
+};
+
+/// Hash aggregation: groups the child's rows on a list of key columns
+/// (empty = one global group) and computes count/sum/avg/min/max. Output
+/// is sorted by group key for determinism.
+class HashAggregateOp : public Operator {
+ public:
+  struct BoundAggregate {
+    plan::AggregateItem::Op op;
+    std::shared_ptr<expr::BoundExpr> arg;  // Null for COUNT(*).
+  };
+
+  HashAggregateOp(std::unique_ptr<Operator> child,
+                  std::vector<size_t> key_indexes,
+                  std::vector<BoundAggregate> aggregates,
+                  types::RowSchema output_schema, ExecContext* ctx);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  struct Accumulator {
+    uint64_t count = 0;
+    double sum = 0;
+    types::Value min;
+    types::Value max;
+    bool has_value = false;
+  };
+
+  std::unique_ptr<Operator> child_;
+  std::vector<size_t> key_indexes_;
+  std::vector<BoundAggregate> aggregates_;
+  ExecContext* ctx_;
+  std::vector<types::Tuple> results_;
+  size_t pos_ = 0;
+};
+
+/// Evaluates a projection list per input tuple.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child,
+            std::vector<std::shared_ptr<expr::BoundExpr>> exprs,
+            types::RowSchema output_schema, ExecContext* ctx);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<std::shared_ptr<expr::BoundExpr>> exprs_;
+  ExecContext* ctx_;
+};
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_MISC_OPS_H_

@@ -1,0 +1,80 @@
+#include "exec/operator.h"
+
+namespace ppp::exec {
+
+namespace {
+/// Probes after which an adaptive cache with zero hits gives up (§5.1's
+/// "predicate caching can provide no benefit" condition, detected online).
+constexpr uint64_t kAdaptiveProbeWindow = 512;
+}  // namespace
+
+common::Result<CachedPredicate> CachedPredicate::Bind(
+    const expr::PredicateInfo& pred, const types::RowSchema& schema,
+    const catalog::Catalog& catalog, const ExecParams& params) {
+  CachedPredicate out;
+  PPP_ASSIGN_OR_RETURN(
+      std::unique_ptr<expr::BoundExpr> bound,
+      expr::BoundExpr::Bind(pred.expr, schema, catalog.functions()));
+  out.bound_ = std::move(bound);
+
+  const bool try_cache = params.predicate_caching &&
+                         params.cache_mode == CacheMode::kPredicate;
+  if (try_cache && pred.is_expensive()) {
+    // Cache only when every function in the predicate is cacheable.
+    bool cacheable = true;
+    std::vector<const expr::Expr*> calls;
+    pred.expr->CollectFunctionCalls(&calls);
+    for (const expr::Expr* call : calls) {
+      auto def = catalog.functions().Lookup(call->function_name);
+      if (!def.ok() || !(*def)->cacheable) {
+        cacheable = false;
+        break;
+      }
+    }
+    out.cache_enabled_ = cacheable && !calls.empty();
+    out.adaptive_ = params.adaptive_caching;
+    out.max_entries_ = params.cache_max_entries;
+  }
+  return out;
+}
+
+bool CachedPredicate::Eval(const types::Tuple& tuple,
+                           expr::EvalContext* ctx) {
+  if (!cache_enabled_ || disabled_) {
+    return bound_->EvalBool(tuple, ctx);
+  }
+  ++probes_;
+  // Key = the values of the predicate's input columns, serialized. This is
+  // the paper's "hash table keyed on the bindings of the input variables".
+  std::vector<types::Value> key_values;
+  key_values.reserve(bound_->column_indexes().size());
+  for (size_t index : bound_->column_indexes()) {
+    key_values.push_back(tuple.Get(index));
+  }
+  std::string key = types::Tuple(std::move(key_values)).Serialize();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  const bool result = bound_->EvalBool(tuple, ctx);
+
+  if (adaptive_ && probes_ >= kAdaptiveProbeWindow && cache_hits_ == 0) {
+    // Every binding so far was distinct: caching cannot pay here. Free the
+    // memory (the footnote-4 swap problem) and stop keying.
+    disabled_ = true;
+    cache_.clear();
+    fifo_.clear();
+    return result;
+  }
+  if (max_entries_ > 0 && cache_.size() >= max_entries_) {
+    cache_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++cache_evictions_;
+  }
+  cache_.emplace(key, result);
+  fifo_.push_back(std::move(key));
+  return result;
+}
+
+}  // namespace ppp::exec

@@ -1,0 +1,124 @@
+#ifndef PPP_EXEC_OPERATOR_H_
+#define PPP_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "expr/evaluator.h"
+#include "expr/predicate.h"
+#include "types/row_schema.h"
+#include "types/tuple.h"
+
+namespace ppp::exec {
+
+/// Which memoization layer absorbs repeated expensive evaluations (§5.1
+/// discusses the design space).
+enum class CacheMode {
+  /// No memoization at all.
+  kNone,
+  /// Montage's choice: cache whole predicates, keyed on the bindings of
+  /// their input variables.
+  kPredicate,
+  /// The [Jhi88] alternative: cache individual function results. Weaker
+  /// when a predicate derives large intermediate objects, which is exactly
+  /// why Montage caches predicates (§5.1).
+  kFunction,
+};
+
+/// Execution-time knobs.
+struct ExecParams {
+  /// Master switch for the §5.1 memoization. Should match
+  /// cost::CostParams::predicate_caching so the optimizer models the
+  /// executor.
+  bool predicate_caching = true;
+
+  CacheMode cache_mode = CacheMode::kPredicate;
+
+  /// Per-cache entry bound (FIFO replacement); 0 = unbounded. The paper:
+  /// "Function or predicate caches can be limited in size, using any of a
+  /// variety of replacement schemes."
+  size_t cache_max_entries = 0;
+
+  /// The optimization "planned for Montage but not implemented" (§5.1):
+  /// stop caching a predicate whose inputs never repeat. Implemented
+  /// online: a cache observing zero hits in its first 512 probes disables
+  /// itself and frees its entries.
+  bool adaptive_caching = false;
+};
+
+/// Shared state of one plan execution: invocation counters (the paper's
+/// measurement currency) and configuration. Predicate caches live in the
+/// operators themselves so they survive nested-loop rescans — which is
+/// precisely what makes rescans affordable (§5.1).
+struct ExecContext {
+  const catalog::Catalog* catalog = nullptr;
+  expr::TableBinding binding;
+  ExecParams params;
+  expr::EvalContext eval;
+  /// Backing store for eval.function_cache when cache_mode == kFunction
+  /// (wired by ExecutePlan).
+  expr::FunctionCache function_cache_storage;
+};
+
+/// Volcano-style iterator. Open() may be called repeatedly: nested-loop
+/// join restarts its inner subtree by re-opening it, and any per-operator
+/// caches must survive the restart.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual common::Status Open() = 0;
+
+  /// Produces the next tuple, or sets *eof. After *eof, further calls keep
+  /// returning eof.
+  virtual common::Status Next(types::Tuple* tuple, bool* eof) = 0;
+
+  const types::RowSchema& schema() const { return schema_; }
+
+ protected:
+  types::RowSchema schema_;
+};
+
+/// A predicate bound to an input schema, with an optional memo table keyed
+/// on the values of the predicate's input columns (the paper caches whole
+/// predicates, not functions — §5.1).
+class CachedPredicate {
+ public:
+  /// Binds and configures memoization from `params`: the predicate-level
+  /// cache engages when caching is on in kPredicate mode, the predicate is
+  /// expensive, and all its functions are cacheable. Bounds and the
+  /// adaptive self-disable follow `params`.
+  static common::Result<CachedPredicate> Bind(
+      const expr::PredicateInfo& pred, const types::RowSchema& schema,
+      const catalog::Catalog& catalog, const ExecParams& params);
+
+  /// Evaluates (three-valued logic collapsed to pass/fail). Cache hits do
+  /// not invoke any function.
+  bool Eval(const types::Tuple& tuple, expr::EvalContext* ctx);
+
+  bool cache_enabled() const { return cache_enabled_ && !disabled_; }
+  size_t cache_entries() const { return cache_.size(); }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_evictions() const { return cache_evictions_; }
+
+ private:
+  CachedPredicate() = default;
+
+  std::shared_ptr<expr::BoundExpr> bound_;
+  bool cache_enabled_ = false;
+  bool adaptive_ = false;
+  bool disabled_ = false;
+  size_t max_entries_ = 0;
+  std::unordered_map<std::string, bool> cache_;
+  std::deque<std::string> fifo_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_evictions_ = 0;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_OPERATOR_H_

@@ -1,0 +1,61 @@
+#include "exec/scan_ops.h"
+
+namespace ppp::exec {
+
+SeqScanOp::SeqScanOp(const catalog::Table* table, const std::string& alias)
+    : table_(table), it_(table->heap().Scan()) {
+  schema_ = table->RowSchemaForAlias(alias);
+}
+
+common::Status SeqScanOp::Open() {
+  it_ = table_->heap().Scan();
+  return common::Status::OK();
+}
+
+common::Status SeqScanOp::Next(types::Tuple* tuple, bool* eof) {
+  storage::RecordId rid;
+  std::string bytes;
+  if (!it_.Next(&rid, &bytes)) {
+    *eof = true;
+    return common::Status::OK();
+  }
+  PPP_ASSIGN_OR_RETURN(*tuple, types::Tuple::Deserialize(bytes));
+  *eof = false;
+  return common::Status::OK();
+}
+
+IndexScanOp::IndexScanOp(const catalog::Table* table,
+                         const std::string& alias, std::string column,
+                         int64_t key)
+    : IndexScanOp(table, alias, std::move(column), key, key) {}
+
+IndexScanOp::IndexScanOp(const catalog::Table* table,
+                         const std::string& alias, std::string column,
+                         int64_t lo, int64_t hi)
+    : table_(table), column_(std::move(column)), lo_(lo), hi_(hi) {
+  schema_ = table->RowSchemaForAlias(alias);
+}
+
+common::Status IndexScanOp::Open() {
+  const storage::BTree* index = table_->GetIndex(column_);
+  if (index == nullptr) {
+    return common::Status::NotFound("no index on " + table_->name() + "." +
+                                    column_);
+  }
+  rids_ = index->LookupRange(lo_, hi_);
+  pos_ = 0;
+  return common::Status::OK();
+}
+
+common::Status IndexScanOp::Next(types::Tuple* tuple, bool* eof) {
+  if (pos_ >= rids_.size()) {
+    *eof = true;
+    return common::Status::OK();
+  }
+  PPP_ASSIGN_OR_RETURN(*tuple, table_->Read(rids_[pos_]));
+  ++pos_;
+  *eof = false;
+  return common::Status::OK();
+}
+
+}  // namespace ppp::exec

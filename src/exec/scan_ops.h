@@ -1,0 +1,54 @@
+#ifndef PPP_EXEC_SCAN_OPS_H_
+#define PPP_EXEC_SCAN_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "exec/operator.h"
+#include "storage/record_id.h"
+
+namespace ppp::exec {
+
+/// Full scan of a base table in physical order.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const catalog::Table* table, const std::string& alias);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  const catalog::Table* table_;
+  storage::HeapFile::Iterator it_;
+};
+
+/// B-tree probe: fetches all tuples with `column == key`, or with
+/// `lo <= column <= hi` for the range form. Output is in key order (the
+/// B-tree leaf chain), so the plan's est_order on the index column is
+/// physically honoured. The descent and the unclustered tuple fetches all
+/// go through the buffer pool and are therefore counted as (mostly
+/// random) I/O.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const catalog::Table* table, const std::string& alias,
+              std::string column, int64_t key);
+  /// Range form: inclusive [lo, hi].
+  IndexScanOp(const catalog::Table* table, const std::string& alias,
+              std::string column, int64_t lo, int64_t hi);
+
+  common::Status Open() override;
+  common::Status Next(types::Tuple* tuple, bool* eof) override;
+
+ private:
+  const catalog::Table* table_;
+  std::string column_;
+  int64_t lo_;
+  int64_t hi_;
+  std::vector<storage::RecordId> rids_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_SCAN_OPS_H_

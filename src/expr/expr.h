@@ -1,0 +1,121 @@
+#ifndef PPP_EXPR_EXPR_H_
+#define PPP_EXPR_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace ppp::expr {
+
+enum class ExprKind {
+  kColumnRef,
+  kConstant,
+  kComparison,
+  kArithmetic,
+  kFunctionCall,
+  kAnd,
+  kOr,
+  kNot,
+  kInSubquery,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* CompareOpSymbol(CompareOp op);
+const char* ArithOpSymbol(ArithOp op);
+
+class Expr;
+/// Expression nodes are immutable and shared; plans, predicates and the
+/// parser all alias subtrees freely.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// The body of an `x IN (SELECT out FROM ... WHERE ...)` predicate — a
+/// minimal mirror of plan::QuerySpec that can live below the plan layer.
+/// The paper treats such (especially correlated) subqueries as the
+/// original expensive predicates (§1, §5.1); the binder rewrites them into
+/// cacheable expensive-function predicates.
+struct SubquerySpec {
+  /// FROM clause: (alias, table name) pairs.
+  std::vector<std::pair<std::string, std::string>> tables;
+  /// WHERE conjuncts; column refs may name outer aliases (correlation).
+  std::vector<ExprPtr> conjuncts;
+  /// The single SELECT item.
+  ExprPtr output;
+};
+
+/// An immutable scalar expression tree node.
+///
+/// A single class with a kind tag (rather than a class hierarchy) keeps
+/// construction, printing and recursive analysis in one place; the tree is
+/// tiny compared to the data it filters.
+class Expr {
+ public:
+  ExprKind kind;
+
+  // kColumnRef. `table` is the range-variable name; may be empty until
+  // name resolution qualifies it.
+  std::string table;
+  std::string column;
+
+  // kConstant.
+  types::Value constant;
+
+  // kComparison / kArithmetic.
+  CompareOp compare_op = CompareOp::kEq;
+  ArithOp arith_op = ArithOp::kAdd;
+
+  // kFunctionCall.
+  std::string function_name;
+
+  // kInSubquery: children[0] is the needle expression.
+  std::shared_ptr<const SubquerySpec> subquery;
+
+  // Operands (2 for binary nodes, 1 for NOT, n for calls).
+  std::vector<ExprPtr> children;
+
+  /// SQL-ish rendering: "t3.u1", "costly100(t3.u1)", "(a = b AND p(c))".
+  std::string ToString() const;
+
+  /// Adds every referenced range-variable name to `out`.
+  void CollectTables(std::set<std::string>* out) const;
+  std::set<std::string> ReferencedTables() const;
+
+  /// Appends every column reference in the tree (depth-first).
+  void CollectColumnRefs(std::vector<const Expr*>* out) const;
+
+  /// Appends every function call in the tree (depth-first).
+  void CollectFunctionCalls(std::vector<const Expr*>* out) const;
+
+  /// Deep structural equality.
+  bool Equals(const Expr& other) const;
+};
+
+// -- Factory helpers -------------------------------------------------------
+
+ExprPtr Col(std::string table, std::string column);
+ExprPtr Const(types::Value v);
+ExprPtr Int(int64_t v);
+ExprPtr Cmp(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr Eq(ExprPtr left, ExprPtr right);
+ExprPtr Arith(ArithOp op, ExprPtr left, ExprPtr right);
+ExprPtr Call(std::string function, std::vector<ExprPtr> args);
+ExprPtr And(ExprPtr left, ExprPtr right);
+ExprPtr Or(ExprPtr left, ExprPtr right);
+ExprPtr Not(ExprPtr child);
+ExprPtr InSubquery(ExprPtr needle,
+                   std::shared_ptr<const SubquerySpec> subquery);
+
+/// Splits nested ANDs into a flat conjunct list (the WHERE-clause form the
+/// optimizer works with).
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// Rebuilds a single expression from conjuncts (nullptr if empty).
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace ppp::expr
+
+#endif  // PPP_EXPR_EXPR_H_

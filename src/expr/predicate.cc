@@ -1,0 +1,211 @@
+#include "expr/predicate.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ppp::expr {
+
+namespace {
+constexpr double kDefaultEqSelectivity = 0.1;    // System R magic number.
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+}  // namespace
+
+std::string PredicateInfo::ToString() const {
+  return common::StringPrintf(
+      "{%s | tables=%zu cost=%.3g sel=%.4g rank=%.4g%s}",
+      expr->ToString().c_str(), tables.size(), cost_per_tuple, selectivity,
+      rank(), is_simple_equijoin ? " equijoin" : "");
+}
+
+common::Result<PredicateInfo> PredicateAnalyzer::Analyze(
+    const ExprPtr& expr) const {
+  if (expr == nullptr) {
+    return common::Status::InvalidArgument("cannot analyze null predicate");
+  }
+  PredicateInfo info;
+  info.expr = expr;
+  info.tables = expr->ReferencedTables();
+
+  for (const std::string& table : info.tables) {
+    if (binding_.count(table) == 0) {
+      return common::Status::NotFound("predicate " + expr->ToString() +
+                                      " references unbound alias " + table);
+    }
+  }
+
+  PPP_ASSIGN_OR_RETURN(info.selectivity, EstimateSelectivity(*expr));
+  PPP_ASSIGN_OR_RETURN(info.cost_per_tuple, EstimateCost(*expr));
+
+  // Simple equi-join detection: `a.c1 = b.c2`, two distinct aliases.
+  if (expr->kind == ExprKind::kComparison &&
+      expr->compare_op == CompareOp::kEq &&
+      expr->children[0]->kind == ExprKind::kColumnRef &&
+      expr->children[1]->kind == ExprKind::kColumnRef &&
+      expr->children[0]->table != expr->children[1]->table) {
+    info.is_simple_equijoin = true;
+    info.left_table = expr->children[0]->table;
+    info.left_column = expr->children[0]->column;
+    info.right_table = expr->children[1]->table;
+    info.right_column = expr->children[1]->column;
+    info.left_distinct = StatsOf(*expr->children[0]).num_distinct;
+    info.right_distinct = StatsOf(*expr->children[1]).num_distinct;
+  }
+
+  // Distinct input bindings: product of per-column distinct counts over the
+  // deduplicated column refs, clamped by the cross product of cardinalities.
+  std::vector<const Expr*> refs;
+  expr->CollectColumnRefs(&refs);
+  std::set<std::string> seen;
+  double distinct_product = 1.0;
+  for (const Expr* ref : refs) {
+    const std::string key = ref->table + "." + ref->column;
+    if (!seen.insert(key).second) continue;
+    const int64_t d = std::max<int64_t>(1, StatsOf(*ref).num_distinct);
+    distinct_product *= static_cast<double>(d);
+  }
+  double card_product = 1.0;
+  for (const std::string& table : info.tables) {
+    card_product *=
+        static_cast<double>(std::max<int64_t>(1, CardinalityOf(table)));
+  }
+  info.input_distinct_values = static_cast<int64_t>(
+      std::min(distinct_product, std::max(card_product, 1.0)));
+  info.input_base_rows = std::max(card_product, 1.0);
+
+  return info;
+}
+
+common::Result<double> PredicateAnalyzer::EstimateSelectivity(
+    const Expr& expr) const {
+  switch (expr.kind) {
+    case ExprKind::kConstant:
+      if (expr.constant.type() == types::TypeId::kBool) {
+        return expr.constant.AsBool() ? 1.0 : 0.0;
+      }
+      return 1.0;
+    case ExprKind::kColumnRef:
+      // A bare boolean column; no stats on truth rate.
+      return 0.5;
+    case ExprKind::kFunctionCall: {
+      PPP_ASSIGN_OR_RETURN(const catalog::FunctionDef* def,
+                           catalog_->functions().Lookup(expr.function_name));
+      if (def->return_type == types::TypeId::kBool) return def->selectivity;
+      return 1.0;
+    }
+    case ExprKind::kAnd: {
+      PPP_ASSIGN_OR_RETURN(const double a,
+                           EstimateSelectivity(*expr.children[0]));
+      PPP_ASSIGN_OR_RETURN(const double b,
+                           EstimateSelectivity(*expr.children[1]));
+      return a * b;
+    }
+    case ExprKind::kOr: {
+      PPP_ASSIGN_OR_RETURN(const double a,
+                           EstimateSelectivity(*expr.children[0]));
+      PPP_ASSIGN_OR_RETURN(const double b,
+                           EstimateSelectivity(*expr.children[1]));
+      return a + b - a * b;
+    }
+    case ExprKind::kNot: {
+      PPP_ASSIGN_OR_RETURN(const double a,
+                           EstimateSelectivity(*expr.children[0]));
+      return 1.0 - a;
+    }
+    case ExprKind::kArithmetic:
+      return 1.0;
+    case ExprKind::kInSubquery:
+      // Unrewritten IN predicate: System R's default membership guess.
+      return 0.5;
+    case ExprKind::kComparison:
+      break;  // Handled below.
+  }
+
+  const Expr& left = *expr.children[0];
+  const Expr& right = *expr.children[1];
+  const bool left_col = left.kind == ExprKind::kColumnRef;
+  const bool right_col = right.kind == ExprKind::kColumnRef;
+  const bool left_const = left.kind == ExprKind::kConstant;
+  const bool right_const = right.kind == ExprKind::kConstant;
+
+  switch (expr.compare_op) {
+    case CompareOp::kEq: {
+      if (left_col && right_col && left.table != right.table) {
+        const int64_t d1 = StatsOf(left).num_distinct;
+        const int64_t d2 = StatsOf(right).num_distinct;
+        const int64_t d = std::max<int64_t>({d1, d2, 1});
+        return 1.0 / static_cast<double>(d);
+      }
+      if (left_col && right_const) {
+        const int64_t d = std::max<int64_t>(1, StatsOf(left).num_distinct);
+        return 1.0 / static_cast<double>(d);
+      }
+      if (right_col && left_const) {
+        const int64_t d = std::max<int64_t>(1, StatsOf(right).num_distinct);
+        return 1.0 / static_cast<double>(d);
+      }
+      return kDefaultEqSelectivity;
+    }
+    case CompareOp::kNe: {
+      // 1 - eq selectivity, reusing the cases above.
+      Expr eq = expr;
+      eq.compare_op = CompareOp::kEq;
+      PPP_ASSIGN_OR_RETURN(const double s, EstimateSelectivity(eq));
+      return 1.0 - s;
+    }
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      // Range fraction when we know the column's domain and the constant.
+      const Expr* col = left_col ? &left : (right_col ? &right : nullptr);
+      const Expr* cst = right_const ? &right : (left_const ? &left : nullptr);
+      if (col == nullptr || cst == nullptr ||
+          cst->constant.type() != types::TypeId::kInt64) {
+        return kDefaultRangeSelectivity;
+      }
+      const catalog::ColumnStats stats = StatsOf(*col);
+      if (stats.max_value <= stats.min_value) return kDefaultRangeSelectivity;
+      const double lo = static_cast<double>(stats.min_value);
+      const double hi = static_cast<double>(stats.max_value);
+      const double c = static_cast<double>(cst->constant.AsInt64());
+      double frac = (c - lo) / (hi - lo);  // P(col < c) under uniformity.
+      const bool col_on_left = (col == &left);
+      const bool less = (expr.compare_op == CompareOp::kLt ||
+                         expr.compare_op == CompareOp::kLe);
+      // `col < c` keeps frac; `col > c` keeps 1 - frac; constant-on-left
+      // flips the direction.
+      if (less != col_on_left) frac = 1.0 - frac;
+      return std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return kDefaultRangeSelectivity;
+}
+
+common::Result<double> PredicateAnalyzer::EstimateCost(
+    const Expr& expr) const {
+  std::vector<const Expr*> calls;
+  expr.CollectFunctionCalls(&calls);
+  double cost = 0.0;
+  for (const Expr* call : calls) {
+    PPP_ASSIGN_OR_RETURN(const catalog::FunctionDef* def,
+                         catalog_->functions().Lookup(call->function_name));
+    cost += def->cost_per_call;
+  }
+  return cost;
+}
+
+catalog::ColumnStats PredicateAnalyzer::StatsOf(
+    const Expr& column_ref) const {
+  auto it = binding_.find(column_ref.table);
+  if (it == binding_.end() || it->second == nullptr) return {};
+  return it->second->GetColumnStats(column_ref.column);
+}
+
+int64_t PredicateAnalyzer::CardinalityOf(const std::string& alias) const {
+  auto it = binding_.find(alias);
+  if (it == binding_.end() || it->second == nullptr) return 0;
+  return it->second->NumTuples();
+}
+
+}  // namespace ppp::expr

@@ -1,0 +1,104 @@
+#ifndef PPP_EXPR_PREDICATE_H_
+#define PPP_EXPR_PREDICATE_H_
+
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace ppp::expr {
+
+/// Maps range-variable names (FROM-clause aliases) to their base tables.
+using TableBinding = std::map<std::string, const catalog::Table*>;
+
+/// Optimizer-facing summary of one WHERE-clause conjunct: which tables it
+/// touches, what it costs per tuple, how selective it is, and — for simple
+/// equi-joins — the join-column statistics the per-input selectivity model
+/// of paper §3.2 needs.
+struct PredicateInfo {
+  ExprPtr expr;
+  std::set<std::string> tables;
+
+  /// Cost per invocation in random-I/O units: the sum of the costs of all
+  /// function calls in the conjunct. Zero for "traditional simple
+  /// predicates", which the paper treats as free.
+  double cost_per_tuple = 0.0;
+
+  /// Estimated fraction of input (cross-product for joins) tuples passing.
+  double selectivity = 1.0;
+
+  /// Set when the conjunct has the exact form `a.c1 = b.c2` with a != b.
+  bool is_simple_equijoin = false;
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+  /// Distinct-value counts of the join columns (for §5.1's value-based
+  /// selectivities under predicate caching).
+  int64_t left_distinct = 0;
+  int64_t right_distinct = 0;
+
+  /// Number of distinct bindings of all input columns of this predicate
+  /// (upper bound: product of per-column distinct counts, clamped by the
+  /// cross product of the referenced tables' cardinalities). This is the
+  /// maximum number of evaluations a predicate cache can be charged for.
+  int64_t input_distinct_values = 0;
+
+  /// Cross product of the referenced tables' cardinalities: the stream
+  /// size at which all `input_distinct_values` bindings appear. Streams
+  /// reduced below this see proportionally fewer distinct bindings
+  /// (Yao's formula, used by the cost model).
+  double input_base_rows = 0.0;
+
+  bool is_join() const { return tables.size() >= 2; }
+  bool is_expensive() const { return cost_per_tuple > 0.0; }
+
+  /// The paper's rank metric, (selectivity - 1) / cost. Free predicates
+  /// have rank -infinity: they are always applied first.
+  double rank() const {
+    if (cost_per_tuple <= 0.0) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    return (selectivity - 1.0) / cost_per_tuple;
+  }
+
+  std::string ToString() const;
+};
+
+/// Derives PredicateInfo from expressions using catalog statistics.
+/// Implements System R-style selectivity rules [SAC+79]:
+///   col = const        -> 1/distinct(col)
+///   col1 = col2 (join) -> 1/max(distinct(col1), distinct(col2))
+///   col < const        -> fraction of the known range, else 1/3
+///   boolean UDF        -> declared selectivity
+///   AND / OR / NOT     -> independence combinations
+class PredicateAnalyzer {
+ public:
+  PredicateAnalyzer(const catalog::Catalog* catalog, TableBinding binding)
+      : catalog_(catalog), binding_(std::move(binding)) {}
+
+  /// Analyzes one conjunct. Fails if it references an unbound table alias
+  /// or an unregistered function.
+  common::Result<PredicateInfo> Analyze(const ExprPtr& expr) const;
+
+  const TableBinding& binding() const { return binding_; }
+
+ private:
+  common::Result<double> EstimateSelectivity(const Expr& expr) const;
+  common::Result<double> EstimateCost(const Expr& expr) const;
+
+  /// Statistics of a column reference; zeros if unknown.
+  catalog::ColumnStats StatsOf(const Expr& column_ref) const;
+  int64_t CardinalityOf(const std::string& alias) const;
+
+  const catalog::Catalog* catalog_;
+  TableBinding binding_;
+};
+
+}  // namespace ppp::expr
+
+#endif  // PPP_EXPR_PREDICATE_H_

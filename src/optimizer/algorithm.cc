@@ -1,0 +1,59 @@
+#include "optimizer/algorithm.h"
+
+namespace ppp::optimizer {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPushDown:
+      return "PushDown";
+    case Algorithm::kPullUp:
+      return "PullUp";
+    case Algorithm::kPullRank:
+      return "PullRank";
+    case Algorithm::kMigration:
+      return "PredicateMigration";
+    case Algorithm::kLdl:
+      return "LDL";
+    case Algorithm::kLdlBushy:
+      return "LDL-Bushy";
+    case Algorithm::kExhaustive:
+      return "Exhaustive";
+  }
+  return "?";
+}
+
+EnumOptions OptionsFor(Algorithm algorithm) {
+  EnumOptions opts;
+  switch (algorithm) {
+    case Algorithm::kPushDown:
+      opts.placement = EnumOptions::Placement::kAtBase;
+      break;
+    case Algorithm::kPullUp:
+      opts.placement = EnumOptions::Placement::kOmitted;
+      break;
+    case Algorithm::kPullRank:
+      opts.placement = EnumOptions::Placement::kRanked;
+      break;
+    case Algorithm::kMigration:
+      opts.placement = EnumOptions::Placement::kRanked;
+      opts.retain_unpruneable = true;
+      break;
+    case Algorithm::kLdl:
+      opts.placement = EnumOptions::Placement::kOmitted;
+      opts.virtual_selections = true;
+      break;
+    case Algorithm::kLdlBushy:
+      opts.placement = EnumOptions::Placement::kOmitted;
+      opts.virtual_selections = true;
+      opts.bushy = true;
+      break;
+    case Algorithm::kExhaustive:
+      opts.placement = EnumOptions::Placement::kOmitted;
+      opts.virtual_selections = true;
+      opts.prune = false;
+      break;
+  }
+  return opts;
+}
+
+}  // namespace ppp::optimizer

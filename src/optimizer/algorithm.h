@@ -1,0 +1,70 @@
+#ifndef PPP_OPTIMIZER_ALGORITHM_H_
+#define PPP_OPTIMIZER_ALGORITHM_H_
+
+namespace ppp::optimizer {
+
+/// The predicate placement algorithms of the paper (Table 1).
+enum class Algorithm {
+  /// Selection pushdown with rank-ordering of selections ("PushDown+",
+  /// §4.1). Optimal for single-table queries; can be arbitrarily bad when
+  /// expensive selections sit under selective joins.
+  kPushDown,
+  /// All expensive selections pulled to the top of every subplan (§4.2).
+  /// Equivalent to optimizing without them and pasting them on top, rank
+  /// ordered.
+  kPullUp,
+  /// Rank-based pullup decided one join at a time (§4.3). Optimal for
+  /// single-join queries; misses multi-join group pullups.
+  kPullRank,
+  /// Predicate Migration (§4.4): PullRank during enumeration with
+  /// unpruneable-subplan retention, then the series-parallel algorithm
+  /// with parallel chains applied to every root-to-leaf stream of each
+  /// retained plan.
+  kMigration,
+  /// The LDL algorithm (§3.1): expensive selections become joins with
+  /// virtual relations; a left-deep join orderer places them, forcing
+  /// over-eager pullup from inner inputs.
+  kLdl,
+  /// LDL over bushy plan trees — the fix §3.1 sketches ("A System R
+  /// optimizer can be modified to explore the space of bushy trees"):
+  /// selections-as-virtual-relations can then stay on inner subtrees,
+  /// recovering the Figure 1 optimum at extra enumeration cost.
+  kLdlBushy,
+  /// Exhaustive enumeration over join orders and predicate interleavings
+  /// (no pruning). Exponential; the reference optimum.
+  kExhaustive,
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Knobs of the shared System R enumerator, derived from Algorithm.
+struct EnumOptions {
+  /// How expensive selections are placed while enumerating.
+  enum class Placement {
+    kAtBase,   // PushDown: placed on the scan, never moved.
+    kOmitted,  // PullUp / LDL / Exhaustive: not placed by the enumerator.
+    kRanked,   // PullRank / Migration: at base, hoisted by rank per join.
+  };
+  Placement placement = Placement::kAtBase;
+
+  /// Keep subplans containing an expensive predicate that was not pulled
+  /// up (§4.4); required by Predicate Migration.
+  bool retain_unpruneable = false;
+
+  /// Treat expensive predicates as virtual relations in the DP universe
+  /// (LDL / Exhaustive).
+  bool virtual_selections = false;
+
+  /// Prune dominated subplans (off for Exhaustive).
+  bool prune = true;
+
+  /// Explore bushy join trees (inner inputs may be composite). Default is
+  /// left-deep, matching Montage.
+  bool bushy = false;
+};
+
+EnumOptions OptionsFor(Algorithm algorithm);
+
+}  // namespace ppp::optimizer
+
+#endif  // PPP_OPTIMIZER_ALGORITHM_H_

@@ -1,0 +1,668 @@
+#include "optimizer/join_enumerator.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace ppp::optimizer {
+
+namespace {
+
+/// Union-find over table indexes, used to decide whether an expensive join
+/// predicate can be omitted (PullUp) without disconnecting the query graph.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// If `e` is `col = const` (either side) over `alias` with an int64
+/// constant, returns the column name and key.
+bool MatchIndexableEquality(const expr::Expr& e, const std::string& alias,
+                            std::string* column, types::Value* key) {
+  if (e.kind != expr::ExprKind::kComparison ||
+      e.compare_op != expr::CompareOp::kEq) {
+    return false;
+  }
+  const expr::Expr& l = *e.children[0];
+  const expr::Expr& r = *e.children[1];
+  const expr::Expr* col = nullptr;
+  const expr::Expr* cst = nullptr;
+  if (l.kind == expr::ExprKind::kColumnRef &&
+      r.kind == expr::ExprKind::kConstant) {
+    col = &l;
+    cst = &r;
+  } else if (r.kind == expr::ExprKind::kColumnRef &&
+             l.kind == expr::ExprKind::kConstant) {
+    col = &r;
+    cst = &l;
+  } else {
+    return false;
+  }
+  if (col->table != alias) return false;
+  if (cst->constant.type() != types::TypeId::kInt64) return false;
+  *column = col->column;
+  *key = cst->constant;
+  return true;
+}
+
+/// If `e` is a range comparison (`col < c`, `c >= col`, ...) over `alias`
+/// with an int64 constant and known column bounds, returns the inclusive
+/// B-tree range to scan.
+bool MatchIndexableRange(const expr::Expr& e, const std::string& alias,
+                         const catalog::Table& table, std::string* column,
+                         int64_t* lo, int64_t* hi) {
+  if (e.kind != expr::ExprKind::kComparison) return false;
+  if (e.compare_op == expr::CompareOp::kEq ||
+      e.compare_op == expr::CompareOp::kNe) {
+    return false;
+  }
+  const expr::Expr& l = *e.children[0];
+  const expr::Expr& r = *e.children[1];
+  const expr::Expr* col = nullptr;
+  const expr::Expr* cst = nullptr;
+  bool col_on_left = false;
+  if (l.kind == expr::ExprKind::kColumnRef &&
+      r.kind == expr::ExprKind::kConstant) {
+    col = &l;
+    cst = &r;
+    col_on_left = true;
+  } else if (r.kind == expr::ExprKind::kColumnRef &&
+             l.kind == expr::ExprKind::kConstant) {
+    col = &r;
+    cst = &l;
+  } else {
+    return false;
+  }
+  if (col->table != alias) return false;
+  if (cst->constant.type() != types::TypeId::kInt64) return false;
+  const catalog::ColumnStats stats = table.GetColumnStats(col->column);
+  if (stats.max_value < stats.min_value ||
+      (stats.min_value == 0 && stats.max_value == 0 &&
+       stats.num_distinct == 0)) {
+    return false;  // No statistics to bound the open side.
+  }
+  const int64_t c = cst->constant.AsInt64();
+  // Normalize to `col OP c`: a constant on the left flips the direction.
+  expr::CompareOp op = e.compare_op;
+  if (!col_on_left) {
+    switch (op) {
+      case expr::CompareOp::kLt:
+        op = expr::CompareOp::kGt;
+        break;
+      case expr::CompareOp::kLe:
+        op = expr::CompareOp::kGe;
+        break;
+      case expr::CompareOp::kGt:
+        op = expr::CompareOp::kLt;
+        break;
+      case expr::CompareOp::kGe:
+        op = expr::CompareOp::kLe;
+        break;
+      default:
+        return false;
+    }
+  }
+  switch (op) {
+    case expr::CompareOp::kLt:
+      *lo = stats.min_value;
+      *hi = c - 1;
+      break;
+    case expr::CompareOp::kLe:
+      *lo = stats.min_value;
+      *hi = c;
+      break;
+    case expr::CompareOp::kGt:
+      *lo = c + 1;
+      *hi = stats.max_value;
+      break;
+    case expr::CompareOp::kGe:
+      *lo = c;
+      *hi = stats.max_value;
+      break;
+    default:
+      return false;
+  }
+  *column = col->column;
+  return *lo <= *hi;
+}
+
+}  // namespace
+
+JoinEnumerator::JoinEnumerator(const OptimizerContext* ctx, EnumOptions opts)
+    : ctx_(ctx), opts_(opts) {
+  // Connectivity of the cheap-join-predicate graph, for omit decisions.
+  UnionFind cheap_graph(ctx_->num_tables());
+  for (size_t p = 0; p < ctx_->num_preds(); ++p) {
+    const expr::PredicateInfo& pred = ctx_->pred(p);
+    if (pred.is_join() && !pred.is_expensive()) {
+      const TableSet set = ctx_->PredTables(p);
+      int first = -1;
+      for (size_t i = 0; i < ctx_->num_tables(); ++i) {
+        if (!((set >> i) & 1)) continue;
+        if (first < 0) {
+          first = static_cast<int>(i);
+        } else {
+          cheap_graph.Union(static_cast<size_t>(first), i);
+        }
+      }
+    }
+  }
+
+  roles_.resize(ctx_->num_preds(), PredRole::kInPlan);
+  for (size_t p = 0; p < ctx_->num_preds(); ++p) {
+    const expr::PredicateInfo& pred = ctx_->pred(p);
+    if (!pred.is_expensive()) continue;
+
+    if (opts_.virtual_selections) {
+      // LDL / Exhaustive: every expensive predicate is a DP element.
+      roles_[p] = PredRole::kVirtual;
+      virtual_preds_.push_back(p);
+      continue;
+    }
+    if (opts_.placement == EnumOptions::Placement::kOmitted) {
+      // PullUp: omit unless the predicate is needed as a primary join
+      // (its tables are not connected by cheap predicates alone).
+      bool omittable = true;
+      if (pred.is_join()) {
+        const TableSet set = ctx_->PredTables(p);
+        int first = -1;
+        for (size_t i = 0; i < ctx_->num_tables(); ++i) {
+          if (!((set >> i) & 1)) continue;
+          if (first < 0) {
+            first = static_cast<int>(i);
+          } else if (cheap_graph.Find(static_cast<size_t>(first)) !=
+                     cheap_graph.Find(i)) {
+            omittable = false;
+          }
+        }
+      }
+      if (omittable) {
+        roles_[p] = PredRole::kOmitted;
+        omitted_.push_back(p);
+      }
+    }
+  }
+}
+
+bool JoinEnumerator::Feasible(ElemSet set) const {
+  const TableSet tables = TablePart(set);
+  if (tables == 0 && set != 0) return false;  // Virtuals need a base.
+  for (size_t v = 0; v < virtual_preds_.size(); ++v) {
+    if ((set >> (ctx_->num_tables() + v)) & 1) {
+      const TableSet needed = ctx_->PredTables(virtual_preds_[v]);
+      if ((needed & tables) != needed) return false;
+    }
+  }
+  return true;
+}
+
+common::Result<std::vector<CandidatePlan>> JoinEnumerator::BaseCandidates(
+    size_t table_index) const {
+  const std::string& alias = ctx_->AliasAt(table_index);
+  const std::string& table_name = ctx_->spec().tables[table_index].table_name;
+  const catalog::Table* table = ctx_->binding().at(alias);
+
+  // In-plan single-table conjuncts, cheap before expensive.
+  std::vector<size_t> cheap;
+  std::vector<size_t> expensive;
+  for (size_t p : ctx_->SingleTablePreds(table_index)) {
+    if (roles_[p] != PredRole::kInPlan) continue;
+    (ctx_->pred(p).is_expensive() ? expensive : cheap).push_back(p);
+  }
+  std::sort(cheap.begin(), cheap.end(), [&](size_t a, size_t b) {
+    return ctx_->pred(a).selectivity < ctx_->pred(b).selectivity;
+  });
+  std::sort(expensive.begin(), expensive.end(), [&](size_t a, size_t b) {
+    return ctx_->pred(a).rank() < ctx_->pred(b).rank();
+  });
+
+  const bool place_expensive =
+      opts_.placement != EnumOptions::Placement::kOmitted;
+
+  // Access paths: the heap scan, plus one index scan per indexable
+  // equality conjunct.
+  struct AccessPath {
+    plan::PlanPtr plan;
+    int absorbed = -1;  // Conjunct index satisfied by the index itself.
+  };
+  std::vector<AccessPath> paths;
+  paths.push_back({plan::MakeSeqScan(alias, table_name), -1});
+  for (size_t p : cheap) {
+    std::string column;
+    types::Value key;
+    if (MatchIndexableEquality(*ctx_->pred(p).expr, alias, &column, &key) &&
+        table->HasIndex(column)) {
+      paths.push_back({plan::MakeIndexScan(alias, table_name, column, key,
+                                           ctx_->pred(p)),
+                       static_cast<int>(p)});
+      continue;
+    }
+    int64_t lo = 0;
+    int64_t hi = 0;
+    if (MatchIndexableRange(*ctx_->pred(p).expr, alias, *table, &column,
+                            &lo, &hi) &&
+        table->HasIndex(column)) {
+      paths.push_back({plan::MakeIndexRangeScan(alias, table_name, column,
+                                                lo, hi, ctx_->pred(p)),
+                       static_cast<int>(p)});
+    }
+  }
+
+  std::vector<CandidatePlan> out;
+  for (AccessPath& path : paths) {
+    plan::PlanPtr plan = std::move(path.plan);
+    for (size_t p : cheap) {
+      if (static_cast<int>(p) == path.absorbed) continue;
+      plan = plan::MakeFilter(std::move(plan), ctx_->pred(p));
+    }
+    if (place_expensive) {
+      for (size_t p : expensive) {
+        plan = plan::MakeFilter(std::move(plan), ctx_->pred(p));
+      }
+    }
+    PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(plan.get()));
+    Offer({std::move(plan), /*unpruneable=*/false}, &out);
+  }
+  return out;
+}
+
+common::Result<bool> JoinEnumerator::HoistByRank(
+    plan::PlanNode* join, int side,
+    std::vector<expr::PredicateInfo>* floating) const {
+  while (true) {
+    plan::PlanNode* child = join->children[static_cast<size_t>(side)].get();
+    if (child->kind != plan::PlanKind::kFilter ||
+        !child->predicate.is_expensive()) {
+      break;
+    }
+    PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(join));
+    const cost::JoinStreamInfo info = ctx_->cost().JoinStream(*join, side);
+    if (child->predicate.rank() <= info.rank) break;
+    // Pop the filter: splice its input into the join, float the predicate.
+    floating->push_back(child->predicate);
+    plan::PlanPtr filter =
+        std::move(join->children[static_cast<size_t>(side)]);
+    join->children[static_cast<size_t>(side)] =
+        std::move(filter->children[0]);
+  }
+  return HasExpensiveFilter(*join->children[static_cast<size_t>(side)]);
+}
+
+plan::PlanPtr JoinEnumerator::AttachFilters(
+    plan::PlanPtr plan, std::vector<expr::PredicateInfo> floating) {
+  std::stable_sort(floating.begin(), floating.end(),
+                   [](const expr::PredicateInfo& a,
+                      const expr::PredicateInfo& b) {
+                     return a.rank() < b.rank();
+                   });
+  for (expr::PredicateInfo& pred : floating) {
+    plan = plan::MakeFilter(std::move(plan), std::move(pred));
+  }
+  return plan;
+}
+
+bool JoinEnumerator::HasExpensiveFilter(const plan::PlanNode& node) {
+  if (node.kind == plan::PlanKind::kFilter &&
+      node.predicate.is_expensive()) {
+    return true;
+  }
+  for (const plan::PlanPtr& child : node.children) {
+    if (HasExpensiveFilter(*child)) return true;
+  }
+  return false;
+}
+
+common::Status JoinEnumerator::CombineWithTable(
+    const CandidatePlan& left, TableSet left_tables, size_t table_index,
+    std::vector<CandidatePlan>* out) {
+  const TableSet e_bit = TableSet{1} << table_index;
+  const TableSet result_tables = left_tables | e_bit;
+  const std::string& alias = ctx_->AliasAt(table_index);
+  const std::string& table_name = ctx_->spec().tables[table_index].table_name;
+  const catalog::Table* table = ctx_->binding().at(alias);
+
+  // Join predicates first applicable at this join.
+  std::vector<size_t> applicable;
+  for (size_t p = 0; p < ctx_->num_preds(); ++p) {
+    if (roles_[p] != PredRole::kInPlan) continue;
+    const TableSet pt = ctx_->PredTables(p);
+    if ((pt & ~result_tables) != 0) continue;
+    if ((pt & e_bit) == 0 || (pt & left_tables) == 0) continue;
+    applicable.push_back(p);
+  }
+
+  std::vector<size_t> cheap_equijoins;
+  for (size_t p : applicable) {
+    const expr::PredicateInfo& pred = ctx_->pred(p);
+    if (pred.is_simple_equijoin && !pred.is_expensive()) {
+      cheap_equijoins.push_back(p);
+    }
+  }
+
+  // Primary for nested loops: minimal rank among applicable (footnote 1).
+  int nlj_primary = -1;
+  for (size_t p : applicable) {
+    if (nlj_primary < 0 ||
+        ctx_->pred(p).rank() <
+            ctx_->pred(static_cast<size_t>(nlj_primary)).rank()) {
+      nlj_primary = static_cast<int>(p);
+    }
+  }
+
+  struct Variant {
+    plan::JoinMethod method;
+    int primary;  // Conjunct index, -1 for cross product.
+  };
+  std::vector<Variant> variants;
+  variants.push_back({plan::JoinMethod::kNestLoop, nlj_primary});
+  for (size_t p : cheap_equijoins) {
+    variants.push_back({plan::JoinMethod::kMerge, static_cast<int>(p)});
+    variants.push_back({plan::JoinMethod::kHash, static_cast<int>(p)});
+    // Index nested loops needs an index on the inner join column.
+    const expr::PredicateInfo& pred = ctx_->pred(p);
+    const std::string& inner_col =
+        pred.left_table == alias ? pred.left_column : pred.right_column;
+    const std::string& inner_tab =
+        pred.left_table == alias ? pred.left_table : pred.right_table;
+    if (inner_tab == alias && table->HasIndex(inner_col)) {
+      variants.push_back(
+          {plan::JoinMethod::kIndexNestLoop, static_cast<int>(p)});
+    }
+  }
+
+  // Inner access plans per variant: the memoized base candidates, except
+  // index nested loops which probes the bare table.
+  const std::vector<CandidatePlan>& inner_bases = base_cands_[table_index];
+
+  std::vector<CandidatePlan> local;
+  for (const Variant& variant : variants) {
+    const bool inlj = variant.method == plan::JoinMethod::kIndexNestLoop;
+    const size_t inner_count = inlj ? 1 : inner_bases.size();
+    for (size_t ib = 0; ib < inner_count; ++ib) {
+      plan::PlanPtr outer = left.plan->Clone();
+      plan::PlanPtr inner;
+      std::vector<expr::PredicateInfo> floating;
+
+      if (inlj) {
+        inner = plan::MakeSeqScan(alias, table_name);
+        // Index probes retrieve raw tuples; every selection on the inner
+        // is necessarily evaluated after the probe, i.e. above the join.
+        for (size_t p : ctx_->SingleTablePreds(table_index)) {
+          if (roles_[p] != PredRole::kInPlan) continue;
+          floating.push_back(ctx_->pred(p));
+        }
+      } else {
+        inner = inner_bases[ib].plan->Clone();
+      }
+
+      expr::PredicateInfo primary;
+      if (variant.primary >= 0) {
+        primary = ctx_->pred(static_cast<size_t>(variant.primary));
+      }
+      for (size_t p : applicable) {
+        if (static_cast<int>(p) == variant.primary) continue;
+        floating.push_back(ctx_->pred(p));  // Secondary join predicates.
+      }
+
+      plan::PlanPtr join = plan::MakeJoin(variant.method, std::move(outer),
+                                          std::move(inner), primary);
+      PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(join.get()));
+
+      bool unpruneable = left.unpruneable;
+      if (opts_.placement == EnumOptions::Placement::kRanked) {
+        // Montage hoists from the inner input first (§5.2), then the outer.
+        bool remains = false;
+        if (!inlj) {
+          PPP_ASSIGN_OR_RETURN(const bool inner_remains,
+                               HoistByRank(join.get(), 1, &floating));
+          remains = remains || inner_remains;
+        }
+        PPP_ASSIGN_OR_RETURN(const bool outer_remains,
+                             HoistByRank(join.get(), 0, &floating));
+        remains = remains || outer_remains;
+        if (opts_.retain_unpruneable && remains) unpruneable = true;
+      }
+
+      plan::PlanPtr full = AttachFilters(std::move(join), std::move(floating));
+      PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(full.get()));
+      local.push_back({std::move(full), unpruneable});
+    }
+  }
+
+  if (!opts_.prune) {
+    // Exhaustive mode explores every join order and predicate interleaving;
+    // keeping every join-method variant as well would multiply the space by
+    // 4^joins for no placement insight, so only the cheapest method variant
+    // of this (left, table) combination is retained.
+    auto best = std::min_element(
+        local.begin(), local.end(),
+        [](const CandidatePlan& a, const CandidatePlan& b) {
+          return a.plan->est_cost < b.plan->est_cost;
+        });
+    if (best != local.end()) {
+      out->push_back(std::move(*best));
+    }
+    return common::Status::OK();
+  }
+
+  for (CandidatePlan& cand : local) {
+    Offer(std::move(cand), out);
+  }
+  return common::Status::OK();
+}
+
+common::Status JoinEnumerator::CombineBushy(
+    const CandidatePlan& outer, TableSet outer_tables,
+    const CandidatePlan& inner, TableSet inner_tables,
+    std::vector<CandidatePlan>* out) {
+  PPP_DCHECK(opts_.placement == EnumOptions::Placement::kOmitted);
+  const TableSet result_tables = outer_tables | inner_tables;
+
+  std::vector<size_t> applicable;
+  for (size_t p = 0; p < ctx_->num_preds(); ++p) {
+    if (roles_[p] != PredRole::kInPlan) continue;
+    const TableSet pt = ctx_->PredTables(p);
+    if ((pt & ~result_tables) != 0) continue;
+    if ((pt & outer_tables) == 0 || (pt & inner_tables) == 0) continue;
+    applicable.push_back(p);
+  }
+
+  int nlj_primary = -1;
+  std::vector<size_t> cheap_equijoins;
+  for (size_t p : applicable) {
+    const expr::PredicateInfo& pred = ctx_->pred(p);
+    if (pred.is_simple_equijoin && !pred.is_expensive()) {
+      cheap_equijoins.push_back(p);
+    }
+    if (nlj_primary < 0 ||
+        pred.rank() < ctx_->pred(static_cast<size_t>(nlj_primary)).rank()) {
+      nlj_primary = static_cast<int>(p);
+    }
+  }
+
+  struct Variant {
+    plan::JoinMethod method;
+    int primary;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({plan::JoinMethod::kNestLoop, nlj_primary});
+  for (size_t p : cheap_equijoins) {
+    variants.push_back({plan::JoinMethod::kMerge, static_cast<int>(p)});
+    variants.push_back({plan::JoinMethod::kHash, static_cast<int>(p)});
+  }
+
+  std::vector<CandidatePlan> local;
+  for (const Variant& variant : variants) {
+    expr::PredicateInfo primary;
+    if (variant.primary >= 0) {
+      primary = ctx_->pred(static_cast<size_t>(variant.primary));
+    }
+    std::vector<expr::PredicateInfo> floating;
+    for (size_t p : applicable) {
+      if (static_cast<int>(p) == variant.primary) continue;
+      floating.push_back(ctx_->pred(p));
+    }
+    plan::PlanPtr join =
+        plan::MakeJoin(variant.method, outer.plan->Clone(),
+                       inner.plan->Clone(), primary);
+    plan::PlanPtr full = AttachFilters(std::move(join), std::move(floating));
+    PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(full.get()));
+    local.push_back({std::move(full), outer.unpruneable || inner.unpruneable});
+  }
+
+  if (!opts_.prune) {
+    auto best = std::min_element(
+        local.begin(), local.end(),
+        [](const CandidatePlan& a, const CandidatePlan& b) {
+          return a.plan->est_cost < b.plan->est_cost;
+        });
+    if (best != local.end()) out->push_back(std::move(*best));
+    return common::Status::OK();
+  }
+  for (CandidatePlan& cand : local) {
+    Offer(std::move(cand), out);
+  }
+  return common::Status::OK();
+}
+
+common::Status JoinEnumerator::CombineWithVirtual(
+    const CandidatePlan& left, size_t pred,
+    std::vector<CandidatePlan>* out) {
+  plan::PlanPtr plan =
+      plan::MakeFilter(left.plan->Clone(), ctx_->pred(pred));
+  PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(plan.get()));
+  CandidatePlan cand{std::move(plan), left.unpruneable};
+  if (!opts_.prune) {
+    out->push_back(std::move(cand));
+  } else {
+    Offer(std::move(cand), out);
+  }
+  return common::Status::OK();
+}
+
+void JoinEnumerator::Offer(CandidatePlan cand,
+                           std::vector<CandidatePlan>* plans) const {
+  if (!opts_.prune) {
+    plans->push_back(std::move(cand));
+    return;
+  }
+  auto dominates = [](const CandidatePlan& a, const CandidatePlan& b) {
+    if (a.plan->est_cost > b.plan->est_cost) return false;
+    // A plan with no useful order is dominated by any cheaper plan; an
+    // ordered plan only by an equally-ordered one.
+    return !b.plan->est_order.has_value() ||
+           a.plan->est_order == b.plan->est_order;
+  };
+  if (!cand.unpruneable) {
+    for (const CandidatePlan& existing : *plans) {
+      if (dominates(existing, cand)) return;
+    }
+  }
+  plans->erase(
+      std::remove_if(plans->begin(), plans->end(),
+                     [&](const CandidatePlan& existing) {
+                       return !existing.unpruneable &&
+                              dominates(cand, existing);
+                     }),
+      plans->end());
+  plans->push_back(std::move(cand));
+}
+
+common::Result<std::vector<CandidatePlan>> JoinEnumerator::Run() {
+  const size_t num_tables = ctx_->num_tables();
+  const size_t num_elems = num_tables + virtual_preds_.size();
+  if (num_elems > 22) {
+    return common::Status::ResourceExhausted(
+        "DP universe of " + std::to_string(num_elems) +
+        " elements is too large");
+  }
+
+  const ElemSet full = (ElemSet{1} << num_elems) - 1;
+  std::vector<std::vector<CandidatePlan>> memo(full + 1);
+
+  base_cands_.clear();
+  base_cands_.resize(num_tables);
+  for (size_t i = 0; i < num_tables; ++i) {
+    PPP_ASSIGN_OR_RETURN(base_cands_[i], BaseCandidates(i));
+    for (const CandidatePlan& cand : base_cands_[i]) {
+      memo[ElemSet{1} << i].push_back(
+          {cand.plan->Clone(), cand.unpruneable});
+    }
+  }
+
+  // Subsets in increasing popcount order.
+  std::vector<ElemSet> by_size;
+  by_size.reserve(full);
+  for (ElemSet set = 1; set <= full; ++set) by_size.push_back(set);
+  std::sort(by_size.begin(), by_size.end(), [](ElemSet a, ElemSet b) {
+    const int pa = std::popcount(a);
+    const int pb = std::popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+
+  for (ElemSet set : by_size) {
+    if (std::popcount(set) < 2 || !Feasible(set)) continue;
+    for (size_t e = 0; e < num_elems; ++e) {
+      if (!((set >> e) & 1)) continue;
+      const ElemSet left = set & ~(ElemSet{1} << e);
+      if (left == 0 || !Feasible(left)) continue;
+      if (!IsTableElem(e)) {
+        const size_t p = virtual_preds_[e - num_tables];
+        const TableSet needed = ctx_->PredTables(p);
+        if ((needed & TablePart(left)) != needed) continue;
+        for (const CandidatePlan& cand : memo[left]) {
+          PPP_RETURN_IF_ERROR(CombineWithVirtual(cand, p, &memo[set]));
+        }
+      } else {
+        for (const CandidatePlan& cand : memo[left]) {
+          PPP_RETURN_IF_ERROR(
+              CombineWithTable(cand, TablePart(left), e, &memo[set]));
+        }
+      }
+    }
+
+    if (opts_.bushy) {
+      // Composite-inner splits (single-element inners were covered above).
+      for (ElemSet left = (set - 1) & set; left != 0;
+           left = (left - 1) & set) {
+        const ElemSet right = set & ~left;
+        if (std::popcount(right) < 2) continue;
+        if (!Feasible(left) || !Feasible(right)) continue;
+        if (TablePart(left) == 0 || TablePart(right) == 0) continue;
+        for (const CandidatePlan& outer : memo[left]) {
+          for (const CandidatePlan& inner : memo[right]) {
+            PPP_RETURN_IF_ERROR(CombineBushy(outer, TablePart(left), inner,
+                                             TablePart(right), &memo[set]));
+          }
+        }
+      }
+    }
+  }
+
+  plans_retained_ = 0;
+  for (const std::vector<CandidatePlan>& entry : memo) {
+    plans_retained_ += entry.size();
+  }
+
+  if (memo[full].empty()) {
+    return common::Status::Internal("enumeration produced no plan");
+  }
+  return std::move(memo[full]);
+}
+
+}  // namespace ppp::optimizer

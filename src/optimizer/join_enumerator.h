@@ -1,0 +1,123 @@
+#ifndef PPP_OPTIMIZER_JOIN_ENUMERATOR_H_
+#define PPP_OPTIMIZER_JOIN_ENUMERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/algorithm.h"
+#include "optimizer/optimizer_context.h"
+#include "plan/plan_node.h"
+
+namespace ppp::optimizer {
+
+/// A subplan retained in the dynamic-programming memo.
+struct CandidatePlan {
+  plan::PlanPtr plan;
+  /// True when the subplan contains an expensive predicate that some join
+  /// decided not to pull up (§4.4); such subplans are exempt from pruning
+  /// so Predicate Migration can later pull the predicate over a join group.
+  bool unpruneable = false;
+};
+
+/// The System R dynamic-programming join enumerator, shared by every
+/// algorithm in the paper:
+///
+///  * PushDown / PullRank place expensive selections at the base and (for
+///    PullRank) hoist them above joins by rank as joins are constructed.
+///  * PullUp omits expensive selections entirely; the caller pastes them
+///    onto the final plans.
+///  * Predicate Migration runs PullRank placement plus unpruneable-subplan
+///    retention.
+///  * LDL / Exhaustive add expensive predicates to the DP universe as
+///    virtual relations (§3.1); Exhaustive additionally disables pruning.
+///
+/// Plans are left-deep (each join's inner input is a single base relation),
+/// matching Montage. Returned plans are fully cost-annotated.
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const OptimizerContext* ctx, EnumOptions opts);
+
+  /// Runs the DP and returns all retained plans covering the whole query.
+  common::Result<std::vector<CandidatePlan>> Run();
+
+  /// Predicates the enumerator deliberately left out of the plans (PullUp
+  /// mode); the caller must paste them on top, rank ordered.
+  const std::vector<size_t>& omitted_preds() const { return omitted_; }
+
+  /// Total number of subplans retained across all memo entries in the last
+  /// Run() — the plan-space-growth metric of ablation A3.
+  size_t plans_retained() const { return plans_retained_; }
+
+ private:
+  using ElemSet = uint64_t;
+
+  /// Predicate roles decided up front.
+  enum class PredRole {
+    kInPlan,    // Placed by the enumerator (base filter / join / secondary).
+    kOmitted,   // PullUp: pasted on top by the caller.
+    kVirtual,   // LDL/Exhaustive: an element of the DP universe.
+  };
+
+  bool IsTableElem(size_t elem) const { return elem < ctx_->num_tables(); }
+  TableSet TablePart(ElemSet set) const {
+    return static_cast<TableSet>(set &
+                                 ((ElemSet{1} << ctx_->num_tables()) - 1));
+  }
+  /// A set is feasible iff every virtual element's tables are present.
+  bool Feasible(ElemSet set) const;
+
+  common::Result<std::vector<CandidatePlan>> BaseCandidates(
+      size_t table_index) const;
+
+  /// Builds all join candidates of (left ⋈ table e) and offers them to the
+  /// memo entry for `result_set`.
+  common::Status CombineWithTable(const CandidatePlan& left,
+                                  TableSet left_tables, size_t table_index,
+                                  std::vector<CandidatePlan>* out);
+
+  /// Applies virtual element (predicate) `p` on top of `left`.
+  common::Status CombineWithVirtual(const CandidatePlan& left, size_t pred,
+                                    std::vector<CandidatePlan>* out);
+
+  /// Bushy combination: joins two composite subplans (no index nested
+  /// loops, no hoisting — used by the kOmitted placements only).
+  common::Status CombineBushy(const CandidatePlan& outer,
+                              TableSet outer_tables,
+                              const CandidatePlan& inner,
+                              TableSet inner_tables,
+                              std::vector<CandidatePlan>* out);
+
+  /// PullRank hoisting: pops expensive filters off the top of `join`'s
+  /// child `side` while their rank exceeds the join's stream rank,
+  /// re-annotating between pops. Popped predicates are appended to
+  /// `floating`. Returns true if any expensive filter *remains* below.
+  common::Result<bool> HoistByRank(
+      plan::PlanNode* join, int side,
+      std::vector<expr::PredicateInfo>* floating) const;
+
+  /// Wraps `plan` in Filter nodes for `floating`, lowest rank first.
+  static plan::PlanPtr AttachFilters(
+      plan::PlanPtr plan, std::vector<expr::PredicateInfo> floating);
+
+  /// Inserts `cand` into `plans` under the pruning rules: keep the cheapest
+  /// plan, the cheapest plan per interesting order, and (always) every
+  /// unpruneable plan. With pruning off, keeps everything.
+  void Offer(CandidatePlan cand, std::vector<CandidatePlan>* plans) const;
+
+  /// True if the subtree contains an expensive Filter node.
+  static bool HasExpensiveFilter(const plan::PlanNode& node);
+
+  const OptimizerContext* ctx_;
+  EnumOptions opts_;
+  std::vector<PredRole> roles_;
+  std::vector<size_t> virtual_preds_;  // pred index per virtual element.
+  std::vector<size_t> omitted_;
+  std::vector<std::vector<CandidatePlan>> base_cands_;  // Per table.
+  size_t plans_retained_ = 0;
+};
+
+}  // namespace ppp::optimizer
+
+#endif  // PPP_OPTIMIZER_JOIN_ENUMERATOR_H_

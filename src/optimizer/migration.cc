@@ -1,0 +1,277 @@
+#include "optimizer/migration.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ppp::optimizer {
+
+namespace {
+
+constexpr int kMaxRounds = 16;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A (possibly composed) constrained module on a stream.
+struct Group {
+  double cost = 0.0;
+  double selectivity = 1.0;
+  size_t start = 0;  // Index of the lowest join in the group.
+
+  double rank() const {
+    if (cost < 1e-12) return selectivity < 1.0 ? -kInf : kInf;
+    return (selectivity - 1.0) / cost;
+  }
+};
+
+/// Series composition (§4.4): J2 stacked on J1.
+Group Compose(const Group& lower, const Group& upper) {
+  Group g;
+  g.cost = lower.cost + lower.selectivity * upper.cost;
+  g.selectivity = lower.selectivity * upper.selectivity;
+  g.start = lower.start;
+  return g;
+}
+
+bool SubtreeContainsAlias(const plan::PlanNode& node,
+                          const std::string& alias) {
+  if ((node.kind == plan::PlanKind::kSeqScan ||
+       node.kind == plan::PlanKind::kIndexScan) &&
+      node.alias == alias) {
+    return true;
+  }
+  for (const plan::PlanPtr& child : node.children) {
+    if (SubtreeContainsAlias(*child, alias)) return true;
+  }
+  return false;
+}
+
+/// A filter is free to move along streams iff it is expensive or a
+/// secondary join predicate; cheap single-table filters stay glued to
+/// their scans.
+bool IsMovableFilter(const plan::PlanNode& node) {
+  return node.kind == plan::PlanKind::kFilter &&
+         (node.predicate.is_expensive() || node.predicate.is_join());
+}
+
+}  // namespace
+
+common::Status PredicateMigrator::OptimizeStream(
+    plan::PlanPtr* root, const std::string& leaf_alias,
+    bool* changed) const {
+  // ---- Pass 1 (non-destructive): walk the spine, collect joins with
+  // their per-stream info and the movable filters with current slots.
+  std::vector<StreamJoin> joins;       // Bottom-up after reversal.
+  std::vector<StreamFilter> filters;   // Bottom-up after slot assignment.
+  {
+    std::vector<StreamJoin> joins_topdown;
+    std::vector<plan::PlanNode*> filters_topdown;
+    plan::PlanNode* cur = root->get();
+    while (true) {
+      if (IsMovableFilter(*cur)) {
+        filters_topdown.push_back(cur);
+        cur = cur->children[0].get();
+        continue;
+      }
+      if (cur->kind == plan::PlanKind::kJoin) {
+        const int side =
+            SubtreeContainsAlias(*cur->children[0], leaf_alias) ? 0 : 1;
+        StreamJoin sj;
+        sj.join = cur;
+        sj.path_side = side;
+        sj.info = cost_->JoinStream(*cur, side);
+        joins_topdown.push_back(sj);
+        cur = cur->children[static_cast<size_t>(side)].get();
+        continue;
+      }
+      break;  // Leaf block (scan or immovable filter chain).
+    }
+    joins.assign(joins_topdown.rbegin(), joins_topdown.rend());
+
+    // Slot of a filter = number of stream joins strictly below it. In the
+    // top-down walk, a filter collected after `j` joins has k - j joins
+    // below it... easier: re-walk assigning directly.
+    const size_t k = joins.size();
+    size_t joins_seen = 0;
+    cur = root->get();
+    while (true) {
+      if (IsMovableFilter(*cur)) {
+        filters.push_back({cur, k - joins_seen});
+        cur = cur->children[0].get();
+      } else if (cur->kind == plan::PlanKind::kJoin) {
+        ++joins_seen;
+        const int side =
+            SubtreeContainsAlias(*cur->children[0], leaf_alias) ? 0 : 1;
+        cur = cur->children[static_cast<size_t>(side)].get();
+      } else {
+        break;
+      }
+    }
+  }
+  if (joins.empty() || filters.empty()) return common::Status::OK();
+  const size_t k = joins.size();
+
+  // ---- Eligibility: lowest slot where each filter's tables exist.
+  // available[s] = aliases below slot s (leaf block + off-path subtrees of
+  // joins 0..s-1).
+  std::vector<std::set<std::string>> available(k + 1);
+  {
+    // The leaf block is the on-path child of joins[0] (or the tree below
+    // all filters when k > 0 — derive from joins[0]).
+    const StreamJoin& bottom = joins[0];
+    plan::PlanNode* leaf_sub =
+        bottom.join->children[static_cast<size_t>(bottom.path_side)].get();
+    // Skip movable filters that sit between joins[0] and the leaf block;
+    // aliases are unaffected by filters.
+    for (const std::string& a : leaf_sub->CollectAliases()) {
+      available[0].insert(a);
+    }
+    for (size_t s = 0; s < k; ++s) {
+      available[s + 1] = available[s];
+      const StreamJoin& sj = joins[s];
+      const plan::PlanNode& off_path =
+          *sj.join->children[static_cast<size_t>(1 - sj.path_side)];
+      for (const std::string& a : off_path.CollectAliases()) {
+        available[s + 1].insert(a);
+      }
+    }
+  }
+  auto eligibility = [&](const expr::PredicateInfo& pred) -> size_t {
+    for (size_t s = 0; s <= k; ++s) {
+      bool ok = true;
+      for (const std::string& t : pred.tables) {
+        if (available[s].count(t) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return s;
+    }
+    return k;  // Defensive; every filter's tables exist at the root.
+  };
+
+  // ---- Group the joins: merge while ranks decrease going up (§4.4).
+  std::vector<Group> groups;
+  for (size_t j = 0; j < k; ++j) {
+    Group g;
+    g.cost = joins[j].info.cost_per_tuple;
+    g.selectivity = joins[j].info.selectivity;
+    g.start = j;
+    groups.push_back(g);
+    while (groups.size() >= 2 &&
+           groups.back().rank() < groups[groups.size() - 2].rank()) {
+      const Group upper = groups.back();
+      groups.pop_back();
+      const Group lower = groups.back();
+      groups.pop_back();
+      groups.push_back(Compose(lower, upper));
+    }
+  }
+
+  // ---- Desired slot per filter: below the first group of rank >= its
+  // own, clamped up to its eligibility point.
+  bool any_move = false;
+  std::vector<size_t> desired(filters.size());
+  for (size_t f = 0; f < filters.size(); ++f) {
+    const expr::PredicateInfo& pred = filters[f].filter->predicate;
+    const double r = pred.rank();
+    size_t slot = k;
+    for (const Group& g : groups) {
+      if (g.rank() >= r) {
+        slot = g.start;
+        break;
+      }
+    }
+    slot = std::max(slot, eligibility(pred));
+    desired[f] = slot;
+    if (slot != filters[f].slot) any_move = true;
+  }
+  if (!any_move) return common::Status::OK();
+  *changed = true;
+
+  // ---- Rebuild the spine with filters at their new slots.
+  struct PendingFilter {
+    expr::PredicateInfo pred;
+    size_t slot;
+  };
+  std::vector<PendingFilter> pending;
+  pending.reserve(filters.size());
+  for (size_t f = 0; f < filters.size(); ++f) {
+    pending.push_back({filters[f].filter->predicate, desired[f]});
+  }
+  // Stable placement: within a slot, ascending rank bottom-to-top.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingFilter& a, const PendingFilter& b) {
+                     if (a.slot != b.slot) return a.slot < b.slot;
+                     return a.pred.rank() < b.pred.rank();
+                   });
+
+  // Destructive walk: detach the spine.
+  plan::PlanPtr cur = std::move(*root);
+  std::vector<plan::PlanPtr> join_nodes_topdown;
+  std::vector<int> join_sides_topdown;
+  plan::PlanPtr leaf_block;
+  while (true) {
+    if (IsMovableFilter(*cur)) {
+      plan::PlanPtr next = std::move(cur->children[0]);
+      cur = std::move(next);  // Filter node dropped; preds in `pending`.
+      continue;
+    }
+    if (cur->kind == plan::PlanKind::kJoin) {
+      const int side =
+          SubtreeContainsAlias(*cur->children[0], leaf_alias) ? 0 : 1;
+      plan::PlanPtr next =
+          std::move(cur->children[static_cast<size_t>(side)]);
+      join_sides_topdown.push_back(side);
+      join_nodes_topdown.push_back(std::move(cur));
+      cur = std::move(next);
+      continue;
+    }
+    leaf_block = std::move(cur);
+    break;
+  }
+  PPP_CHECK(join_nodes_topdown.size() == k);
+
+  plan::PlanPtr rebuilt = std::move(leaf_block);
+  size_t next_pending = 0;
+  for (size_t s = 0; s <= k; ++s) {
+    while (next_pending < pending.size() &&
+           pending[next_pending].slot == s) {
+      rebuilt = plan::MakeFilter(std::move(rebuilt),
+                                 std::move(pending[next_pending].pred));
+      ++next_pending;
+    }
+    if (s < k) {
+      plan::PlanPtr join = std::move(join_nodes_topdown[k - 1 - s]);
+      const int side = join_sides_topdown[k - 1 - s];
+      join->children[static_cast<size_t>(side)] = std::move(rebuilt);
+      rebuilt = std::move(join);
+    }
+  }
+  PPP_CHECK(next_pending == pending.size());
+  *root = std::move(rebuilt);
+  return cost_->Annotate(root->get());
+}
+
+common::Result<int> PredicateMigrator::Migrate(plan::PlanPtr* root) const {
+  PPP_RETURN_IF_ERROR(cost_->Annotate(root->get()));
+
+  // Inner-most streams first (§5.2): leaves in right-to-left order.
+  std::vector<std::string> leaves = (*root)->CollectAliases();
+  std::reverse(leaves.begin(), leaves.end());
+
+  int rounds_with_movement = 0;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    for (const std::string& leaf : leaves) {
+      PPP_RETURN_IF_ERROR(OptimizeStream(root, leaf, &changed));
+    }
+    if (!changed) break;
+    ++rounds_with_movement;
+  }
+  PPP_RETURN_IF_ERROR(cost_->Annotate(root->get()));
+  return rounds_with_movement;
+}
+
+}  // namespace ppp::optimizer

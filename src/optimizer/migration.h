@@ -1,0 +1,60 @@
+#ifndef PPP_OPTIMIZER_MIGRATION_H_
+#define PPP_OPTIMIZER_MIGRATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan_node.h"
+
+namespace ppp::optimizer {
+
+/// The Predicate Migration algorithm (§4.4, [HS93a]/[He92]).
+///
+/// Given a fixed join tree, repeatedly applies the Series-Parallel
+/// Algorithm using Parallel Chains [MS79] to every root-to-leaf stream
+/// until no predicate moves:
+///
+///  1. Along one stream, every join is a *constrained* module with the
+///     per-stream (selectivity, differential cost) of CostModel::JoinStream,
+///     and every expensive/secondary filter is a *free* module.
+///  2. Consecutive joins whose ranks decrease going up are composed into
+///     groups with rank(J1 J2) = (s1·s2 − 1)/(c1 + s1·c2), until group
+///     ranks are non-decreasing up the stream.
+///  3. Each free filter is placed below the first group whose rank is ≥
+///     its own rank (never below its eligibility point — a secondary join
+///     predicate must stay above its primary join).
+///
+/// Inner streams are processed before outer ones, matching Montage (§5.2).
+class PredicateMigrator {
+ public:
+  explicit PredicateMigrator(const cost::CostModel* cost) : cost_(cost) {}
+
+  /// Migrates predicates within `*root` (a join/filter tree without a
+  /// Project on top). The tree is re-annotated on return. Returns the
+  /// number of fixpoint rounds that moved something.
+  common::Result<int> Migrate(plan::PlanPtr* root) const;
+
+ private:
+  struct StreamJoin {
+    plan::PlanNode* join = nullptr;
+    int path_side = 0;
+    cost::JoinStreamInfo info;
+  };
+  struct StreamFilter {
+    plan::PlanNode* filter = nullptr;
+    size_t slot = 0;  // Number of joins below it on this stream.
+  };
+
+  /// One pass of the series-parallel algorithm over the stream ending at
+  /// scan `leaf_alias`. Sets *changed if a filter moved.
+  common::Status OptimizeStream(plan::PlanPtr* root,
+                                const std::string& leaf_alias,
+                                bool* changed) const;
+
+  const cost::CostModel* cost_;
+};
+
+}  // namespace ppp::optimizer
+
+#endif  // PPP_OPTIMIZER_MIGRATION_H_

@@ -1,0 +1,211 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "optimizer/join_enumerator.h"
+#include "optimizer/migration.h"
+#include "optimizer/optimizer_context.h"
+
+namespace ppp::optimizer {
+
+common::Result<OptimizeResult> Optimizer::Optimize(
+    const plan::QuerySpec& spec, Algorithm algorithm) const {
+  PPP_ASSIGN_OR_RETURN(std::unique_ptr<OptimizerContext> ctx,
+                       OptimizerContext::Build(catalog_, spec, params_));
+
+  JoinEnumerator enumerator(ctx.get(), OptionsFor(algorithm));
+  PPP_ASSIGN_OR_RETURN(std::vector<CandidatePlan> candidates,
+                       enumerator.Run());
+
+  OptimizeResult result;
+  result.plans_retained = enumerator.plans_retained();
+  result.final_candidates = candidates.size();
+
+  if (algorithm == Algorithm::kPullUp) {
+    // Paste the omitted expensive predicates on top of every candidate,
+    // lowest rank first (§4.2).
+    std::vector<size_t> omitted = enumerator.omitted_preds();
+    std::sort(omitted.begin(), omitted.end(), [&](size_t a, size_t b) {
+      return ctx->pred(a).rank() < ctx->pred(b).rank();
+    });
+    for (CandidatePlan& cand : candidates) {
+      for (size_t p : omitted) {
+        cand.plan = plan::MakeFilter(std::move(cand.plan), ctx->pred(p));
+      }
+      PPP_RETURN_IF_ERROR(ctx->cost().Annotate(cand.plan.get()));
+    }
+  }
+
+  if (algorithm == Algorithm::kMigration) {
+    PredicateMigrator migrator(&ctx->cost());
+    for (CandidatePlan& cand : candidates) {
+      PPP_ASSIGN_OR_RETURN(const int rounds, migrator.Migrate(&cand.plan));
+      result.migration_rounds = std::max(result.migration_rounds, rounds);
+    }
+  }
+
+  // Pick the cheapest candidate; with an ORDER BY, an interestingly
+  // ordered plan may beat a cheaper unordered one that must sort (the
+  // System R payoff for retaining ordered subplans).
+  auto effective_cost = [&](const CandidatePlan& cand) {
+    double cost = cand.plan->est_cost;
+    if (!spec.order_by.empty() &&
+        cand.plan->est_order != std::optional<std::string>(spec.order_by)) {
+      cost += ctx->cost().SortCost(cost::CostModel::PagesFor(
+          cand.plan->est_rows, cand.plan->est_width));
+    }
+    return cost;
+  };
+  auto best = std::min_element(
+      candidates.begin(), candidates.end(),
+      [&](const CandidatePlan& a, const CandidatePlan& b) {
+        return effective_cost(a) < effective_cost(b);
+      });
+  PPP_CHECK(best != candidates.end());
+  result.plan = std::move(best->plan);
+
+  if (!spec.order_by.empty() &&
+      result.plan->est_order != std::optional<std::string>(spec.order_by)) {
+    result.plan = plan::MakeSort(std::move(result.plan), spec.order_by);
+    PPP_RETURN_IF_ERROR(ctx->cost().Annotate(result.plan.get()));
+  }
+
+  // Aggregate queries: GROUP BY and/or aggregate calls in the select list.
+  bool has_aggregates = !spec.group_by.empty();
+  for (const expr::ExprPtr& item : spec.select_list) {
+    if (item->kind == expr::ExprKind::kFunctionCall &&
+        plan::AggregateOpFromName(item->function_name).has_value()) {
+      has_aggregates = true;
+    }
+  }
+  if (spec.having != nullptr && !has_aggregates) {
+    return common::Status::InvalidArgument(
+        "HAVING requires GROUP BY or aggregates in the select list");
+  }
+  if (has_aggregates) {
+    if (spec.select_list.empty()) {
+      return common::Status::InvalidArgument(
+          "aggregate queries need an explicit select list");
+    }
+    if (spec.distinct) {
+      return common::Status::NotImplemented(
+          "SELECT DISTINCT with aggregates is not supported");
+    }
+    std::vector<plan::AggregateItem> aggregates;
+    std::vector<expr::ExprPtr> projections;
+    for (size_t i = 0; i < spec.select_list.size(); ++i) {
+      const expr::ExprPtr& item = spec.select_list[i];
+      const auto op =
+          item->kind == expr::ExprKind::kFunctionCall
+              ? plan::AggregateOpFromName(item->function_name)
+              : std::nullopt;
+      if (op.has_value()) {
+        if (item->children.size() > 1 ||
+            (item->children.empty() &&
+             *op != plan::AggregateItem::Op::kCount)) {
+          return common::Status::InvalidArgument(
+              "aggregate " + item->function_name + " takes one argument");
+        }
+        plan::AggregateItem agg;
+        agg.op = *op;
+        agg.arg = item->children.empty() ? nullptr : item->children[0];
+        agg.name = "_agg" + std::to_string(i);
+        aggregates.push_back(agg);
+        projections.push_back(expr::Col("", agg.name));
+      } else if (item->kind == expr::ExprKind::kColumnRef) {
+        const std::string qualified = item->table + "." + item->column;
+        if (std::find(spec.group_by.begin(), spec.group_by.end(),
+                      qualified) == spec.group_by.end()) {
+          return common::Status::InvalidArgument(
+              "select item " + qualified +
+              " must appear in GROUP BY or inside an aggregate");
+        }
+        projections.push_back(item);
+      } else {
+        return common::Status::InvalidArgument(
+            "aggregate-query select items must be group columns or "
+            "aggregate calls");
+      }
+    }
+    // HAVING: rewrite its aggregate calls into references to (possibly
+    // hidden) aggregate outputs.
+    expr::ExprPtr having_rewritten;
+    if (spec.having != nullptr) {
+      std::function<common::Result<expr::ExprPtr>(const expr::ExprPtr&)>
+          rewrite = [&](const expr::ExprPtr& e)
+          -> common::Result<expr::ExprPtr> {
+        if (e->kind == expr::ExprKind::kFunctionCall) {
+          const auto op = plan::AggregateOpFromName(e->function_name);
+          if (op.has_value()) {
+            plan::AggregateItem agg;
+            agg.op = *op;
+            agg.arg = e->children.empty() ? nullptr : e->children[0];
+            agg.name = "_agg" + std::to_string(spec.select_list.size() +
+                                               aggregates.size());
+            aggregates.push_back(agg);
+            return expr::Col("", agg.name);
+          }
+        }
+        if (e->children.empty()) return e;
+        auto copy = std::make_shared<expr::Expr>(*e);
+        for (expr::ExprPtr& child : copy->children) {
+          PPP_ASSIGN_OR_RETURN(child, rewrite(child));
+        }
+        return expr::ExprPtr(std::move(copy));
+      };
+      PPP_ASSIGN_OR_RETURN(having_rewritten, rewrite(spec.having));
+    }
+
+    result.plan = plan::MakeAggregate(std::move(result.plan), spec.group_by,
+                                      std::move(aggregates));
+    if (having_rewritten != nullptr) {
+      expr::PredicateInfo having_pred;
+      having_pred.expr = having_rewritten;
+      having_pred.selectivity = 0.5;  // No statistics over aggregates.
+      result.plan =
+          plan::MakeFilter(std::move(result.plan), std::move(having_pred));
+    }
+    result.plan = plan::MakeProject(std::move(result.plan),
+                                    std::move(projections),
+                                    spec.select_names);
+    PPP_RETURN_IF_ERROR(ctx->cost().Annotate(result.plan.get()));
+    result.est_cost = result.plan->est_cost;
+    return result;
+  }
+
+  if (spec.distinct) {
+    // SELECT DISTINCT: plan as a grouping with no aggregates. Requires an
+    // explicit select list of plain column references.
+    if (spec.select_list.empty()) {
+      return common::Status::NotImplemented(
+          "SELECT DISTINCT * is not supported; name the columns");
+    }
+    std::vector<std::string> group_columns;
+    for (const expr::ExprPtr& item : spec.select_list) {
+      if (item->kind != expr::ExprKind::kColumnRef) {
+        return common::Status::NotImplemented(
+            "SELECT DISTINCT supports plain column references only");
+      }
+      group_columns.push_back(item->table + "." + item->column);
+    }
+    result.plan = plan::MakeAggregate(std::move(result.plan),
+                                      std::move(group_columns), {});
+    result.plan = plan::MakeProject(std::move(result.plan), spec.select_list,
+                                    spec.select_names);
+    PPP_RETURN_IF_ERROR(ctx->cost().Annotate(result.plan.get()));
+    result.est_cost = result.plan->est_cost;
+    return result;
+  }
+
+  if (!spec.select_list.empty()) {
+    result.plan = plan::MakeProject(std::move(result.plan), spec.select_list,
+                                    spec.select_names);
+    PPP_RETURN_IF_ERROR(ctx->cost().Annotate(result.plan.get()));
+  }
+  result.est_cost = result.plan->est_cost;
+  return result;
+}
+
+}  // namespace ppp::optimizer

@@ -1,0 +1,51 @@
+#ifndef PPP_OPTIMIZER_OPTIMIZER_H_
+#define PPP_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_params.h"
+#include "optimizer/algorithm.h"
+#include "plan/plan_node.h"
+#include "plan/query_spec.h"
+
+namespace ppp::optimizer {
+
+/// Outcome of one optimization: the chosen plan plus the bookkeeping the
+/// paper's experiments report.
+struct OptimizeResult {
+  plan::PlanPtr plan;  // Annotated; includes a Project when selected.
+  double est_cost = 0.0;
+  /// Subplans retained across the DP memo (plan-space growth, ablation A3).
+  size_t plans_retained = 0;
+  /// Final full-query candidates considered (1 unless unpruneable plans or
+  /// interesting orders survived).
+  size_t final_candidates = 0;
+  /// Fixpoint rounds in which Predicate Migration moved a predicate.
+  int migration_rounds = 0;
+};
+
+/// Facade over the placement algorithms: builds the optimizer context,
+/// runs the appropriate enumerator configuration, applies the
+/// per-algorithm post-pass (PullUp pasting, Predicate Migration), and
+/// returns the cheapest plan.
+class Optimizer {
+ public:
+  explicit Optimizer(const catalog::Catalog* catalog,
+                     cost::CostParams params = {})
+      : catalog_(catalog), params_(params) {}
+
+  common::Result<OptimizeResult> Optimize(const plan::QuerySpec& spec,
+                                          Algorithm algorithm) const;
+
+  const cost::CostParams& params() const { return params_; }
+
+ private:
+  const catalog::Catalog* catalog_;
+  cost::CostParams params_;
+};
+
+}  // namespace ppp::optimizer
+
+#endif  // PPP_OPTIMIZER_OPTIMIZER_H_

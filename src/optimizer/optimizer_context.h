@@ -1,0 +1,72 @@
+#ifndef PPP_OPTIMIZER_OPTIMIZER_CONTEXT_H_
+#define PPP_OPTIMIZER_OPTIMIZER_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "expr/predicate.h"
+#include "plan/query_spec.h"
+
+namespace ppp::optimizer {
+
+/// Bitmask over the query's range variables (≤ 32 tables).
+using TableSet = uint32_t;
+
+/// Everything the enumerator and placement algorithms share for one query:
+/// the alias binding, the analyzed conjuncts (with table sets precomputed
+/// as bitmasks), and the cost model.
+class OptimizerContext {
+ public:
+  /// Binds `spec` against `catalog` and analyzes all conjuncts.
+  static common::Result<std::unique_ptr<OptimizerContext>> Build(
+      const catalog::Catalog* catalog, const plan::QuerySpec& spec,
+      const cost::CostParams& params);
+
+  const plan::QuerySpec& spec() const { return spec_; }
+  const catalog::Catalog* catalog() const { return catalog_; }
+  const expr::TableBinding& binding() const { return binding_; }
+  const cost::CostModel& cost() const { return *cost_; }
+
+  size_t num_tables() const { return spec_.tables.size(); }
+  const std::string& AliasAt(size_t i) const { return spec_.tables[i].alias; }
+
+  /// Bit index of an alias; -1 if unknown.
+  int AliasIndex(const std::string& alias) const;
+
+  /// Bitmask of the tables referenced by analyzed predicate `p`.
+  TableSet PredTables(size_t p) const { return pred_tables_[p]; }
+
+  const std::vector<expr::PredicateInfo>& preds() const { return preds_; }
+  const expr::PredicateInfo& pred(size_t p) const { return preds_[p]; }
+  size_t num_preds() const { return preds_.size(); }
+
+  /// Indexes of single-table conjuncts over alias bit `i`.
+  const std::vector<size_t>& SingleTablePreds(size_t i) const {
+    return single_table_preds_[i];
+  }
+
+  /// True if some conjunct references tables on both sides.
+  bool Connected(TableSet left, TableSet right) const;
+
+  std::string TableSetToString(TableSet set) const;
+
+ private:
+  OptimizerContext() = default;
+
+  const catalog::Catalog* catalog_ = nullptr;
+  plan::QuerySpec spec_;
+  expr::TableBinding binding_;
+  std::unique_ptr<cost::CostModel> cost_;
+  std::vector<expr::PredicateInfo> preds_;
+  std::vector<TableSet> pred_tables_;
+  std::vector<std::vector<size_t>> single_table_preds_;
+};
+
+}  // namespace ppp::optimizer
+
+#endif  // PPP_OPTIMIZER_OPTIMIZER_CONTEXT_H_

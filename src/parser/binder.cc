@@ -1,0 +1,184 @@
+#include "parser/binder.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include <set>
+#include <vector>
+
+namespace ppp::parser {
+
+namespace {
+
+using Scope = std::map<std::string, const catalog::Table*>;
+
+/// Aggregate functions are resolved by the planner, not the UDF registry.
+bool IsAggregateName(const std::string& name) {
+  const std::string lower = common::ToLower(name);
+  static const char* kAggregates[] = {"count", "sum", "avg", "min", "max"};
+  for (const char* agg : kAggregates) {
+    if (lower == agg) return true;
+  }
+  return false;
+}
+
+/// True if the tree contains an aggregate call.
+bool ContainsAggregate(const expr::ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == expr::ExprKind::kFunctionCall &&
+      IsAggregateName(e->function_name)) {
+    return true;
+  }
+  for (const expr::ExprPtr& child : e->children) {
+    if (ContainsAggregate(child)) return true;
+  }
+  return false;
+}
+
+/// Rewrites an expression, qualifying bare column references and checking
+/// qualified ones and function calls against the catalog. `scopes` is
+/// ordered innermost-first: a correlated subquery resolves names against
+/// its own FROM list before falling back to the enclosing query's.
+common::Result<expr::ExprPtr> Qualify(const expr::ExprPtr& e,
+                                      const std::vector<const Scope*>& scopes,
+                                      const catalog::Catalog& catalog) {
+  if (e->kind == expr::ExprKind::kColumnRef) {
+    if (!e->table.empty()) {
+      for (const Scope* scope : scopes) {
+        auto it = scope->find(e->table);
+        if (it == scope->end()) continue;
+        if (!it->second->FindColumn(e->column).has_value()) {
+          return common::Status::NotFound("no column " + e->column +
+                                          " in table " + it->second->name());
+        }
+        return e;
+      }
+      return common::Status::NotFound("unknown table alias " + e->table);
+    }
+    for (const Scope* scope : scopes) {
+      std::string found_alias;
+      for (const auto& [alias, table] : *scope) {
+        if (table->FindColumn(e->column).has_value()) {
+          if (!found_alias.empty()) {
+            return common::Status::InvalidArgument("ambiguous column " +
+                                                   e->column);
+          }
+          found_alias = alias;
+        }
+      }
+      if (!found_alias.empty()) return expr::Col(found_alias, e->column);
+    }
+    return common::Status::NotFound("no table has column " + e->column);
+  }
+
+  if (e->kind == expr::ExprKind::kFunctionCall &&
+      !IsAggregateName(e->function_name) &&
+      !catalog.functions().Contains(e->function_name)) {
+    return common::Status::NotFound("unknown function " + e->function_name);
+  }
+
+  if (e->kind == expr::ExprKind::kInSubquery) {
+    // Bind the needle in the enclosing scopes, the subquery body with the
+    // subquery's own scope innermost.
+    if (e->subquery == nullptr || e->subquery->output == nullptr) {
+      return common::Status::InvalidArgument("malformed IN subquery");
+    }
+    Scope inner;
+    auto bound_spec = std::make_shared<expr::SubquerySpec>();
+    for (const auto& [alias, table_name] : e->subquery->tables) {
+      PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                           catalog.GetTable(table_name));
+      if (!inner.emplace(alias, table).second) {
+        return common::Status::InvalidArgument(
+            "duplicate alias in subquery: " + alias);
+      }
+      bound_spec->tables.emplace_back(alias, table_name);
+    }
+    std::vector<const Scope*> sub_scopes;
+    sub_scopes.push_back(&inner);
+    sub_scopes.insert(sub_scopes.end(), scopes.begin(), scopes.end());
+
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr needle,
+                         Qualify(e->children[0], scopes, catalog));
+    PPP_ASSIGN_OR_RETURN(bound_spec->output,
+                         Qualify(e->subquery->output, sub_scopes, catalog));
+    for (const expr::ExprPtr& conjunct : e->subquery->conjuncts) {
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr bound,
+                           Qualify(conjunct, sub_scopes, catalog));
+      bound_spec->conjuncts.push_back(std::move(bound));
+    }
+    return expr::InSubquery(std::move(needle), std::move(bound_spec));
+  }
+
+  if (e->children.empty()) return e;
+
+  auto copy = std::make_shared<expr::Expr>(*e);
+  for (expr::ExprPtr& child : copy->children) {
+    PPP_ASSIGN_OR_RETURN(child, Qualify(child, scopes, catalog));
+  }
+  return expr::ExprPtr(std::move(copy));
+}
+
+}  // namespace
+
+common::Result<plan::QuerySpec> BindSelect(const ParsedSelect& parsed,
+                                           const catalog::Catalog& catalog) {
+  if (parsed.tables.empty()) {
+    return common::Status::InvalidArgument("FROM clause is empty");
+  }
+  Scope scope;
+  plan::QuerySpec spec;
+  for (const plan::TableRef& ref : parsed.tables) {
+    PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                         catalog.GetTable(ref.table_name));
+    if (!scope.emplace(ref.alias, table).second) {
+      return common::Status::InvalidArgument("duplicate alias " + ref.alias);
+    }
+    spec.tables.push_back(ref);
+  }
+  const std::vector<const Scope*> scopes = {&scope};
+
+  if (!parsed.select_star) {
+    for (size_t i = 0; i < parsed.select_list.size(); ++i) {
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr bound,
+                           Qualify(parsed.select_list[i], scopes, catalog));
+      spec.select_list.push_back(std::move(bound));
+      spec.select_names.push_back(parsed.select_names[i]);
+    }
+  }
+
+  if (parsed.where != nullptr) {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr where,
+                         Qualify(parsed.where, scopes, catalog));
+    spec.conjuncts = expr::SplitConjuncts(where);
+    for (const expr::ExprPtr& conjunct : spec.conjuncts) {
+      if (ContainsAggregate(conjunct)) {
+        return common::Status::InvalidArgument(
+            "aggregate functions are not allowed in WHERE");
+      }
+    }
+  }
+  spec.distinct = parsed.distinct;
+  for (const expr::ExprPtr& group : parsed.group_by) {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr bound,
+                         Qualify(group, scopes, catalog));
+    spec.group_by.push_back(bound->table + "." + bound->column);
+  }
+  if (parsed.having != nullptr) {
+    PPP_ASSIGN_OR_RETURN(spec.having, Qualify(parsed.having, scopes, catalog));
+  }
+  if (parsed.order_by != nullptr) {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr order,
+                         Qualify(parsed.order_by, scopes, catalog));
+    spec.order_by = order->table + "." + order->column;
+  }
+  return spec;
+}
+
+common::Result<plan::QuerySpec> ParseAndBind(const std::string& sql,
+                                             const catalog::Catalog& catalog) {
+  PPP_ASSIGN_OR_RETURN(ParsedSelect parsed, ParseSelect(sql));
+  return BindSelect(parsed, catalog);
+}
+
+}  // namespace ppp::parser

@@ -1,0 +1,26 @@
+#ifndef PPP_PARSER_BINDER_H_
+#define PPP_PARSER_BINDER_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/parser.h"
+#include "plan/query_spec.h"
+
+namespace ppp::parser {
+
+/// Resolves a ParsedSelect against the catalog:
+///  * every FROM table must exist and aliases must be unique;
+///  * unqualified column references are qualified by searching the FROM
+///    tables (ambiguity is an error);
+///  * function calls must be registered;
+///  * the WHERE clause is split into conjuncts.
+common::Result<plan::QuerySpec> BindSelect(const ParsedSelect& parsed,
+                                           const catalog::Catalog& catalog);
+
+/// Convenience: parse + bind.
+common::Result<plan::QuerySpec> ParseAndBind(const std::string& sql,
+                                             const catalog::Catalog& catalog);
+
+}  // namespace ppp::parser
+
+#endif  // PPP_PARSER_BINDER_H_

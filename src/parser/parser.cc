@@ -1,0 +1,453 @@
+#include "parser/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace ppp::parser {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // Uppercased for idents? No: raw; keywords matched
+                     // case-insensitively.
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  common::Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= input_.size()) {
+        out.push_back({TokenKind::kEnd, "", pos_});
+        return out;
+      }
+      const char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back(
+            {TokenKind::kIdent, input_.substr(start, pos_ - start), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        const size_t start = pos_;
+        bool is_float = false;
+        while (pos_ < input_.size() &&
+               (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '.')) {
+          if (input_[pos_] == '.') {
+            // "3.x" where x is not a digit would be a qualified name on a
+            // number — reject below via float parse.
+            is_float = true;
+          }
+          ++pos_;
+        }
+        out.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                       input_.substr(start, pos_ - start), start});
+        continue;
+      }
+      if (c == '\'') {
+        const size_t start = ++pos_;
+        while (pos_ < input_.size() && input_[pos_] != '\'') ++pos_;
+        if (pos_ >= input_.size()) {
+          return common::Status::ParseError("unterminated string literal");
+        }
+        out.push_back(
+            {TokenKind::kString, input_.substr(start, pos_ - start), start});
+        ++pos_;
+        continue;
+      }
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (input_.compare(pos_, 2, op) == 0) {
+          out.push_back({TokenKind::kSymbol, op, pos_});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static const std::string kOneChar = "(),.*=<>+-/;";
+      if (kOneChar.find(c) != std::string::npos) {
+        out.push_back({TokenKind::kSymbol, std::string(1, c), pos_});
+        ++pos_;
+        continue;
+      }
+      return common::Status::ParseError(
+          common::StringPrintf("unexpected character '%c' at offset %zu", c,
+                               pos_));
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  common::Result<ParsedSelect> Select() {
+    PPP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    ParsedSelect out;
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      out.distinct = true;
+    }
+    if (PeekSymbol("*")) {
+      Advance();
+      out.select_star = true;
+    } else {
+      while (true) {
+        PPP_ASSIGN_OR_RETURN(expr::ExprPtr e, Expression());
+        std::string name = e->ToString();
+        if (PeekKeyword("AS")) {
+          Advance();
+          PPP_ASSIGN_OR_RETURN(name, Identifier());
+        } else if (Peek().kind == TokenKind::kIdent &&
+                   !IsKeyword(Peek().text)) {
+          PPP_ASSIGN_OR_RETURN(name, Identifier());
+        }
+        out.select_list.push_back(std::move(e));
+        out.select_names.push_back(std::move(name));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+
+    PPP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      PPP_ASSIGN_OR_RETURN(std::string table, Identifier());
+      std::string alias = table;
+      if (PeekKeyword("AS")) {
+        Advance();
+        PPP_ASSIGN_OR_RETURN(alias, Identifier());
+      } else if (Peek().kind == TokenKind::kIdent && !IsKeyword(Peek().text)) {
+        PPP_ASSIGN_OR_RETURN(alias, Identifier());
+      }
+      out.tables.push_back({alias, table});
+      if (!PeekSymbol(",")) break;
+      Advance();
+    }
+
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      PPP_ASSIGN_OR_RETURN(out.where, Expression());
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      PPP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        PPP_ASSIGN_OR_RETURN(expr::ExprPtr col, Primary());
+        if (col->kind != expr::ExprKind::kColumnRef) {
+          return common::Status::ParseError(
+              "GROUP BY supports column references only");
+        }
+        out.group_by.push_back(std::move(col));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("HAVING")) {
+      Advance();
+      PPP_ASSIGN_OR_RETURN(out.having, Expression());
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      PPP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PPP_ASSIGN_OR_RETURN(out.order_by, Primary());
+      if (out.order_by->kind != expr::ExprKind::kColumnRef) {
+        return common::Status::ParseError(
+            "ORDER BY supports a single column reference");
+      }
+      if (PeekKeyword("ASC")) Advance();
+    }
+    if (PeekSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return common::Status::ParseError("trailing input after statement: '" +
+                                        Peek().text + "'");
+    }
+    return out;
+  }
+
+ private:
+  static bool IsKeyword(const std::string& word) {
+    const std::string upper = Upper(word);
+    static const char* kKeywords[] = {
+        "SELECT", "FROM", "WHERE", "AND",   "OR",       "NOT",
+        "AS",     "IN",   "ORDER", "BY",    "ASC",      "GROUP",
+        "HAVING", "DISTINCT"};
+    for (const char* k : kKeywords) {
+      if (upper == k) return true;
+    }
+    return false;
+  }
+
+  static std::string Upper(const std::string& s) {
+    std::string out = s;
+    for (char& c : out) c = static_cast<char>(std::toupper(c));
+    return out;
+  }
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().kind == TokenKind::kIdent && Upper(Peek().text) == kw;
+  }
+  bool PeekSymbol(const std::string& sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+  common::Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) {
+      return common::Status::ParseError("expected " + kw + ", found '" +
+                                        Peek().text + "'");
+    }
+    Advance();
+    return common::Status::OK();
+  }
+  common::Status ExpectSymbol(const std::string& sym) {
+    if (!PeekSymbol(sym)) {
+      return common::Status::ParseError("expected '" + sym + "', found '" +
+                                        Peek().text + "'");
+    }
+    Advance();
+    return common::Status::OK();
+  }
+  common::Result<std::string> Identifier() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return common::Status::ParseError("expected identifier, found '" +
+                                        Peek().text + "'");
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  common::Result<expr::ExprPtr> Expression() { return OrExpr(); }
+
+  common::Result<expr::ExprPtr> OrExpr() {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr left, AndExpr());
+    while (PeekKeyword("OR")) {
+      Advance();
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr right, AndExpr());
+      left = expr::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  common::Result<expr::ExprPtr> AndExpr() {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr left, NotExpr());
+    while (PeekKeyword("AND")) {
+      Advance();
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr right, NotExpr());
+      left = expr::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  common::Result<expr::ExprPtr> NotExpr() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr child, NotExpr());
+      return expr::Not(std::move(child));
+    }
+    return CmpExpr();
+  }
+
+  /// `SELECT expr FROM t [a], ... [WHERE ...]` — the body of an IN
+  /// subquery (single output column).
+  common::Result<std::shared_ptr<const expr::SubquerySpec>> Subselect() {
+    PPP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto spec = std::make_shared<expr::SubquerySpec>();
+    PPP_ASSIGN_OR_RETURN(spec->output, Expression());
+    PPP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      PPP_ASSIGN_OR_RETURN(std::string table, Identifier());
+      std::string alias = table;
+      if (PeekKeyword("AS")) {
+        Advance();
+        PPP_ASSIGN_OR_RETURN(alias, Identifier());
+      } else if (Peek().kind == TokenKind::kIdent && !IsKeyword(Peek().text)) {
+        PPP_ASSIGN_OR_RETURN(alias, Identifier());
+      }
+      spec->tables.emplace_back(alias, table);
+      if (!PeekSymbol(",")) break;
+      Advance();
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr where, Expression());
+      spec->conjuncts = expr::SplitConjuncts(where);
+    }
+    return std::shared_ptr<const expr::SubquerySpec>(std::move(spec));
+  }
+
+  common::Result<expr::ExprPtr> CmpExpr() {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr left, AddExpr());
+    if (PeekKeyword("IN")) {
+      Advance();
+      PPP_RETURN_IF_ERROR(ExpectSymbol("("));
+      PPP_ASSIGN_OR_RETURN(auto subquery, Subselect());
+      PPP_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return expr::InSubquery(std::move(left), std::move(subquery));
+    }
+    struct OpMap {
+      const char* sym;
+      expr::CompareOp op;
+    };
+    static const OpMap kOps[] = {
+        {"<=", expr::CompareOp::kLe}, {">=", expr::CompareOp::kGe},
+        {"<>", expr::CompareOp::kNe}, {"!=", expr::CompareOp::kNe},
+        {"=", expr::CompareOp::kEq},  {"<", expr::CompareOp::kLt},
+        {">", expr::CompareOp::kGt},
+    };
+    for (const OpMap& m : kOps) {
+      if (PeekSymbol(m.sym)) {
+        Advance();
+        PPP_ASSIGN_OR_RETURN(expr::ExprPtr right, AddExpr());
+        return expr::Cmp(m.op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  common::Result<expr::ExprPtr> AddExpr() {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr left, MulExpr());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      const expr::ArithOp op =
+          Peek().text == "+" ? expr::ArithOp::kAdd : expr::ArithOp::kSub;
+      Advance();
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr right, MulExpr());
+      left = expr::Arith(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  common::Result<expr::ExprPtr> MulExpr() {
+    PPP_ASSIGN_OR_RETURN(expr::ExprPtr left, Primary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      const expr::ArithOp op =
+          Peek().text == "*" ? expr::ArithOp::kMul : expr::ArithOp::kDiv;
+      Advance();
+      PPP_ASSIGN_OR_RETURN(expr::ExprPtr right, Primary());
+      left = expr::Arith(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  common::Result<expr::ExprPtr> Primary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        const int64_t v = std::stoll(t.text);
+        Advance();
+        return expr::Const(types::Value(v));
+      }
+      case TokenKind::kFloat: {
+        const double v = std::stod(t.text);
+        Advance();
+        return expr::Const(types::Value(v));
+      }
+      case TokenKind::kString: {
+        std::string v = t.text;
+        Advance();
+        return expr::Const(types::Value(std::move(v)));
+      }
+      case TokenKind::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          PPP_ASSIGN_OR_RETURN(expr::ExprPtr e, Expression());
+          PPP_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return e;
+        }
+        if (t.text == "-") {
+          Advance();
+          PPP_ASSIGN_OR_RETURN(expr::ExprPtr e, Primary());
+          return expr::Arith(expr::ArithOp::kSub, expr::Int(0), std::move(e));
+        }
+        break;
+      case TokenKind::kIdent: {
+        if (IsKeyword(t.text)) break;
+        PPP_ASSIGN_OR_RETURN(std::string first, Identifier());
+        if (PeekSymbol("(")) {
+          Advance();
+          std::vector<expr::ExprPtr> args;
+          if (PeekSymbol("*")) {
+            // COUNT(*)-style call: zero arguments.
+            Advance();
+            PPP_RETURN_IF_ERROR(ExpectSymbol(")"));
+            return expr::Call(std::move(first), {});
+          }
+          if (!PeekSymbol(")")) {
+            while (true) {
+              PPP_ASSIGN_OR_RETURN(expr::ExprPtr arg, Expression());
+              args.push_back(std::move(arg));
+              if (!PeekSymbol(",")) break;
+              Advance();
+            }
+          }
+          PPP_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return expr::Call(std::move(first), std::move(args));
+        }
+        if (PeekSymbol(".")) {
+          Advance();
+          PPP_ASSIGN_OR_RETURN(std::string column, Identifier());
+          return expr::Col(std::move(first), std::move(column));
+        }
+        return expr::Col("", std::move(first));  // Unqualified; bound later.
+      }
+      case TokenKind::kEnd:
+        break;
+    }
+    return common::Status::ParseError("unexpected token '" + t.text +
+                                      "' in expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+common::Result<ParsedSelect> ParseSelect(const std::string& sql) {
+  Lexer lexer(sql);
+  PPP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Select();
+}
+
+}  // namespace ppp::parser

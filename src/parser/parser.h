@@ -1,0 +1,40 @@
+#ifndef PPP_PARSER_PARSER_H_
+#define PPP_PARSER_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "plan/query_spec.h"
+
+namespace ppp::parser {
+
+/// A parsed but unbound SELECT statement: column references may lack table
+/// qualifiers and nothing has been checked against the catalog.
+struct ParsedSelect {
+  bool select_star = false;
+  bool distinct = false;
+  std::vector<expr::ExprPtr> select_list;
+  std::vector<std::string> select_names;
+  std::vector<plan::TableRef> tables;
+  expr::ExprPtr where;     // May be null.
+  std::vector<expr::ExprPtr> group_by;  // Column refs; may be empty.
+  expr::ExprPtr having;    // May be null; may contain aggregates.
+  expr::ExprPtr order_by;  // Single column ref, ascending; may be null.
+};
+
+/// Parses the SQL subset the paper's queries use:
+///
+///   SELECT * | expr [AS name], ...
+///   FROM table [alias], ...
+///   [WHERE <boolean expression>]
+///
+/// Expressions support AND/OR/NOT, comparisons (= <> < <= > >=),
+/// arithmetic (+ - * /), integer/float/string literals, qualified and
+/// unqualified column references, and function calls.
+common::Result<ParsedSelect> ParseSelect(const std::string& sql);
+
+}  // namespace ppp::parser
+
+#endif  // PPP_PARSER_PARSER_H_

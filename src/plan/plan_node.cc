@@ -1,0 +1,300 @@
+#include "plan/plan_node.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ppp::plan {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      return "SeqScan";
+    case PlanKind::kIndexScan:
+      return "IndexScan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kMaterialize:
+      return "Materialize";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+  }
+  return "?";
+}
+
+const char* AggregateOpName(AggregateItem::Op op) {
+  switch (op) {
+    case AggregateItem::Op::kCount:
+      return "count";
+    case AggregateItem::Op::kSum:
+      return "sum";
+    case AggregateItem::Op::kAvg:
+      return "avg";
+    case AggregateItem::Op::kMin:
+      return "min";
+    case AggregateItem::Op::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kNestLoop:
+      return "NestLoop";
+    case JoinMethod::kIndexNestLoop:
+      return "IndexNestLoop";
+    case JoinMethod::kMerge:
+      return "Merge";
+    case JoinMethod::kHash:
+      return "Hash";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->alias = alias;
+  copy->table_name = table_name;
+  copy->index_column = index_column;
+  copy->index_key = index_key;
+  copy->index_is_range = index_is_range;
+  copy->index_lo = index_lo;
+  copy->index_hi = index_hi;
+  copy->predicate = predicate;
+  copy->join_method = join_method;
+  copy->sort_column = sort_column;
+  copy->projections = projections;
+  copy->projection_names = projection_names;
+  copy->group_columns = group_columns;
+  copy->aggregates = aggregates;
+  copy->est_rows = est_rows;
+  copy->est_cost = est_cost;
+  copy->est_width = est_width;
+  copy->est_order = est_order;
+  copy->est_udf_cost = est_udf_cost;
+  copy->est_rows_noexp = est_rows_noexp;
+  for (const std::unique_ptr<PlanNode>& child : children) {
+    copy->children.push_back(child->Clone());
+  }
+  return copy;
+}
+
+void PlanNode::AppendTo(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      out->append("SeqScan(" + alias + ":" + table_name + ")");
+      break;
+    case PlanKind::kIndexScan:
+      if (index_is_range) {
+        out->append("IndexRangeScan(" + alias + ":" + table_name + " " +
+                    index_column + " in [" + std::to_string(index_lo) +
+                    "," + std::to_string(index_hi) + "])");
+      } else {
+        out->append("IndexScan(" + alias + ":" + table_name + " " +
+                    index_column + "=" + index_key.ToString() + ")");
+      }
+      break;
+    case PlanKind::kFilter:
+      out->append("Filter[" + predicate.expr->ToString() + "]");
+      break;
+    case PlanKind::kJoin:
+      out->append(std::string(JoinMethodName(join_method)) + "Join[" +
+                  (predicate.expr != nullptr ? predicate.expr->ToString()
+                                             : "true") +
+                  "]");
+      break;
+    case PlanKind::kSort:
+      out->append("Sort(" + sort_column + ")");
+      break;
+    case PlanKind::kMaterialize:
+      out->append("Materialize");
+      break;
+    case PlanKind::kProject: {
+      std::vector<std::string> cols;
+      cols.reserve(projections.size());
+      for (const expr::ExprPtr& p : projections) {
+        cols.push_back(p->ToString());
+      }
+      out->append("Project(" + common::Join(cols, ", ") + ")");
+      break;
+    }
+    case PlanKind::kAggregate: {
+      std::vector<std::string> parts = group_columns;
+      for (const AggregateItem& a : aggregates) {
+        parts.push_back(std::string(AggregateOpName(a.op)) + "(" +
+                        (a.arg != nullptr ? a.arg->ToString() : "*") + ")");
+      }
+      out->append("Aggregate(" + common::Join(parts, ", ") + ")");
+      break;
+    }
+  }
+  if (est_rows > 0 || est_cost > 0) {
+    out->append(common::StringPrintf("  {rows=%.4g cost=%.6g", est_rows,
+                                     est_cost));
+    if (est_order.has_value()) out->append(" order=" + *est_order);
+    out->append("}");
+  }
+  out->append("\n");
+  for (const std::unique_ptr<PlanNode>& child : children) {
+    child->AppendTo(out, indent + 1);
+  }
+}
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+std::string PlanNode::Signature() const {
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      return alias;
+    case PlanKind::kIndexScan:
+      return "idx(" + alias + "." + index_column + ")";
+    case PlanKind::kFilter:
+      return "F[" + predicate.expr->ToString() + "](" +
+             children[0]->Signature() + ")";
+    case PlanKind::kJoin:
+      return std::string(JoinMethodName(join_method)) + "(" +
+             children[0]->Signature() + "," + children[1]->Signature() + ")";
+    case PlanKind::kSort:
+      return "sort<" + sort_column + ">(" + children[0]->Signature() + ")";
+    case PlanKind::kMaterialize:
+      return "mat(" + children[0]->Signature() + ")";
+    case PlanKind::kProject:
+      return "proj(" + children[0]->Signature() + ")";
+    case PlanKind::kAggregate:
+      return "agg(" + children[0]->Signature() + ")";
+  }
+  return "?";
+}
+
+std::vector<std::string> PlanNode::CollectAliases() const {
+  std::vector<std::string> out;
+  if (kind == PlanKind::kSeqScan || kind == PlanKind::kIndexScan) {
+    out.push_back(alias);
+  }
+  for (const std::unique_ptr<PlanNode>& child : children) {
+    std::vector<std::string> sub = child->CollectAliases();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::optional<AggregateItem::Op> AggregateOpFromName(
+    const std::string& name) {
+  const std::string lower = common::ToLower(name);
+  if (lower == "count") return AggregateItem::Op::kCount;
+  if (lower == "sum") return AggregateItem::Op::kSum;
+  if (lower == "avg") return AggregateItem::Op::kAvg;
+  if (lower == "min") return AggregateItem::Op::kMin;
+  if (lower == "max") return AggregateItem::Op::kMax;
+  return std::nullopt;
+}
+
+PlanPtr MakeSeqScan(std::string alias, std::string table_name) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kSeqScan;
+  node->alias = std::move(alias);
+  node->table_name = std::move(table_name);
+  return node;
+}
+
+PlanPtr MakeIndexScan(std::string alias, std::string table_name,
+                      std::string index_column, types::Value key,
+                      expr::PredicateInfo predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kIndexScan;
+  node->alias = std::move(alias);
+  node->table_name = std::move(table_name);
+  node->index_column = std::move(index_column);
+  node->index_key = std::move(key);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+PlanPtr MakeIndexRangeScan(std::string alias, std::string table_name,
+                           std::string index_column, int64_t lo, int64_t hi,
+                           expr::PredicateInfo predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kIndexScan;
+  node->alias = std::move(alias);
+  node->table_name = std::move(table_name);
+  node->index_column = std::move(index_column);
+  node->index_is_range = true;
+  node->index_lo = lo;
+  node->index_hi = hi;
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+PlanPtr MakeFilter(PlanPtr input, expr::PredicateInfo predicate) {
+  PPP_CHECK(input != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kFilter;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+PlanPtr MakeJoin(JoinMethod method, PlanPtr outer, PlanPtr inner,
+                 expr::PredicateInfo primary) {
+  PPP_CHECK(outer != nullptr && inner != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kJoin;
+  node->join_method = method;
+  node->predicate = std::move(primary);
+  node->children.push_back(std::move(outer));
+  node->children.push_back(std::move(inner));
+  return node;
+}
+
+PlanPtr MakeSort(PlanPtr input, std::string sort_column) {
+  PPP_CHECK(input != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kSort;
+  node->sort_column = std::move(sort_column);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+PlanPtr MakeMaterialize(PlanPtr input) {
+  PPP_CHECK(input != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kMaterialize;
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+PlanPtr MakeProject(PlanPtr input, std::vector<expr::ExprPtr> projections,
+                    std::vector<std::string> names) {
+  PPP_CHECK(input != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kProject;
+  node->projections = std::move(projections);
+  node->projection_names = std::move(names);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+PlanPtr MakeAggregate(PlanPtr input, std::vector<std::string> group_columns,
+                      std::vector<AggregateItem> aggregates) {
+  PPP_CHECK(input != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanKind::kAggregate;
+  node->group_columns = std::move(group_columns);
+  node->aggregates = std::move(aggregates);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+}  // namespace ppp::plan

@@ -1,0 +1,150 @@
+#ifndef PPP_PLAN_PLAN_NODE_H_
+#define PPP_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "types/row_schema.h"
+#include "types/value.h"
+
+namespace ppp::plan {
+
+enum class PlanKind {
+  kSeqScan,
+  kIndexScan,
+  kFilter,
+  kJoin,
+  kSort,
+  kMaterialize,
+  kProject,
+  kAggregate,
+};
+
+/// One aggregate in a kAggregate node's output.
+struct AggregateItem {
+  enum class Op { kCount, kSum, kAvg, kMin, kMax };
+  Op op = Op::kCount;
+  expr::ExprPtr arg;  // Null for COUNT(*).
+  std::string name;   // Output column name.
+};
+
+enum class JoinMethod {
+  kNestLoop,       // Block nested loops, inner rescanned (materialized).
+  kIndexNestLoop,  // Inner must be a base-table scan with a usable index.
+  kMerge,          // Requires both inputs sorted on the join columns.
+  kHash,           // Build on inner, probe with outer.
+};
+
+const char* PlanKindName(PlanKind kind);
+const char* JoinMethodName(JoinMethod method);
+
+/// A physical plan node. Plans are mutable trees with unique ownership:
+/// the placement algorithms (PullUp, Predicate Migration, ...) literally
+/// move Filter nodes up and down these trees, which is the paper's whole
+/// subject.
+///
+/// Cost/cardinality annotations are filled by cost::CostAnnotator and are
+/// in random-I/O units; they become stale whenever the tree is mutated and
+/// must be recomputed before being read.
+struct PlanNode {
+  PlanKind kind;
+
+  // kSeqScan / kIndexScan: the scanned range variable.
+  std::string alias;
+  std::string table_name;
+
+  // kIndexScan: equality probe `alias.index_column = index_key`, or —
+  // when index_is_range — the inclusive key range [index_lo, index_hi].
+  // Either way the output is ordered on the index column.
+  std::string index_column;
+  types::Value index_key;
+  bool index_is_range = false;
+  int64_t index_lo = 0;
+  int64_t index_hi = 0;
+
+  // kFilter: the applied conjunct. kJoin: the *primary* join predicate
+  // (secondary join predicates are Filter nodes above the join).
+  expr::PredicateInfo predicate;
+
+  // kJoin.
+  JoinMethod join_method = JoinMethod::kNestLoop;
+
+  // kSort: qualified "alias.column" sort key.
+  std::string sort_column;
+
+  // kProject.
+  std::vector<expr::ExprPtr> projections;
+  std::vector<std::string> projection_names;
+
+  // kAggregate: hash aggregation on `group_columns` (qualified
+  // "alias.column" names; empty = one global group), computing
+  // `aggregates`. Output columns: the group columns, then the aggregates,
+  // sorted by group key for determinism.
+  std::vector<std::string> group_columns;
+  std::vector<AggregateItem> aggregates;
+
+  // Children: 0 for scans, 1 for filter/sort/materialize/project, 2 for
+  // joins (outer first).
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // ---- Annotations (filled by cost::CostAnnotator) ----
+  double est_rows = 0.0;
+  double est_cost = 0.0;   // Cumulative, random-I/O units.
+  double est_width = 0.0;  // Average output row bytes.
+  std::optional<std::string> est_order;  // Qualified column or nullopt.
+  /// Portion of est_cost charged for expensive-predicate evaluation (used
+  /// to model rescans under predicate caching, where UDF work repeats for
+  /// free but I/O does not).
+  double est_udf_cost = 0.0;
+  /// Cardinality assuming every *expensive* predicate below passes all
+  /// tuples — the pessimistic `{R}` estimate of paper §5.2 (ablation A4).
+  double est_rows_noexp = 0.0;
+
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Multi-line indented tree rendering, with annotations when present.
+  std::string ToString() const;
+
+  /// Single-line structural signature (no annotations), for tests.
+  std::string Signature() const;
+
+  /// All scan aliases under (and including) this node.
+  std::vector<std::string> CollectAliases() const;
+
+ private:
+  void AppendTo(std::string* out, int indent) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+// -- Factories --------------------------------------------------------------
+
+PlanPtr MakeSeqScan(std::string alias, std::string table_name);
+PlanPtr MakeIndexScan(std::string alias, std::string table_name,
+                      std::string index_column, types::Value key,
+                      expr::PredicateInfo predicate);
+PlanPtr MakeIndexRangeScan(std::string alias, std::string table_name,
+                           std::string index_column, int64_t lo, int64_t hi,
+                           expr::PredicateInfo predicate);
+PlanPtr MakeFilter(PlanPtr input, expr::PredicateInfo predicate);
+PlanPtr MakeJoin(JoinMethod method, PlanPtr outer, PlanPtr inner,
+                 expr::PredicateInfo primary);
+PlanPtr MakeSort(PlanPtr input, std::string sort_column);
+PlanPtr MakeMaterialize(PlanPtr input);
+PlanPtr MakeProject(PlanPtr input, std::vector<expr::ExprPtr> projections,
+                    std::vector<std::string> names);
+PlanPtr MakeAggregate(PlanPtr input, std::vector<std::string> group_columns,
+                      std::vector<AggregateItem> aggregates);
+
+const char* AggregateOpName(AggregateItem::Op op);
+
+/// Maps an aggregate function name (case-insensitive) to its op;
+/// nullopt for non-aggregates.
+std::optional<AggregateItem::Op> AggregateOpFromName(const std::string& name);
+
+}  // namespace ppp::plan
+
+#endif  // PPP_PLAN_PLAN_NODE_H_

@@ -1,0 +1,35 @@
+#include "plan/query_spec.h"
+
+#include "common/string_util.h"
+
+namespace ppp::plan {
+
+std::string QuerySpec::ToString() const {
+  std::string out = "SELECT ";
+  if (select_list.empty()) {
+    out += "*";
+  } else {
+    std::vector<std::string> cols;
+    cols.reserve(select_list.size());
+    for (const expr::ExprPtr& e : select_list) cols.push_back(e->ToString());
+    out += common::Join(cols, ", ");
+  }
+  out += " FROM ";
+  std::vector<std::string> froms;
+  froms.reserve(tables.size());
+  for (const TableRef& t : tables) {
+    froms.push_back(t.table_name == t.alias ? t.table_name
+                                            : t.table_name + " " + t.alias);
+  }
+  out += common::Join(froms, ", ");
+  if (!conjuncts.empty()) {
+    std::vector<std::string> preds;
+    preds.reserve(conjuncts.size());
+    for (const expr::ExprPtr& e : conjuncts) preds.push_back(e->ToString());
+    out += " WHERE " + common::Join(preds, " AND ");
+  }
+  if (!order_by.empty()) out += " ORDER BY " + order_by;
+  return out;
+}
+
+}  // namespace ppp::plan

@@ -1,0 +1,294 @@
+#include "storage/btree.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/page.h"
+
+namespace ppp::storage {
+
+// Node layout (both kinds):
+//   [u8 is_leaf][u8 pad][u16 count][u32 next_leaf]   -- 8-byte header
+// Leaf entries, stride 16:      {i64 key, u64 rid}
+// Internal: [u32 leftmost_child] then entries, stride 20:
+//   {i64 key, u64 rid, u32 child}
+// An internal entry's (key, rid) is the composite separator: all entries in
+// `child` are >= it, all entries in the previous child are < it.
+
+namespace {
+
+constexpr size_t kHeader = 8;
+constexpr size_t kLeafEntrySize = 16;
+constexpr size_t kInternalEntrySize = 20;
+constexpr size_t kInternalEntriesOffset = kHeader + 4;  // After leftmost.
+
+// Nodes hold capacity+1 entries momentarily (insert, then split), so one
+// slot of physical headroom is reserved out of each page.
+constexpr size_t kLeafCapacity = (kPageSize - kHeader) / kLeafEntrySize - 1;
+constexpr size_t kInternalCapacity =
+    (kPageSize - kInternalEntriesOffset) / kInternalEntrySize - 1;
+
+template <typename T>
+T Load(const Page& page, size_t offset) {
+  T v;
+  std::memcpy(&v, page.bytes() + offset, sizeof(v));
+  return v;
+}
+
+template <typename T>
+void Store(Page* page, size_t offset, T v) {
+  std::memcpy(page->bytes() + offset, &v, sizeof(v));
+}
+
+bool IsLeaf(const Page& page) { return Load<uint8_t>(page, 0) != 0; }
+uint16_t Count(const Page& page) { return Load<uint16_t>(page, 2); }
+void SetCount(Page* page, uint16_t c) { Store<uint16_t>(page, 2, c); }
+PageId NextLeaf(const Page& page) { return Load<uint32_t>(page, 4); }
+void SetNextLeaf(Page* page, PageId id) { Store<uint32_t>(page, 4, id); }
+
+struct LeafEntry {
+  int64_t key;
+  uint64_t rid;
+};
+
+LeafEntry GetLeafEntry(const Page& page, size_t i) {
+  const size_t off = kHeader + i * kLeafEntrySize;
+  return {Load<int64_t>(page, off), Load<uint64_t>(page, off + 8)};
+}
+
+void SetLeafEntry(Page* page, size_t i, LeafEntry e) {
+  const size_t off = kHeader + i * kLeafEntrySize;
+  Store<int64_t>(page, off, e.key);
+  Store<uint64_t>(page, off + 8, e.rid);
+}
+
+struct InternalEntry {
+  int64_t key;
+  uint64_t rid;
+  PageId child;
+};
+
+PageId LeftmostChild(const Page& page) { return Load<uint32_t>(page, kHeader); }
+void SetLeftmostChild(Page* page, PageId id) {
+  Store<uint32_t>(page, kHeader, id);
+}
+
+InternalEntry GetInternalEntry(const Page& page, size_t i) {
+  const size_t off = kInternalEntriesOffset + i * kInternalEntrySize;
+  return {Load<int64_t>(page, off), Load<uint64_t>(page, off + 8),
+          Load<uint32_t>(page, off + 16)};
+}
+
+void SetInternalEntry(Page* page, size_t i, InternalEntry e) {
+  const size_t off = kInternalEntriesOffset + i * kInternalEntrySize;
+  Store<int64_t>(page, off, e.key);
+  Store<uint64_t>(page, off + 8, e.rid);
+  Store<uint32_t>(page, off + 16, e.child);
+}
+
+/// Composite comparison: -1 / 0 / +1 of (k1,r1) vs (k2,r2).
+int CompareComposite(int64_t k1, uint64_t r1, int64_t k2, uint64_t r2) {
+  if (k1 != k2) return k1 < k2 ? -1 : 1;
+  if (r1 != r2) return r1 < r2 ? -1 : 1;
+  return 0;
+}
+
+/// First index in the leaf whose entry is >= (key, rid). Binary search.
+size_t LeafLowerBound(const Page& page, int64_t key, uint64_t rid) {
+  size_t lo = 0;
+  size_t hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const LeafEntry e = GetLeafEntry(page, mid);
+    if (CompareComposite(e.key, e.rid, key, rid) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// The child of an internal node that covers composite (key, rid): the
+/// child of the last separator <= (key, rid), or the leftmost child.
+size_t InternalChildIndex(const Page& page, int64_t key, uint64_t rid) {
+  // Returns index into [0, count]: 0 means leftmost child, i>0 means
+  // entry i-1's child.
+  size_t lo = 0;
+  size_t hi = Count(page);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    const InternalEntry e = GetInternalEntry(page, mid);
+    if (CompareComposite(e.key, e.rid, key, rid) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PageId ChildAt(const Page& page, size_t index) {
+  if (index == 0) return LeftmostChild(page);
+  return GetInternalEntry(page, index - 1).child;
+}
+
+}  // namespace
+
+PageId BTree::AllocateNode(bool leaf) {
+  Page* page = nullptr;
+  const PageId id = pool_->NewPage(&page);
+  Store<uint8_t>(page, 0, leaf ? 1 : 0);
+  SetCount(page, 0);
+  SetNextLeaf(page, kInvalidPageId);
+  pool_->UnpinPage(id, /*dirty=*/true);
+  ++num_pages_;
+  return id;
+}
+
+void BTree::Insert(int64_t key, RecordId rid) {
+  if (root_ == kInvalidPageId) {
+    root_ = AllocateNode(/*leaf=*/true);
+  }
+  SplitResult split = InsertRec(root_, key, rid.Pack());
+  if (split.split) {
+    const PageId new_root = AllocateNode(/*leaf=*/false);
+    PageGuard guard(pool_, new_root);
+    SetLeftmostChild(guard.get(), root_);
+    SetInternalEntry(guard.get(), 0,
+                     {split.sep_key, split.sep_rid, split.new_page});
+    SetCount(guard.get(), 1);
+    guard.MarkDirty();
+    root_ = new_root;
+  }
+  ++num_entries_;
+}
+
+BTree::SplitResult BTree::InsertRec(PageId node, int64_t key, uint64_t rid) {
+  PageGuard guard(pool_, node);
+  Page* page = guard.get();
+
+  if (IsLeaf(*page)) {
+    const size_t pos = LeafLowerBound(*page, key, rid);
+    const size_t count = Count(*page);
+    // Shift right to open a hole. memmove over the contiguous entry array.
+    std::memmove(page->bytes() + kHeader + (pos + 1) * kLeafEntrySize,
+                 page->bytes() + kHeader + pos * kLeafEntrySize,
+                 (count - pos) * kLeafEntrySize);
+    SetLeafEntry(page, pos, {key, rid});
+    SetCount(page, static_cast<uint16_t>(count + 1));
+    guard.MarkDirty();
+
+    if (count + 1 <= kLeafCapacity) return {};
+
+    // Split: move the upper half to a new right sibling.
+    const size_t total = count + 1;
+    const size_t keep = total / 2;
+    const PageId right_id = AllocateNode(/*leaf=*/true);
+    PageGuard right_guard(pool_, right_id);
+    Page* right = right_guard.get();
+    for (size_t i = keep; i < total; ++i) {
+      SetLeafEntry(right, i - keep, GetLeafEntry(*page, i));
+    }
+    SetCount(right, static_cast<uint16_t>(total - keep));
+    SetNextLeaf(right, NextLeaf(*page));
+    SetCount(page, static_cast<uint16_t>(keep));
+    SetNextLeaf(page, right_id);
+    right_guard.MarkDirty();
+
+    const LeafEntry sep = GetLeafEntry(*right, 0);
+    return {true, sep.key, sep.rid, right_id};
+  }
+
+  // Internal node.
+  const size_t child_index = InternalChildIndex(*page, key, rid);
+  const PageId child = ChildAt(*page, child_index);
+  guard.Release();  // Unpin during the recursive descent.
+
+  SplitResult child_split = InsertRec(child, key, rid);
+  if (!child_split.split) return {};
+
+  PageGuard guard2(pool_, node);
+  page = guard2.get();
+  const size_t count = Count(*page);
+  // The new separator goes at position child_index (it is > all separators
+  // routed left of the child and < those right of it).
+  std::memmove(
+      page->bytes() + kInternalEntriesOffset +
+          (child_index + 1) * kInternalEntrySize,
+      page->bytes() + kInternalEntriesOffset +
+          child_index * kInternalEntrySize,
+      (count - child_index) * kInternalEntrySize);
+  SetInternalEntry(page, child_index,
+                   {child_split.sep_key, child_split.sep_rid,
+                    child_split.new_page});
+  SetCount(page, static_cast<uint16_t>(count + 1));
+  guard2.MarkDirty();
+
+  if (count + 1 <= kInternalCapacity) return {};
+
+  // Split the internal node; the middle separator moves up.
+  const size_t total = count + 1;
+  const size_t mid = total / 2;
+  const InternalEntry up = GetInternalEntry(*page, mid);
+  const PageId right_id = AllocateNode(/*leaf=*/false);
+  PageGuard right_guard(pool_, right_id);
+  Page* right = right_guard.get();
+  SetLeftmostChild(right, up.child);
+  for (size_t i = mid + 1; i < total; ++i) {
+    SetInternalEntry(right, i - mid - 1, GetInternalEntry(*page, i));
+  }
+  SetCount(right, static_cast<uint16_t>(total - mid - 1));
+  SetCount(page, static_cast<uint16_t>(mid));
+  right_guard.MarkDirty();
+
+  return {true, up.key, up.rid, right_id};
+}
+
+PageId BTree::FindLeaf(int64_t key, uint64_t rid) const {
+  PageId node = root_;
+  while (true) {
+    PageGuard guard(pool_, node);
+    const Page& page = *guard.get();
+    if (IsLeaf(page)) return node;
+    node = ChildAt(page, InternalChildIndex(page, key, rid));
+  }
+}
+
+std::vector<RecordId> BTree::Lookup(int64_t key) const {
+  return LookupRange(key, key);
+}
+
+std::vector<RecordId> BTree::LookupRange(int64_t lo, int64_t hi) const {
+  std::vector<RecordId> out;
+  if (root_ == kInvalidPageId || lo > hi) return out;
+  PageId leaf = FindLeaf(lo, /*rid=*/0);
+  while (leaf != kInvalidPageId) {
+    PageGuard guard(pool_, leaf);
+    const Page& page = *guard.get();
+    const size_t count = Count(page);
+    size_t i = LeafLowerBound(page, lo, /*rid=*/0);
+    for (; i < count; ++i) {
+      const LeafEntry e = GetLeafEntry(page, i);
+      if (e.key > hi) return out;
+      out.push_back(RecordId::Unpack(e.rid));
+    }
+    leaf = NextLeaf(page);
+  }
+  return out;
+}
+
+int BTree::Height() const {
+  if (root_ == kInvalidPageId) return 0;
+  int height = 1;
+  PageId node = root_;
+  while (true) {
+    PageGuard guard(pool_, node);
+    const Page& page = *guard.get();
+    if (IsLeaf(page)) return height;
+    node = LeftmostChild(page);
+    ++height;
+  }
+}
+
+}  // namespace ppp::storage

@@ -1,0 +1,72 @@
+#ifndef PPP_STORAGE_BTREE_H_
+#define PPP_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/record_id.h"
+
+namespace ppp::storage {
+
+/// A paged B+-tree mapping int64 keys to RecordIds, with duplicates.
+///
+/// Entries are totally ordered by the composite (key, rid), and internal
+/// separators carry the full composite, so lookups for a duplicated key
+/// descend directly to the leftmost matching leaf. Every node access goes
+/// through the BufferPool, so index probes incur the same (counted) I/O
+/// that the paper's cost model charges for "probing the index (typically
+/// 3 I/Os or less)".
+///
+/// The benchmark schema indexes integer attributes only, so keys are
+/// int64; the catalog enforces that indexed columns have INT64 type.
+class BTree {
+ public:
+  explicit BTree(BufferPool* pool) : pool_(pool) {}
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts one entry. Duplicate (key, rid) pairs are stored once each;
+  /// inserting the exact same pair twice stores it twice (callers do not).
+  void Insert(int64_t key, RecordId rid);
+
+  /// All record ids whose key equals `key`, in rid order.
+  std::vector<RecordId> Lookup(int64_t key) const;
+
+  /// All record ids with lo <= key <= hi, in (key, rid) order.
+  std::vector<RecordId> LookupRange(int64_t lo, int64_t hi) const;
+
+  size_t NumEntries() const { return num_entries_; }
+
+  /// Number of pages this index has allocated.
+  size_t NumPages() const { return num_pages_; }
+
+  /// Levels in the tree (1 = a single leaf). 0 when empty.
+  int Height() const;
+
+  bool empty() const { return root_ == kInvalidPageId; }
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    int64_t sep_key = 0;    // Composite separator: first entry of the new
+    uint64_t sep_rid = 0;   // right sibling.
+    PageId new_page = kInvalidPageId;
+  };
+
+  PageId AllocateNode(bool leaf);
+  SplitResult InsertRec(PageId node, int64_t key, uint64_t rid);
+
+  /// Descends to the leaf that could contain the composite (key, rid).
+  PageId FindLeaf(int64_t key, uint64_t rid) const;
+
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  size_t num_entries_ = 0;
+  size_t num_pages_ = 0;
+};
+
+}  // namespace ppp::storage
+
+#endif  // PPP_STORAGE_BTREE_H_

@@ -1,0 +1,23 @@
+#include "storage/disk_manager.h"
+
+#include "common/logging.h"
+
+namespace ppp::storage {
+
+PageId DiskManager::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void DiskManager::ReadPage(PageId page_id, Page* out) const {
+  PPP_CHECK(page_id < pages_.size()) << "read of unallocated page " << page_id;
+  *out = *pages_[page_id];
+}
+
+void DiskManager::WritePage(PageId page_id, const Page& page) {
+  PPP_CHECK(page_id < pages_.size())
+      << "write of unallocated page " << page_id;
+  *pages_[page_id] = page;
+}
+
+}  // namespace ppp::storage

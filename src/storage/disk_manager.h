@@ -1,0 +1,44 @@
+#ifndef PPP_STORAGE_DISK_MANAGER_H_
+#define PPP_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/record_id.h"
+
+namespace ppp::storage {
+
+/// A simulated disk: a growable array of pages held in memory.
+///
+/// The paper ran against real SunOS disks; here the disk is simulated and
+/// all timing comes from I/O *counts* (see IoStats), which is exactly the
+/// relative-measurement methodology the paper itself uses for expensive
+/// functions. Pages are stable in memory once allocated.
+class DiskManager {
+ public:
+  DiskManager() = default;
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a fresh zeroed page and returns its id. Ids are dense and
+  /// increase monotonically, so consecutively allocated pages are
+  /// "physically adjacent" for sequential-read classification.
+  PageId AllocatePage();
+
+  /// Copies page `page_id` into `*out`. Asserts the id is valid.
+  void ReadPage(PageId page_id, Page* out) const;
+
+  /// Overwrites page `page_id` with `page`.
+  void WritePage(PageId page_id, const Page& page);
+
+  size_t NumPages() const { return pages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace ppp::storage
+
+#endif  // PPP_STORAGE_DISK_MANAGER_H_

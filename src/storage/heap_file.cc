@@ -1,0 +1,122 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "storage/page.h"
+
+namespace ppp::storage {
+
+namespace {
+
+constexpr size_t kHeaderSize = 4;   // slot_count + free_end.
+constexpr size_t kSlotSize = 4;     // offset + length.
+
+uint16_t ReadU16(const Page& page, size_t offset) {
+  uint16_t v;
+  std::memcpy(&v, page.bytes() + offset, sizeof(v));
+  return v;
+}
+
+void WriteU16(Page* page, size_t offset, uint16_t v) {
+  std::memcpy(page->bytes() + offset, &v, sizeof(v));
+}
+
+uint16_t SlotCount(const Page& page) { return ReadU16(page, 0); }
+uint16_t FreeEnd(const Page& page) { return ReadU16(page, 2); }
+
+void InitPage(Page* page) {
+  WriteU16(page, 0, 0);
+  WriteU16(page, 2, static_cast<uint16_t>(kPageSize));
+}
+
+/// Bytes available for one more record (slot + payload) on this page.
+size_t FreeSpace(const Page& page) {
+  const size_t used_front = kHeaderSize + SlotCount(page) * kSlotSize;
+  const size_t free_end = FreeEnd(page);
+  if (free_end < used_front) return 0;
+  return free_end - used_front;
+}
+
+}  // namespace
+
+size_t HeapFile::MaxRecordSize() {
+  return kPageSize - kHeaderSize - kSlotSize;
+}
+
+common::Result<RecordId> HeapFile::Insert(const std::string& record) {
+  if (record.size() + kSlotSize > MaxRecordSize() + kSlotSize) {
+    return common::Status::InvalidArgument(
+        "record of " + std::to_string(record.size()) +
+        " bytes exceeds page capacity");
+  }
+
+  // Try the last page; heap files append, earlier pages are full(ish).
+  PageId page_id = kInvalidPageId;
+  Page* page = nullptr;
+  if (!pages_.empty()) {
+    page_id = pages_.back();
+    page = pool_->FetchPage(page_id);
+    if (FreeSpace(*page) < record.size() + kSlotSize) {
+      pool_->UnpinPage(page_id, false);
+      page = nullptr;
+    }
+  }
+  if (page == nullptr) {
+    page_id = pool_->NewPage(&page);
+    InitPage(page);
+    pages_.push_back(page_id);
+  }
+
+  const uint16_t slot = SlotCount(*page);
+  const uint16_t free_end = FreeEnd(*page);
+  const uint16_t record_offset =
+      static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(page->bytes() + record_offset, record.data(), record.size());
+  WriteU16(page, kHeaderSize + slot * kSlotSize, record_offset);
+  WriteU16(page, kHeaderSize + slot * kSlotSize + 2,
+           static_cast<uint16_t>(record.size()));
+  WriteU16(page, 0, static_cast<uint16_t>(slot + 1));
+  WriteU16(page, 2, record_offset);
+  pool_->UnpinPage(page_id, /*dirty=*/true);
+
+  ++num_records_;
+  return RecordId{page_id, slot};
+}
+
+common::Result<std::string> HeapFile::Read(RecordId rid) const {
+  PageGuard guard(pool_, rid.page_id);
+  const Page& page = *guard.get();
+  if (rid.slot >= SlotCount(page)) {
+    return common::Status::NotFound("no slot " + std::to_string(rid.slot) +
+                                    " on page " + std::to_string(rid.page_id));
+  }
+  const uint16_t offset = ReadU16(page, kHeaderSize + rid.slot * kSlotSize);
+  const uint16_t length =
+      ReadU16(page, kHeaderSize + rid.slot * kSlotSize + 2);
+  return std::string(reinterpret_cast<const char*>(page.bytes()) + offset,
+                     length);
+}
+
+bool HeapFile::Iterator::Next(RecordId* rid, std::string* record) {
+  while (page_index_ < file_->pages_.size()) {
+    const PageId page_id = file_->pages_[page_index_];
+    PageGuard guard(file_->pool_, page_id);
+    const Page& page = *guard.get();
+    if (slot_ < SlotCount(page)) {
+      const uint16_t offset = ReadU16(page, kHeaderSize + slot_ * kSlotSize);
+      const uint16_t length =
+          ReadU16(page, kHeaderSize + slot_ * kSlotSize + 2);
+      *rid = RecordId{page_id, slot_};
+      record->assign(
+          reinterpret_cast<const char*>(page.bytes()) + offset, length);
+      ++slot_;
+      return true;
+    }
+    ++page_index_;
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace ppp::storage

@@ -1,0 +1,35 @@
+#ifndef PPP_STORAGE_IO_STATS_H_
+#define PPP_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppp::storage {
+
+/// Counters for physical page traffic, maintained by the BufferPool.
+///
+/// Reads are classified as sequential (page id exactly one past the
+/// previously read page) or random; the paper's expensive-function costs
+/// are denominated in *random* I/Os, so experiment harnesses convert these
+/// counters into charged time via cost::CostParams.
+struct IoStats {
+  uint64_t sequential_reads = 0;
+  uint64_t random_reads = 0;
+  uint64_t writes = 0;
+  uint64_t buffer_hits = 0;
+
+  uint64_t TotalReads() const { return sequential_reads + random_reads; }
+
+  void Reset() { *this = IoStats(); }
+
+  std::string ToString() const {
+    return "seq_reads=" + std::to_string(sequential_reads) +
+           " rand_reads=" + std::to_string(random_reads) +
+           " writes=" + std::to_string(writes) +
+           " hits=" + std::to_string(buffer_hits);
+  }
+};
+
+}  // namespace ppp::storage
+
+#endif  // PPP_STORAGE_IO_STATS_H_

@@ -1,0 +1,28 @@
+#ifndef PPP_STORAGE_PAGE_H_
+#define PPP_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace ppp::storage {
+
+/// Page size in bytes. The paper's tuples are 100 bytes wide, so a page
+/// holds roughly 38 tuples after slot overhead — matching the "several
+/// dozen tuples per block" regime Montage ran in.
+inline constexpr size_t kPageSize = 4096;
+
+/// A raw fixed-size page buffer. Interpretation (slotted data page, B-tree
+/// node) is layered on top by HeapFile / BTree.
+struct Page {
+  std::array<uint8_t, kPageSize> data;
+
+  Page() { data.fill(0); }
+
+  uint8_t* bytes() { return data.data(); }
+  const uint8_t* bytes() const { return data.data(); }
+};
+
+}  // namespace ppp::storage
+
+#endif  // PPP_STORAGE_PAGE_H_

@@ -1,0 +1,47 @@
+#ifndef PPP_STORAGE_RECORD_ID_H_
+#define PPP_STORAGE_RECORD_ID_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ppp::storage {
+
+/// Identifies one page in the DiskManager's page space.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Physical address of a record: (page, slot). Orderable so B-tree entries
+/// with duplicate keys have a deterministic total order.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const RecordId& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+  bool operator!=(const RecordId& other) const { return !(*this == other); }
+  bool operator<(const RecordId& other) const {
+    if (page_id != other.page_id) return page_id < other.page_id;
+    return slot < other.slot;
+  }
+
+  /// Packs into 48 meaningful bits for storage inside index entries.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static RecordId Unpack(uint64_t packed) {
+    RecordId rid;
+    rid.page_id = static_cast<PageId>(packed >> 16);
+    rid.slot = static_cast<uint16_t>(packed & 0xFFFFu);
+    return rid;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(page_id) + "," + std::to_string(slot) + ")";
+  }
+};
+
+}  // namespace ppp::storage
+
+#endif  // PPP_STORAGE_RECORD_ID_H_

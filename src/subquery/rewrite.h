@@ -1,0 +1,37 @@
+#ifndef PPP_SUBQUERY_REWRITE_H_
+#define PPP_SUBQUERY_REWRITE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/query_spec.h"
+
+namespace ppp::subquery {
+
+/// Rewrites every `x IN (SELECT ...)` predicate in `spec` into a call to a
+/// synthesized expensive boolean function registered on `catalog` — the
+/// paper's treatment of (correlated) SQL subqueries as expensive
+/// selections (§1, §5.1).
+///
+/// The synthesized function:
+///  * takes the needle value plus one argument per correlated outer
+///    column, so the §5.1 predicate cache is keyed on exactly the outer
+///    bindings — the paper's `(student.mother, student.dept)` example;
+///  * declares a per-call cost equal to the optimizer's estimate for the
+///    subquery (the placement algorithms then weigh it like any expensive
+///    predicate);
+///  * executes the subquery against the live database on invocation,
+///    memoizing the produced value set per correlated binding. Its real
+///    I/O is counted by the buffer pool, so charge_invocations is false
+///    (no double billing).
+common::Status RewriteSubqueries(plan::QuerySpec* spec,
+                                 catalog::Catalog* catalog);
+
+/// Convenience: parse + bind + rewrite subqueries.
+common::Result<plan::QuerySpec> ParseBindRewrite(const std::string& sql,
+                                                 catalog::Catalog* catalog);
+
+}  // namespace ppp::subquery
+
+#endif  // PPP_SUBQUERY_REWRITE_H_

@@ -1,0 +1,35 @@
+#include "types/row_schema.h"
+
+#include "common/string_util.h"
+
+namespace ppp::types {
+
+std::optional<size_t> RowSchema::FindColumn(const std::string& table,
+                                            const std::string& name) const {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnInfo& col = columns_[i];
+    if (col.name != name) continue;
+    if (!table.empty() && col.table != table) continue;
+    if (found.has_value()) return std::nullopt;  // Ambiguous.
+    found = i;
+  }
+  return found;
+}
+
+RowSchema RowSchema::Concat(const RowSchema& left, const RowSchema& right) {
+  std::vector<ColumnInfo> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return RowSchema(std::move(cols));
+}
+
+std::string RowSchema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const ColumnInfo& col : columns_) {
+    parts.push_back(col.QualifiedName() + ":" + TypeIdName(col.type));
+  }
+  return common::Join(parts, ", ");
+}
+
+}  // namespace ppp::types

@@ -1,0 +1,61 @@
+#ifndef PPP_TYPES_ROW_SCHEMA_H_
+#define PPP_TYPES_ROW_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace ppp::types {
+
+/// One column of a row descriptor: a (table alias, column name, type)
+/// triple. `table` is the range-variable name from the query, so the same
+/// base table scanned twice gets distinct column identities.
+struct ColumnInfo {
+  std::string table;
+  std::string name;
+  TypeId type = TypeId::kInt64;
+
+  std::string QualifiedName() const { return table + "." + name; }
+
+  bool operator==(const ColumnInfo& other) const {
+    return table == other.table && name == other.name && type == other.type;
+  }
+};
+
+/// Describes the layout of tuples flowing between operators (the executor's
+/// row descriptor). Distinct from catalog::TableDef, which describes stored
+/// base tables.
+class RowSchema {
+ public:
+  RowSchema() = default;
+  explicit RowSchema(std::vector<ColumnInfo> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnInfo& Column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnInfo>& columns() const { return columns_; }
+
+  /// Finds a column by (table, name); `table` empty matches any table but
+  /// the lookup fails on ambiguity. Returns nullopt if not found/ambiguous.
+  std::optional<size_t> FindColumn(const std::string& table,
+                                   const std::string& name) const;
+
+  /// Concatenates two schemas (output of a join).
+  static RowSchema Concat(const RowSchema& left, const RowSchema& right);
+
+  /// "t1.a1:INT64, t1.u20:INT64" — for debugging and plan explain output.
+  std::string ToString() const;
+
+  bool operator==(const RowSchema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<ColumnInfo> columns_;
+};
+
+}  // namespace ppp::types
+
+#endif  // PPP_TYPES_ROW_SCHEMA_H_

@@ -1,0 +1,37 @@
+#ifndef PPP_WORKLOAD_DATABASE_H_
+#define PPP_WORKLOAD_DATABASE_H_
+
+#include <cstddef>
+
+#include "catalog/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace ppp::workload {
+
+/// A self-contained database instance: simulated disk, buffer pool, and
+/// catalog. The default pool (256 pages = 1 MB) is deliberately much
+/// smaller than the benchmark tables, mirroring the paper's 32 MB memory
+/// against a 110 MB database.
+class Database {
+ public:
+  explicit Database(size_t buffer_pages = 256)
+      : pool_(&disk_, buffer_pages), catalog_(&pool_) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  storage::BufferPool& pool() { return pool_; }
+  storage::DiskManager& disk() { return disk_; }
+
+ private:
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+};
+
+}  // namespace ppp::workload
+
+#endif  // PPP_WORKLOAD_DATABASE_H_

@@ -1,0 +1,121 @@
+#include "workload/measurement.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+#include "optimizer/optimizer.h"
+
+namespace ppp::workload {
+
+std::string Measurement::Summary() const {
+  std::string out = common::StringPrintf(
+      "%-20s est=%-12.6g measured=%-12.6g (io=%.6g udf=%.6g) rows=%llu",
+      algorithm.c_str(), est_cost, charged_time, charged_io, charged_udf,
+      static_cast<unsigned long long>(output_rows));
+  std::vector<std::string> invs;
+  for (const auto& [name, count] : invocations) {
+    invs.push_back(name + "×" + std::to_string(count));
+  }
+  std::sort(invs.begin(), invs.end());
+  if (!invs.empty()) out += "  [" + common::Join(invs, " ") + "]";
+  return out;
+}
+
+double ChargedTime(const exec::ExecStats& stats,
+                   const catalog::FunctionRegistry& functions,
+                   const cost::CostParams& params, double* io_part,
+                   double* udf_part) {
+  const double io =
+      static_cast<double>(stats.io.sequential_reads) * params.seq_page_io +
+      static_cast<double>(stats.io.random_reads) * params.rand_page_io +
+      static_cast<double>(stats.io.writes) * params.seq_page_io;
+  double udf = 0.0;
+  for (const auto& [name, count] : stats.invocations) {
+    auto def = functions.Lookup(name);
+    if (def.ok() && (*def)->charge_invocations) {
+      udf += static_cast<double>(count) * (*def)->cost_per_call *
+             params.rand_page_io;
+    }
+  }
+  if (io_part != nullptr) *io_part = io;
+  if (udf_part != nullptr) *udf_part = udf;
+  return io + udf;
+}
+
+common::Result<Measurement> RunWithAlgorithm(
+    Database* db, const plan::QuerySpec& spec,
+    optimizer::Algorithm algorithm, const cost::CostParams& cost_params,
+    const exec::ExecParams& exec_params, bool execute) {
+  Measurement m;
+  m.algorithm = optimizer::AlgorithmName(algorithm);
+
+  optimizer::Optimizer opt(&db->catalog(), cost_params);
+  const auto started = std::chrono::steady_clock::now();
+  PPP_ASSIGN_OR_RETURN(optimizer::OptimizeResult result,
+                       opt.Optimize(spec, algorithm));
+  m.optimize_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  m.est_cost = result.est_cost;
+  m.plans_retained = result.plans_retained;
+  m.plan_text = result.plan->ToString();
+
+  if (!execute) return m;
+
+  // Cold start: nothing of the previous run survives in the pool.
+  db->pool().FlushAll();
+  db->pool().EvictAll();
+
+  exec::ExecContext ctx;
+  ctx.catalog = &db->catalog();
+  ctx.params = exec_params;
+  for (const plan::TableRef& ref : spec.tables) {
+    PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                         db->catalog().GetTable(ref.table_name));
+    ctx.binding[ref.alias] = table;
+  }
+
+  exec::ExecStats stats;
+  PPP_ASSIGN_OR_RETURN(std::vector<types::Tuple> rows,
+                       exec::ExecutePlan(*result.plan, &ctx, &stats));
+  m.output_rows = stats.output_rows;
+  m.invocations = stats.invocations;
+  m.charged_time = ChargedTime(stats, db->catalog().functions(), cost_params,
+                               &m.charged_io, &m.charged_udf);
+  (void)rows;
+  return m;
+}
+
+std::vector<std::string> CanonicalResults(
+    const std::vector<types::Tuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const types::Tuple& row : rows) out.push_back(row.Serialize());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> CanonicalResults(
+    const std::vector<types::Tuple>& rows, const types::RowSchema& schema) {
+  // Permutation of column indexes into ascending qualified-name order.
+  std::vector<size_t> order(schema.NumColumns());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return schema.Column(a).QualifiedName() <
+           schema.Column(b).QualifiedName();
+  });
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const types::Tuple& row : rows) {
+    std::vector<types::Value> values;
+    values.reserve(order.size());
+    for (const size_t i : order) values.push_back(row.Get(i));
+    out.push_back(types::Tuple(std::move(values)).Serialize());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ppp::workload

@@ -1,0 +1,63 @@
+#ifndef PPP_WORKLOAD_MEASUREMENT_H_
+#define PPP_WORKLOAD_MEASUREMENT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_params.h"
+#include "exec/executor.h"
+#include "optimizer/algorithm.h"
+#include "plan/query_spec.h"
+#include "workload/database.h"
+
+namespace ppp::workload {
+
+/// One optimize-then-execute run of a query under one placement algorithm,
+/// measured the way the paper measures (§2): physical I/O counts plus
+/// `invocations × declared cost` per expensive function, all in random-I/O
+/// units. Numbers are relative, never wall-clock.
+struct Measurement {
+  std::string algorithm;
+  double est_cost = 0.0;       // Optimizer's estimate.
+  double charged_time = 0.0;   // Measured relative time.
+  double charged_io = 0.0;     // I/O share of charged_time.
+  double charged_udf = 0.0;    // Function share of charged_time.
+  uint64_t output_rows = 0;
+  std::unordered_map<std::string, uint64_t> invocations;
+  double optimize_seconds = 0.0;
+  size_t plans_retained = 0;
+  std::string plan_text;
+
+  std::string Summary() const;
+};
+
+/// Converts executor stats into charged relative time under `params`.
+double ChargedTime(const exec::ExecStats& stats,
+                   const catalog::FunctionRegistry& functions,
+                   const cost::CostParams& params, double* io_part,
+                   double* udf_part);
+
+/// Optimizes `spec` with `algorithm`, evicts the buffer pool (cold start,
+/// as the paper's one-query-at-a-time measurements imply), executes, and
+/// measures. `execute` false skips execution (for optimize-time studies).
+common::Result<Measurement> RunWithAlgorithm(
+    Database* db, const plan::QuerySpec& spec,
+    optimizer::Algorithm algorithm, const cost::CostParams& cost_params,
+    const exec::ExecParams& exec_params, bool execute = true);
+
+/// Canonical form of a result set (sorted serialized tuples), for
+/// cross-algorithm equivalence checks.
+std::vector<std::string> CanonicalResults(
+    const std::vector<types::Tuple>& rows);
+
+/// Schema-aware canonical form: reorders each row's values into ascending
+/// qualified-column-name order before serializing, so plans with different
+/// join orders (hence different output column orders) compare equal.
+std::vector<std::string> CanonicalResults(
+    const std::vector<types::Tuple>& rows, const types::RowSchema& schema);
+
+}  // namespace ppp::workload
+
+#endif  // PPP_WORKLOAD_MEASUREMENT_H_

@@ -1,0 +1,35 @@
+#ifndef PPP_WORKLOAD_RANDOM_QUERIES_H_
+#define PPP_WORKLOAD_RANDOM_QUERIES_H_
+
+#include "common/random.h"
+#include "plan/query_spec.h"
+#include "workload/schema_gen.h"
+
+namespace ppp::workload {
+
+/// Knobs for the random-query generator.
+struct RandomQueryOptions {
+  int min_tables = 2;
+  int max_tables = 4;
+  int max_cheap_predicates = 2;
+  int max_expensive_predicates = 2;
+};
+
+/// Generates a random chain-join query over the benchmark tables of
+/// `config`: adjacent tables joined on randomly chosen (mostly
+/// near-unique) columns, plus random cheap range selections and random
+/// costly predicates.
+///
+/// This powers the paper's own debugging methodology (§5): "running the
+/// same query under the various different optimization heuristics, and
+/// comparing the estimated costs and running times of the resulting
+/// plans" — here as an automated property: all algorithms must agree on
+/// results, and Predicate Migration must never be estimated worse than
+/// the simpler heuristics.
+plan::QuerySpec RandomQuery(const BenchmarkConfig& config,
+                            const RandomQueryOptions& options,
+                            common::Random* rng);
+
+}  // namespace ppp::workload
+
+#endif  // PPP_WORKLOAD_RANDOM_QUERIES_H_

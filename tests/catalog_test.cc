@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace ppp::catalog {
+namespace {
+
+using types::TypeId;
+using types::Tuple;
+using types::Value;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : pool_(&disk_, 64), catalog_(&pool_) {}
+
+  Table* MakeEmp() {
+    auto table = catalog_.CreateTable(
+        "emp", {{"id", TypeId::kInt64},
+                {"dept", TypeId::kInt64},
+                {"name", TypeId::kString}});
+    EXPECT_TRUE(table.ok());
+    return *table;
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndGet) {
+  Table* t = MakeEmp();
+  auto got = catalog_.GetTable("emp");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, t);
+  EXPECT_EQ(catalog_.TableNames(), std::vector<std::string>{"emp"});
+}
+
+TEST_F(CatalogTest, DuplicateTableRejected) {
+  MakeEmp();
+  auto dup = catalog_.CreateTable("emp", {{"x", TypeId::kInt64}});
+  EXPECT_EQ(dup.status().code(), common::StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, GetMissingTableFails) {
+  EXPECT_EQ(catalog_.GetTable("nope").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, EmptyOrDuplicateColumnsRejected) {
+  EXPECT_FALSE(catalog_.CreateTable("bad", {}).ok());
+  EXPECT_FALSE(catalog_
+                   .CreateTable("bad2", {{"a", TypeId::kInt64},
+                                         {"a", TypeId::kInt64}})
+                   .ok());
+  EXPECT_FALSE(catalog_.CreateTable("", {{"a", TypeId::kInt64}}).ok());
+}
+
+TEST_F(CatalogTest, InsertAndReadBack) {
+  Table* t = MakeEmp();
+  ASSERT_TRUE(
+      t->Insert(Tuple({Value(int64_t{1}), Value(int64_t{10}), Value("ann")}))
+          .ok());
+  EXPECT_EQ(t->NumTuples(), 1);
+
+  storage::HeapFile::Iterator it = t->heap().Scan();
+  storage::RecordId rid;
+  std::string bytes;
+  ASSERT_TRUE(it.Next(&rid, &bytes));
+  auto tuple = t->Read(rid);
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->Get(2).AsString(), "ann");
+}
+
+TEST_F(CatalogTest, ArityMismatchRejected) {
+  Table* t = MakeEmp();
+  EXPECT_FALSE(t->Insert(Tuple({Value(int64_t{1})})).ok());
+}
+
+TEST_F(CatalogTest, IndexBuildAndLookupThroughInserts) {
+  Table* t = MakeEmp();
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t->Insert(Tuple({Value(i), Value(i % 10), Value("x")})).ok());
+  }
+  ASSERT_TRUE(t->CreateIndex("dept").ok());
+  // Index built over existing data.
+  EXPECT_EQ(t->GetIndex("dept")->Lookup(3).size(), 10u);
+  // ...and maintained by later inserts.
+  ASSERT_TRUE(
+      t->Insert(Tuple({Value(int64_t{100}), Value(int64_t{3}), Value("y")}))
+          .ok());
+  EXPECT_EQ(t->GetIndex("dept")->Lookup(3).size(), 11u);
+}
+
+TEST_F(CatalogTest, IndexOnMissingOrNonIntColumnFails) {
+  Table* t = MakeEmp();
+  EXPECT_EQ(t->CreateIndex("nope").code(),
+            common::StatusCode::kNotFound);
+  EXPECT_EQ(t->CreateIndex("name").code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, DuplicateIndexRejected) {
+  Table* t = MakeEmp();
+  ASSERT_TRUE(t->CreateIndex("id").ok());
+  EXPECT_EQ(t->CreateIndex("id").code(),
+            common::StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, AnalyzeComputesStats) {
+  Table* t = MakeEmp();
+  for (int64_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        t->Insert(Tuple({Value(i), Value(i % 20), Value("n")})).ok());
+  }
+  ASSERT_TRUE(t->Analyze().ok());
+  EXPECT_EQ(t->GetColumnStats("id").num_distinct, 60);
+  EXPECT_EQ(t->GetColumnStats("id").min_value, 0);
+  EXPECT_EQ(t->GetColumnStats("id").max_value, 59);
+  EXPECT_EQ(t->GetColumnStats("dept").num_distinct, 20);
+  EXPECT_EQ(t->GetColumnStats("name").num_distinct, 1);
+}
+
+TEST_F(CatalogTest, AnalyzeHandlesNullsAndLateMinima) {
+  Table* t = MakeEmp();
+  ASSERT_TRUE(t->Insert(Tuple({Value(), Value(int64_t{5}), Value("a")})).ok());
+  ASSERT_TRUE(
+      t->Insert(Tuple({Value(int64_t{-7}), Value(int64_t{2}), Value("b")}))
+          .ok());
+  ASSERT_TRUE(t->Analyze().ok());
+  // NULL in the first row must not pollute min/max.
+  EXPECT_EQ(t->GetColumnStats("id").num_distinct, 1);
+  EXPECT_EQ(t->GetColumnStats("id").min_value, -7);
+  EXPECT_EQ(t->GetColumnStats("id").max_value, -7);
+}
+
+TEST_F(CatalogTest, NullsSkippedByIndexes) {
+  Table* t = MakeEmp();
+  ASSERT_TRUE(t->CreateIndex("id").ok());
+  ASSERT_TRUE(t->Insert(Tuple({Value(), Value(int64_t{1}), Value("a")})).ok());
+  EXPECT_EQ(t->GetIndex("id")->NumEntries(), 0u);
+}
+
+TEST_F(CatalogTest, RowSchemaForAlias) {
+  Table* t = MakeEmp();
+  const types::RowSchema schema = t->RowSchemaForAlias("e");
+  ASSERT_EQ(schema.NumColumns(), 3u);
+  EXPECT_EQ(schema.Column(0).QualifiedName(), "e.id");
+  EXPECT_EQ(schema.Column(2).type, TypeId::kString);
+}
+
+TEST(FunctionRegistryTest, RegisterAndLookup) {
+  FunctionRegistry registry;
+  FunctionDef def;
+  def.name = "f";
+  def.cost_per_call = 5;
+  def.impl = [](const std::vector<Value>&) { return Value(true); };
+  ASSERT_TRUE(registry.Register(std::move(def)).ok());
+  auto got = registry.Lookup("f");
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ((*got)->cost_per_call, 5);
+  EXPECT_TRUE(registry.Contains("f"));
+  EXPECT_FALSE(registry.Contains("g"));
+  EXPECT_EQ(registry.Lookup("g").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(FunctionRegistryTest, DuplicateAndEmptyNamesRejected) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterCostlyPredicate("f", 1, 0.5).ok());
+  EXPECT_EQ(registry.RegisterCostlyPredicate("f", 2, 0.5).code(),
+            common::StatusCode::kAlreadyExists);
+  FunctionDef unnamed;
+  EXPECT_EQ(registry.Register(std::move(unnamed)).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(FunctionRegistryTest, CostlyPredicateSelectivityIsAccurate) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterCostlyPredicate("sel30", 1, 0.3).ok());
+  const FunctionDef* def = *registry.Lookup("sel30");
+  int pass = 0;
+  for (int64_t i = 0; i < 10000; ++i) {
+    if (def->impl({Value(i)}).AsBool()) ++pass;
+  }
+  EXPECT_NEAR(pass / 10000.0, 0.3, 0.03);
+}
+
+TEST(FunctionRegistryTest, CostlyPredicateIsDeterministic) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterCostlyPredicate("d", 1, 0.5).ok());
+  const FunctionDef* def = *registry.Lookup("d");
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(def->impl({Value(i)}).AsBool(), def->impl({Value(i)}).AsBool());
+  }
+}
+
+TEST(FunctionRegistryTest, NamesSorted) {
+  FunctionRegistry registry;
+  ASSERT_TRUE(registry.RegisterCostlyPredicate("zeta", 1, 0.5).ok());
+  ASSERT_TRUE(registry.RegisterCostlyPredicate("alpha", 1, 0.5).ok());
+  EXPECT_EQ(registry.Names(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace ppp::catalog

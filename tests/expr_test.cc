@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "catalog/function_registry.h"
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace ppp::expr {
+namespace {
+
+using types::RowSchema;
+using types::Tuple;
+using types::TypeId;
+using types::Value;
+
+TEST(ExprTest, ToStringForms) {
+  EXPECT_EQ(Col("t", "c")->ToString(), "t.c");
+  EXPECT_EQ(Col("", "c")->ToString(), "c");
+  EXPECT_EQ(Int(5)->ToString(), "5");
+  EXPECT_EQ(Eq(Col("t", "a"), Int(1))->ToString(), "t.a = 1");
+  EXPECT_EQ(Call("f", {Col("t", "x"), Int(2)})->ToString(), "f(t.x, 2)");
+  EXPECT_EQ(And(Eq(Col("a", "x"), Int(1)), Eq(Col("b", "y"), Int(2)))
+                ->ToString(),
+            "(a.x = 1 AND b.y = 2)");
+  EXPECT_EQ(Not(Col("t", "flag"))->ToString(), "NOT (t.flag)");
+  EXPECT_EQ(Arith(ArithOp::kMul, Int(2), Int(3))->ToString(), "(2 * 3)");
+}
+
+TEST(ExprTest, ReferencedTables) {
+  ExprPtr e = And(Eq(Col("a", "x"), Col("b", "y")), Call("f", {Col("c", "z")}));
+  const std::set<std::string> tables = e->ReferencedTables();
+  EXPECT_EQ(tables, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(ExprTest, CollectFunctionCallsFindsNested) {
+  ExprPtr e = Call("outer", {Call("inner", {Col("t", "x")})});
+  std::vector<const Expr*> calls;
+  e->CollectFunctionCalls(&calls);
+  ASSERT_EQ(calls.size(), 2u);
+}
+
+TEST(ExprTest, SplitAndCombineConjuncts) {
+  ExprPtr a = Eq(Col("t", "x"), Int(1));
+  ExprPtr b = Eq(Col("t", "y"), Int(2));
+  ExprPtr c = Eq(Col("t", "z"), Int(3));
+  const std::vector<ExprPtr> split = SplitConjuncts(And(And(a, b), c));
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_TRUE(split[0]->Equals(*a));
+  EXPECT_TRUE(split[2]->Equals(*c));
+
+  // OR is not split.
+  EXPECT_EQ(SplitConjuncts(Or(a, b)).size(), 1u);
+  EXPECT_EQ(SplitConjuncts(nullptr).size(), 0u);
+
+  ExprPtr combined = CombineConjuncts(split);
+  EXPECT_EQ(SplitConjuncts(combined).size(), 3u);
+}
+
+TEST(ExprTest, EqualsIsStructural) {
+  EXPECT_TRUE(Eq(Col("t", "a"), Int(1))->Equals(*Eq(Col("t", "a"), Int(1))));
+  EXPECT_FALSE(Eq(Col("t", "a"), Int(1))->Equals(*Eq(Col("t", "a"), Int(2))));
+  EXPECT_FALSE(Eq(Col("t", "a"), Int(1))
+                   ->Equals(*Cmp(CompareOp::kLt, Col("t", "a"), Int(1))));
+  EXPECT_FALSE(Col("t", "a")->Equals(*Col("u", "a")));
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest()
+      : schema_({{"t", "a", TypeId::kInt64},
+                 {"t", "b", TypeId::kInt64},
+                 {"t", "s", TypeId::kString}}) {
+    catalog::FunctionDef def;
+    def.name = "is_even";
+    def.cost_per_call = 1;
+    def.selectivity = 0.5;
+    def.impl = [](const std::vector<Value>& args) {
+      if (args[0].is_null()) return Value();
+      return Value(args[0].AsInt64() % 2 == 0);
+    };
+    EXPECT_TRUE(functions_.Register(std::move(def)).ok());
+  }
+
+  Value Eval(const ExprPtr& e, const Tuple& t) {
+    auto bound = BoundExpr::Bind(e, schema_, functions_);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    return (*bound)->Eval(t, &ctx_);
+  }
+
+  RowSchema schema_;
+  catalog::FunctionRegistry functions_;
+  EvalContext ctx_;
+};
+
+TEST_F(EvalTest, ColumnAndConstant) {
+  Tuple t({Value(int64_t{7}), Value(int64_t{2}), Value("x")});
+  EXPECT_EQ(Eval(Col("t", "a"), t).AsInt64(), 7);
+  EXPECT_EQ(Eval(Int(3), t).AsInt64(), 3);
+}
+
+TEST_F(EvalTest, Comparisons) {
+  Tuple t({Value(int64_t{7}), Value(int64_t{2}), Value("x")});
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kGt, Col("t", "a"), Col("t", "b")), t)
+                  .AsBool());
+  EXPECT_FALSE(Eval(Eq(Col("t", "a"), Col("t", "b")), t).AsBool());
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kNe, Col("t", "a"), Col("t", "b")), t)
+                  .AsBool());
+  EXPECT_TRUE(Eval(Cmp(CompareOp::kLe, Col("t", "b"), Int(2)), t).AsBool());
+}
+
+TEST_F(EvalTest, NullComparisonsAreNull) {
+  Tuple t({Value(), Value(int64_t{2}), Value("x")});
+  EXPECT_TRUE(Eval(Eq(Col("t", "a"), Int(1)), t).is_null());
+}
+
+TEST_F(EvalTest, ThreeValuedAndOr) {
+  Tuple t({Value(), Value(int64_t{2}), Value("x")});
+  ExprPtr null_cmp = Eq(Col("t", "a"), Int(1));       // NULL
+  ExprPtr true_cmp = Eq(Col("t", "b"), Int(2));       // true
+  ExprPtr false_cmp = Eq(Col("t", "b"), Int(3));      // false
+  // false AND NULL = false; true AND NULL = NULL.
+  EXPECT_FALSE(Eval(And(false_cmp, null_cmp), t).is_null());
+  EXPECT_FALSE(Eval(And(false_cmp, null_cmp), t).AsBool());
+  EXPECT_TRUE(Eval(And(true_cmp, null_cmp), t).is_null());
+  // true OR NULL = true; false OR NULL = NULL.
+  EXPECT_TRUE(Eval(Or(true_cmp, null_cmp), t).AsBool());
+  EXPECT_TRUE(Eval(Or(false_cmp, null_cmp), t).is_null());
+  // NOT NULL = NULL.
+  EXPECT_TRUE(Eval(Not(null_cmp), t).is_null());
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  Tuple t({Value(int64_t{7}), Value(int64_t{2}), Value("x")});
+  EXPECT_EQ(Eval(Arith(ArithOp::kAdd, Col("t", "a"), Col("t", "b")), t)
+                .AsInt64(),
+            9);
+  EXPECT_EQ(Eval(Arith(ArithOp::kSub, Col("t", "a"), Int(10)), t).AsInt64(),
+            -3);
+  EXPECT_EQ(Eval(Arith(ArithOp::kMul, Col("t", "b"), Int(4)), t).AsInt64(), 8);
+  EXPECT_DOUBLE_EQ(
+      Eval(Arith(ArithOp::kDiv, Col("t", "a"), Col("t", "b")), t).AsDouble(),
+      3.5);
+  // Division by zero yields NULL, not a crash.
+  EXPECT_TRUE(Eval(Arith(ArithOp::kDiv, Col("t", "a"), Int(0)), t).is_null());
+}
+
+TEST_F(EvalTest, FunctionCallCountsInvocations) {
+  Tuple t({Value(int64_t{4}), Value(int64_t{2}), Value("x")});
+  ExprPtr call = Call("is_even", {Col("t", "a")});
+  EXPECT_TRUE(Eval(call, t).AsBool());
+  EXPECT_TRUE(Eval(call, t).AsBool());
+  EXPECT_EQ(ctx_.InvocationsOf("is_even"), 2u);
+  EXPECT_EQ(ctx_.InvocationsOf("other"), 0u);
+}
+
+TEST_F(EvalTest, EvalBoolCollapsesNullToFalse) {
+  Tuple t({Value(), Value(int64_t{2}), Value("x")});
+  auto bound = BoundExpr::Bind(Eq(Col("t", "a"), Int(1)), schema_,
+                               functions_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE((*bound)->EvalBool(t, &ctx_));
+}
+
+TEST_F(EvalTest, BindFailsOnUnknownColumn) {
+  EXPECT_FALSE(BoundExpr::Bind(Col("t", "nope"), schema_, functions_).ok());
+  EXPECT_FALSE(BoundExpr::Bind(Col("u", "a"), schema_, functions_).ok());
+}
+
+TEST_F(EvalTest, BindFailsOnUnknownFunction) {
+  EXPECT_FALSE(
+      BoundExpr::Bind(Call("nope", {Col("t", "a")}), schema_, functions_)
+          .ok());
+}
+
+TEST_F(EvalTest, ColumnIndexesCollectedDepthFirst) {
+  auto bound = BoundExpr::Bind(
+      And(Eq(Col("t", "b"), Int(1)), Call("is_even", {Col("t", "a")})),
+      schema_, functions_);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->column_indexes(), (std::vector<size_t>{1, 0}));
+}
+
+}  // namespace
+}  // namespace ppp::expr

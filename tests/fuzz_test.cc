@@ -1,0 +1,112 @@
+// Randomized cross-algorithm consistency: the paper's §5 debugging
+// methodology ("benchmarking is absolutely crucial to thoroughly debugging
+// a query optimizer") turned into an automated property suite. For each
+// seeded random query:
+//   1. every placement algorithm returns the same result set;
+//   2. Predicate Migration's estimate never exceeds the simpler
+//      heuristics' (the paper's observed invariant after debugging);
+//   3. Exhaustive's estimate lower-bounds everything it can plan.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "workload/database.h"
+#include "workload/measurement.h"
+#include "workload/random_queries.h"
+#include "workload/schema_gen.h"
+
+namespace ppp {
+namespace {
+
+using optimizer::Algorithm;
+
+class FuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  static workload::Database* db() {
+    static workload::Database* db = [] {
+      auto* instance = new workload::Database();
+      EXPECT_TRUE(
+          workload::LoadBenchmarkDatabase(instance, Config()).ok());
+      EXPECT_TRUE(workload::RegisterBenchmarkFunctions(instance).ok());
+      return instance;
+    }();
+    return db;
+  }
+
+  static workload::BenchmarkConfig Config() {
+    workload::BenchmarkConfig config;
+    config.scale = 150;
+    config.table_numbers = {1, 3, 6, 9, 10};
+    return config;
+  }
+
+  std::optional<std::vector<std::string>> Execute(
+      const plan::QuerySpec& spec, Algorithm algorithm, double* est) {
+    optimizer::Optimizer opt(&db()->catalog(), {});
+    auto result = opt.Optimize(spec, algorithm);
+    EXPECT_TRUE(result.ok())
+        << AlgorithmName(algorithm) << ": " << result.status();
+    if (!result.ok()) return std::nullopt;
+    *est = result->est_cost;
+    // Skip execution of plans with huge outputs; the optimizer-level
+    // invariants are still checked.
+    if (result->plan->est_rows > 100000) return std::nullopt;
+
+    exec::ExecContext ctx;
+    ctx.catalog = &db()->catalog();
+    for (const plan::TableRef& ref : spec.tables) {
+      ctx.binding[ref.alias] = *db()->catalog().GetTable(ref.table_name);
+    }
+    types::RowSchema schema;
+    auto rows = exec::ExecutePlan(*result->plan, &ctx, nullptr, &schema);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    if (!rows.ok()) return std::nullopt;
+    return workload::CanonicalResults(*rows, schema);
+  }
+};
+
+TEST_P(FuzzTest, AlgorithmsAgreeAndMigrationDominates) {
+  common::Random rng(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+  const plan::QuerySpec spec =
+      workload::RandomQuery(Config(), {}, &rng);
+  SCOPED_TRACE(spec.ToString());
+
+  std::map<Algorithm, double> est;
+  std::optional<std::vector<std::string>> reference;
+  for (const Algorithm algorithm :
+       {Algorithm::kPushDown, Algorithm::kPullUp, Algorithm::kPullRank,
+        Algorithm::kMigration, Algorithm::kLdl}) {
+    double e = 0;
+    auto results = Execute(spec, algorithm, &e);
+    est[algorithm] = e;
+    if (!results.has_value()) continue;
+    if (!reference.has_value()) {
+      reference = std::move(results);
+    } else {
+      EXPECT_EQ(*results, *reference) << AlgorithmName(algorithm);
+    }
+  }
+
+  // Migration never estimated worse than the simpler System R heuristics.
+  for (const Algorithm algorithm :
+       {Algorithm::kPushDown, Algorithm::kPullUp, Algorithm::kPullRank}) {
+    EXPECT_LE(est[Algorithm::kMigration], est[algorithm] * 1.0001)
+        << "migration worse than " << AlgorithmName(algorithm);
+  }
+
+  // Exhaustive lower-bounds everything (skip 4-table queries: slow).
+  if (spec.tables.size() <= 3) {
+    double exhaustive = 0;
+    Execute(spec, Algorithm::kExhaustive, &exhaustive);
+    for (const auto& [algorithm, cost] : est) {
+      EXPECT_LE(exhaustive, cost * 1.0001)
+          << "exhaustive worse than " << AlgorithmName(algorithm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace ppp

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/migration.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace ppp::optimizer {
+namespace {
+
+using expr::Call;
+using expr::Col;
+using expr::Eq;
+using types::Tuple;
+using types::TypeId;
+using types::Value;
+
+/// Tables sized so that a three-way join has the Q4 shape: the first join
+/// keeps every a-stream tuple (rank ~0 for the stream) while the second
+/// join is selective over the stream (negative rank), so only a *group*
+/// pullup is profitable.
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() : pool_(&disk_, 512), catalog_(&pool_) {
+    // a: 600 rows, grp10 over 60 values. b: 1200 rows, grp10 over 120
+    // values, uniq unique. c: 2000 rows, uniq unique, tenth over 200.
+    MakeTable("a", 600);
+    MakeTable("b", 1200);
+    MakeTable("c", 2000);
+    auto& fns = catalog_.functions();
+    EXPECT_TRUE(fns.RegisterCostlyPredicate("costly", 100, 0.5).ok());
+    binding_ = {{"a", *catalog_.GetTable("a")},
+                {"b", *catalog_.GetTable("b")},
+                {"c", *catalog_.GetTable("c")}};
+    analyzer_ = std::make_unique<expr::PredicateAnalyzer>(&catalog_, binding_);
+    cost_ = std::make_unique<cost::CostModel>(&catalog_, binding_,
+                                              cost::CostParams{});
+  }
+
+  void MakeTable(const std::string& name, int64_t rows) {
+    auto table = catalog_.CreateTable(name, {{"uniq", TypeId::kInt64},
+                                             {"grp10", TypeId::kInt64},
+                                             {"tenth", TypeId::kInt64},
+                                             {"pad", TypeId::kString}});
+    ASSERT_TRUE(table.ok());
+    const std::string pad(60, 'p');
+    for (int64_t i = 0; i < rows; ++i) {
+      ASSERT_TRUE((*table)
+                      ->Insert(Tuple({Value(i), Value(i % (rows / 10)),
+                                      Value(i % 10), Value(pad)}))
+                      .ok());
+    }
+    ASSERT_TRUE((*table)->Analyze().ok());
+  }
+
+  expr::PredicateInfo Analyze(const expr::ExprPtr& e) {
+    auto info = analyzer_->Analyze(e);
+    EXPECT_TRUE(info.ok()) << info.status();
+    return *info;
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+  expr::TableBinding binding_;
+  std::unique_ptr<expr::PredicateAnalyzer> analyzer_;
+  std::unique_ptr<cost::CostModel> cost_;
+};
+
+/// Builds the Q4-shaped tree: Filter(costly) glued on scan(a), then
+/// J1 = a ⋈ b (keeps all of a-stream), J2 = · ⋈ c (selective).
+plan::PlanPtr BuildQ4Tree(MigrationTest* t, expr::PredicateInfo costly,
+                          expr::PredicateInfo j1, expr::PredicateInfo j2,
+                          expr::PredicateInfo cheap_c) {
+  plan::PlanPtr a = plan::MakeFilter(plan::MakeSeqScan("a", "a"),
+                                     std::move(costly));
+  plan::PlanPtr join1 = plan::MakeJoin(plan::JoinMethod::kHash, std::move(a),
+                                       plan::MakeSeqScan("b", "b"),
+                                       std::move(j1));
+  plan::PlanPtr c = plan::MakeFilter(plan::MakeSeqScan("c", "c"),
+                                     std::move(cheap_c));
+  (void)t;
+  return plan::MakeJoin(plan::JoinMethod::kHash, std::move(join1),
+                        std::move(c), std::move(j2));
+}
+
+TEST_F(MigrationTest, MovesFilterAboveJoinGroup) {
+  // J1 over the a-stream: sel = min(1, (1/120) * values(b.grp10)=120) = 1
+  // (caching) -> rank 0-ish. J2 over the stream: selective -> rank << 0.
+  // The costly filter (rank -0.005) must end up above BOTH joins, which
+  // single-join reasoning would never do.
+  plan::PlanPtr tree = BuildQ4Tree(
+      this, Analyze(Call("costly", {Col("a", "uniq")})),
+      Analyze(Eq(Col("a", "uniq"), Col("b", "uniq"))),
+      Analyze(Eq(Col("b", "uniq"), Col("c", "uniq"))),
+      Analyze(Eq(Col("c", "tenth"), expr::Int(0))));
+  ASSERT_TRUE(cost_->Annotate(tree.get()).ok());
+  const double before = tree->est_cost;
+
+  PredicateMigrator migrator(cost_.get());
+  auto rounds = migrator.Migrate(&tree);
+  ASSERT_TRUE(rounds.ok()) << rounds.status();
+  EXPECT_GE(*rounds, 1);
+
+  // The filter is now the root (above both joins).
+  ASSERT_EQ(tree->kind, plan::PlanKind::kFilter);
+  EXPECT_TRUE(tree->predicate.is_expensive());
+  EXPECT_LT(tree->est_cost, before);
+}
+
+TEST_F(MigrationTest, FixpointIsStable) {
+  plan::PlanPtr tree = BuildQ4Tree(
+      this, Analyze(Call("costly", {Col("a", "uniq")})),
+      Analyze(Eq(Col("a", "uniq"), Col("b", "uniq"))),
+      Analyze(Eq(Col("b", "uniq"), Col("c", "uniq"))),
+      Analyze(Eq(Col("c", "tenth"), expr::Int(0))));
+  ASSERT_TRUE(cost_->Annotate(tree.get()).ok());
+  PredicateMigrator migrator(cost_.get());
+  ASSERT_TRUE(migrator.Migrate(&tree).ok());
+  const std::string once = tree->Signature();
+  const double cost_once = tree->est_cost;
+  // A second migration pass must be a no-op.
+  auto rounds = migrator.Migrate(&tree);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_EQ(*rounds, 0);
+  EXPECT_EQ(tree->Signature(), once);
+  EXPECT_DOUBLE_EQ(tree->est_cost, cost_once);
+}
+
+TEST_F(MigrationTest, MigrationNeverIncreasesCost) {
+  // Several hand-built trees; migration must not make any of them pricier.
+  struct Case {
+    const char* name;
+    plan::PlanPtr tree;
+  };
+  std::vector<Case> cases;
+  cases.push_back(
+      {"filter_on_outer",
+       BuildQ4Tree(this, Analyze(Call("costly", {Col("a", "uniq")})),
+                   Analyze(Eq(Col("a", "uniq"), Col("b", "uniq"))),
+                   Analyze(Eq(Col("b", "uniq"), Col("c", "uniq"))),
+                   Analyze(Eq(Col("c", "tenth"), expr::Int(0))))});
+  // Filter already on top: nothing to gain.
+  {
+    plan::PlanPtr join = plan::MakeJoin(
+        plan::JoinMethod::kHash, plan::MakeSeqScan("a", "a"),
+        plan::MakeSeqScan("b", "b"),
+        Analyze(Eq(Col("a", "uniq"), Col("b", "uniq"))));
+    cases.push_back(
+        {"filter_on_top",
+         plan::MakeFilter(std::move(join),
+                          Analyze(Call("costly", {Col("a", "uniq")})))});
+  }
+  for (Case& c : cases) {
+    ASSERT_TRUE(cost_->Annotate(c.tree.get()).ok());
+    const double before = c.tree->est_cost;
+    PredicateMigrator migrator(cost_.get());
+    ASSERT_TRUE(migrator.Migrate(&c.tree).ok()) << c.name;
+    EXPECT_LE(c.tree->est_cost, before * 1.0001) << c.name;
+  }
+}
+
+TEST_F(MigrationTest, SecondaryJoinPredicateStaysAboveItsJoin) {
+  // A secondary predicate referencing a and b can sink at most to just
+  // above the a-b join, never below it.
+  plan::PlanPtr join1 = plan::MakeJoin(
+      plan::JoinMethod::kHash, plan::MakeSeqScan("a", "a"),
+      plan::MakeSeqScan("b", "b"),
+      Analyze(Eq(Col("a", "grp10"), Col("b", "grp10"))));
+  plan::PlanPtr join2 = plan::MakeJoin(
+      plan::JoinMethod::kHash, std::move(join1), plan::MakeSeqScan("c", "c"),
+      Analyze(Eq(Col("b", "uniq"), Col("c", "uniq"))));
+  // Expensive secondary over a,b placed (suboptimally) at the very top.
+  plan::PlanPtr tree = plan::MakeFilter(
+      std::move(join2),
+      Analyze(Call("costly", {Col("a", "uniq"), Col("b", "uniq")})));
+  ASSERT_TRUE(cost_->Annotate(tree.get()).ok());
+  PredicateMigrator migrator(cost_.get());
+  ASSERT_TRUE(migrator.Migrate(&tree).ok());
+
+  // Find the filter; every scan under it must include both a and b.
+  const plan::PlanNode* node = tree.get();
+  bool found = false;
+  std::vector<const plan::PlanNode*> stack = {node};
+  while (!stack.empty()) {
+    const plan::PlanNode* cur = stack.back();
+    stack.pop_back();
+    if (cur->kind == plan::PlanKind::kFilter &&
+        cur->predicate.is_expensive()) {
+      found = true;
+      const std::vector<std::string> aliases =
+          cur->children[0]->CollectAliases();
+      EXPECT_NE(std::find(aliases.begin(), aliases.end(), "a"),
+                aliases.end());
+      EXPECT_NE(std::find(aliases.begin(), aliases.end(), "b"),
+                aliases.end());
+    }
+    for (const plan::PlanPtr& child : cur->children) {
+      stack.push_back(child.get());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MigrationTest, CheapFiltersAreNotMoved) {
+  // A cheap filter glued to its scan stays there.
+  plan::PlanPtr a = plan::MakeFilter(plan::MakeSeqScan("a", "a"),
+                                     Analyze(Eq(Col("a", "tenth"),
+                                                expr::Int(0))));
+  plan::PlanPtr tree = plan::MakeJoin(
+      plan::JoinMethod::kHash, std::move(a), plan::MakeSeqScan("b", "b"),
+      Analyze(Eq(Col("a", "uniq"), Col("b", "uniq"))));
+  ASSERT_TRUE(cost_->Annotate(tree.get()).ok());
+  PredicateMigrator migrator(cost_.get());
+  ASSERT_TRUE(migrator.Migrate(&tree).ok());
+  ASSERT_EQ(tree->kind, plan::PlanKind::kJoin);
+  EXPECT_EQ(tree->children[0]->kind, plan::PlanKind::kFilter);
+}
+
+TEST_F(MigrationTest, PlanWithoutExpensiveFiltersUnchanged) {
+  plan::PlanPtr tree = plan::MakeJoin(
+      plan::JoinMethod::kHash, plan::MakeSeqScan("a", "a"),
+      plan::MakeSeqScan("b", "b"),
+      Analyze(Eq(Col("a", "uniq"), Col("b", "uniq"))));
+  ASSERT_TRUE(cost_->Annotate(tree.get()).ok());
+  const std::string before = tree->Signature();
+  PredicateMigrator migrator(cost_.get());
+  auto rounds = migrator.Migrate(&tree);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_EQ(*rounds, 0);
+  EXPECT_EQ(tree->Signature(), before);
+}
+
+TEST_F(MigrationTest, SingleScanPlanIsNoop) {
+  plan::PlanPtr tree = plan::MakeFilter(
+      plan::MakeSeqScan("a", "a"), Analyze(Call("costly", {Col("a", "uniq")})));
+  ASSERT_TRUE(cost_->Annotate(tree.get()).ok());
+  PredicateMigrator migrator(cost_.get());
+  auto rounds = migrator.Migrate(&tree);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_EQ(*rounds, 0);
+}
+
+}  // namespace
+}  // namespace ppp::optimizer

@@ -1,0 +1,164 @@
+// ORDER BY + index-range-scan tests: the interesting-orders machinery
+// end-to-end (range scans emit B-tree key order; merge joins emit their
+// outer join column; the optimizer exploits either before resorting to an
+// explicit Sort).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace ppp {
+namespace {
+
+using types::Tuple;
+using types::TypeId;
+using types::Value;
+
+class OrderByTest : public ::testing::Test {
+ protected:
+  OrderByTest() : pool_(&disk_, 256), catalog_(&pool_) {
+    auto table = catalog_.CreateTable(
+        "t", {{"key", TypeId::kInt64},
+              {"grp", TypeId::kInt64},
+              {"val", TypeId::kInt64}});
+    EXPECT_TRUE(table.ok());
+    common::Random rng(3);
+    for (int64_t i = 0; i < 20000; ++i) {
+      // Insert keys shuffled so heap order != key order.
+      EXPECT_TRUE(
+          (*table)
+              ->Insert(Tuple({Value((i * 377) % 20000), Value(i % 10),
+                              Value(static_cast<int64_t>(
+                                  rng.NextUint64(1000)))}))
+              .ok());
+    }
+    EXPECT_TRUE((*table)->CreateIndex("key").ok());
+    EXPECT_TRUE((*table)->Analyze().ok());
+
+    auto other = catalog_.CreateTable(
+        "u", {{"key", TypeId::kInt64}, {"grp", TypeId::kInt64}});
+    EXPECT_TRUE(other.ok());
+    for (int64_t i = 0; i < 200; ++i) {
+      EXPECT_TRUE((*other)->Insert(Tuple({Value(i), Value(i % 10)})).ok());
+    }
+    EXPECT_TRUE((*other)->CreateIndex("key").ok());
+    EXPECT_TRUE((*other)->Analyze().ok());
+  }
+
+  std::vector<Tuple> Run(const std::string& sql, std::string* plan_text) {
+    auto spec = parser::ParseAndBind(sql, catalog_);
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    optimizer::Optimizer opt(&catalog_, {});
+    auto result = opt.Optimize(*spec, optimizer::Algorithm::kMigration);
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (plan_text != nullptr) *plan_text = result->plan->ToString();
+
+    exec::ExecContext ctx;
+    ctx.catalog = &catalog_;
+    for (const plan::TableRef& ref : spec->tables) {
+      ctx.binding[ref.alias] = *catalog_.GetTable(ref.table_name);
+    }
+    auto rows = exec::ExecutePlan(*result->plan, &ctx, nullptr);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return std::move(rows).value();
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+};
+
+TEST_F(OrderByTest, ParserAcceptsOrderBy) {
+  auto parsed = parser::ParseSelect("SELECT * FROM t ORDER BY key");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_NE(parsed->order_by, nullptr);
+  EXPECT_EQ(parsed->order_by->column, "key");
+  EXPECT_TRUE(parser::ParseSelect("SELECT * FROM t ORDER BY t.key ASC").ok());
+  EXPECT_FALSE(parser::ParseSelect("SELECT * FROM t ORDER BY 1 + 2").ok());
+  EXPECT_FALSE(parser::ParseSelect("SELECT * FROM t ORDER key").ok());
+}
+
+TEST_F(OrderByTest, BinderQualifiesOrderColumn) {
+  auto spec = parser::ParseAndBind("SELECT * FROM t ORDER BY key", catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->order_by, "t.key");
+}
+
+TEST_F(OrderByTest, OutputIsSorted) {
+  const std::vector<Tuple> rows =
+      Run("SELECT * FROM t WHERE t.grp = 3 ORDER BY t.key", nullptr);
+  ASSERT_EQ(rows.size(), 2000u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].Get(0).AsInt64(), rows[i].Get(0).AsInt64());
+  }
+}
+
+TEST_F(OrderByTest, RangeScanSatisfiesOrderWithoutSort) {
+  std::string plan;
+  const std::vector<Tuple> rows =
+      Run("SELECT * FROM t WHERE t.key < 100 ORDER BY t.key", &plan);
+  ASSERT_EQ(rows.size(), 100u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].Get(0).AsInt64(), rows[i].Get(0).AsInt64());
+  }
+  // The B-tree range scan provides the order: no Sort node needed.
+  EXPECT_EQ(plan.find("Sort("), std::string::npos) << plan;
+  EXPECT_NE(plan.find("IndexRangeScan"), std::string::npos) << plan;
+}
+
+TEST_F(OrderByTest, SortInsertedWhenNoOrderedPathExists) {
+  std::string plan;
+  const std::vector<Tuple> rows =
+      Run("SELECT * FROM t ORDER BY t.val", &plan);
+  ASSERT_EQ(rows.size(), 20000u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].Get(2).AsInt64(), rows[i].Get(2).AsInt64());
+  }
+  EXPECT_NE(plan.find("Sort(t.val)"), std::string::npos) << plan;
+}
+
+TEST_F(OrderByTest, RangeScanBoundsAreExact) {
+  std::string plan;
+  // Half-open predicates of every flavour, with constants on either side.
+  struct Case {
+    const char* sql;
+    int64_t expected;
+  };
+  const Case cases[] = {
+      {"SELECT * FROM t WHERE t.key < 10", 10},
+      {"SELECT * FROM t WHERE t.key <= 10", 11},
+      {"SELECT * FROM t WHERE t.key > 19989", 10},
+      {"SELECT * FROM t WHERE t.key >= 19989", 11},
+      {"SELECT * FROM t WHERE 10 > t.key", 10},
+      {"SELECT * FROM t WHERE 19989 <= t.key", 11},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(Run(c.sql, &plan).size(), static_cast<size_t>(c.expected))
+        << c.sql << "\n" << plan;
+  }
+}
+
+TEST_F(OrderByTest, JoinQueryHonoursOrderBy) {
+  const std::vector<Tuple> rows = Run(
+      "SELECT * FROM t, u WHERE t.key = u.key ORDER BY u.key", nullptr);
+  ASSERT_EQ(rows.size(), 200u);
+  // u.key is the 4th output column only if u is on a particular side;
+  // find it via value pattern instead: every row's t.key == u.key, so
+  // checking the first column's order when equal works for either layout.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].Get(0).AsInt64(), rows[i].Get(0).AsInt64());
+  }
+}
+
+TEST_F(OrderByTest, OrderByUnknownColumnFails) {
+  EXPECT_FALSE(
+      parser::ParseAndBind("SELECT * FROM t ORDER BY nope", catalog_).ok());
+}
+
+}  // namespace
+}  // namespace ppp

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "parser/binder.h"
+#include "parser/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace ppp::parser {
+namespace {
+
+TEST(ParserTest, SelectStar) {
+  auto p = ParseSelect("SELECT * FROM emp");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_TRUE(p->select_star);
+  ASSERT_EQ(p->tables.size(), 1u);
+  EXPECT_EQ(p->tables[0].table_name, "emp");
+  EXPECT_EQ(p->tables[0].alias, "emp");
+  EXPECT_EQ(p->where, nullptr);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto p = ParseSelect("SELECT * FROM emp AS e, dept d");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->tables.size(), 2u);
+  EXPECT_EQ(p->tables[0].alias, "e");
+  EXPECT_EQ(p->tables[1].alias, "d");
+  EXPECT_EQ(p->tables[1].table_name, "dept");
+}
+
+TEST(ParserTest, WhereWithAndChain) {
+  auto p = ParseSelect(
+      "SELECT * FROM r, s WHERE r.a = s.b AND costly(r.c) AND r.d < 5");
+  ASSERT_TRUE(p.ok());
+  ASSERT_NE(p->where, nullptr);
+  EXPECT_EQ(expr::SplitConjuncts(p->where).size(), 3u);
+}
+
+TEST(ParserTest, SelectListWithNames) {
+  auto p = ParseSelect("SELECT name, gpa AS grade FROM student");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->select_star);
+  ASSERT_EQ(p->select_list.size(), 2u);
+  EXPECT_EQ(p->select_names[0], "name");
+  EXPECT_EQ(p->select_names[1], "grade");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // AND binds tighter than OR; comparison tighter than AND.
+  auto p = ParseSelect("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->where->kind, expr::ExprKind::kOr);
+  EXPECT_EQ(p->where->children[1]->kind, expr::ExprKind::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto p = ParseSelect("SELECT * FROM t WHERE a + 2 * 3 = 7");
+  ASSERT_TRUE(p.ok());
+  const expr::Expr& cmp = *p->where;
+  ASSERT_EQ(cmp.kind, expr::ExprKind::kComparison);
+  // Left side is a + (2*3).
+  const expr::Expr& add = *cmp.children[0];
+  ASSERT_EQ(add.kind, expr::ExprKind::kArithmetic);
+  EXPECT_EQ(add.arith_op, expr::ArithOp::kAdd);
+  EXPECT_EQ(add.children[1]->kind, expr::ExprKind::kArithmetic);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto p = ParseSelect("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->where->kind, expr::ExprKind::kAnd);
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "<>", "!=", "<", "<=", ">", ">="}) {
+    auto p = ParseSelect(std::string("SELECT * FROM t WHERE a ") + op +
+                         " 1");
+    ASSERT_TRUE(p.ok()) << op << ": " << p.status();
+    EXPECT_EQ(p->where->kind, expr::ExprKind::kComparison) << op;
+  }
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto p = ParseSelect(
+      "SELECT * FROM t WHERE match(t.a, t.b) AND flag() AND NOT f(1 + 2)");
+  ASSERT_TRUE(p.ok());
+  const std::vector<expr::ExprPtr> conj = expr::SplitConjuncts(p->where);
+  ASSERT_EQ(conj.size(), 3u);
+  EXPECT_EQ(conj[0]->function_name, "match");
+  EXPECT_EQ(conj[0]->children.size(), 2u);
+  EXPECT_EQ(conj[1]->children.size(), 0u);
+  EXPECT_EQ(conj[2]->kind, expr::ExprKind::kNot);
+}
+
+TEST(ParserTest, Literals) {
+  auto p = ParseSelect(
+      "SELECT * FROM t WHERE a = 42 AND b = 2.5 AND c = 'red' AND d = -3");
+  ASSERT_TRUE(p.ok());
+  const std::vector<expr::ExprPtr> conj = expr::SplitConjuncts(p->where);
+  EXPECT_EQ(conj[0]->children[1]->constant.AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(conj[1]->children[1]->constant.AsDouble(), 2.5);
+  EXPECT_EQ(conj[2]->children[1]->constant.AsString(), "red");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseSelect("select * from t where a = 1").ok());
+  EXPECT_TRUE(ParseSelect("SeLeCt * FrOm t WhErE a = 1").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseSelect("SELECT * FROM t;").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a = ").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t extra garbage =").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE f(a").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE 'unterminated").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a @ 1").ok());
+}
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : pool_(&disk_, 64), catalog_(&pool_) {
+    auto emp = catalog_.CreateTable("emp", {{"id", types::TypeId::kInt64},
+                                            {"dept", types::TypeId::kInt64}});
+    auto dept = catalog_.CreateTable("dept",
+                                     {{"id", types::TypeId::kInt64},
+                                      {"name", types::TypeId::kString}});
+    EXPECT_TRUE(emp.ok());
+    EXPECT_TRUE(dept.ok());
+    EXPECT_TRUE(
+        catalog_.functions().RegisterCostlyPredicate("pricey", 10, 0.5).ok());
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+};
+
+TEST_F(BinderTest, QualifiesUnambiguousColumns) {
+  auto spec = ParseAndBind(
+      "SELECT name FROM emp, dept WHERE emp.dept = dept.id AND pricey(name)",
+      catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  // `name` resolves to dept.name everywhere.
+  EXPECT_EQ(spec->select_list[0]->table, "dept");
+  ASSERT_EQ(spec->conjuncts.size(), 2u);
+  EXPECT_EQ(spec->conjuncts[1]->children[0]->table, "dept");
+}
+
+TEST_F(BinderTest, AmbiguousColumnFails) {
+  auto spec = ParseAndBind("SELECT * FROM emp, dept WHERE id = 1", catalog_);
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST_F(BinderTest, UnknownTableColumnFunctionFail) {
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM nope", catalog_).ok());
+  EXPECT_FALSE(
+      ParseAndBind("SELECT * FROM emp WHERE emp.nope = 1", catalog_).ok());
+  EXPECT_FALSE(
+      ParseAndBind("SELECT * FROM emp WHERE zz.id = 1", catalog_).ok());
+  EXPECT_FALSE(
+      ParseAndBind("SELECT * FROM emp WHERE nofn(emp.id)", catalog_).ok());
+}
+
+TEST_F(BinderTest, DuplicateAliasFails) {
+  EXPECT_FALSE(ParseAndBind("SELECT * FROM emp e, dept e", catalog_).ok());
+}
+
+TEST_F(BinderTest, SelfJoinWithAliases) {
+  auto spec = ParseAndBind(
+      "SELECT * FROM emp a, emp b WHERE a.dept = b.dept", catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->tables.size(), 2u);
+  EXPECT_EQ(spec->conjuncts.size(), 1u);
+}
+
+TEST_F(BinderTest, WhereSplitIntoConjuncts) {
+  auto spec = ParseAndBind(
+      "SELECT * FROM emp WHERE emp.id = 1 AND emp.dept = 2 AND "
+      "pricey(emp.id)",
+      catalog_);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->conjuncts.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ppp::parser

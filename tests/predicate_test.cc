@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/predicate.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace ppp::expr {
+namespace {
+
+using types::Tuple;
+using types::TypeId;
+using types::Value;
+
+/// Two tables with exactly known statistics:
+///   r: 100 rows, r.key unique (0..99), r.grp 10 distinct, range [0, 9].
+///   s: 1000 rows, s.key unique, s.grp 50 distinct.
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() : pool_(&disk_, 256), catalog_(&pool_) {
+    auto r = catalog_.CreateTable(
+        "r", {{"key", TypeId::kInt64}, {"grp", TypeId::kInt64}});
+    auto s = catalog_.CreateTable(
+        "s", {{"key", TypeId::kInt64}, {"grp", TypeId::kInt64}});
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(s.ok());
+    for (int64_t i = 0; i < 100; ++i) {
+      EXPECT_TRUE((*r)->Insert(Tuple({Value(i), Value(i % 10)})).ok());
+    }
+    for (int64_t i = 0; i < 1000; ++i) {
+      EXPECT_TRUE((*s)->Insert(Tuple({Value(i), Value(i % 50)})).ok());
+    }
+    EXPECT_TRUE((*r)->Analyze().ok());
+    EXPECT_TRUE((*s)->Analyze().ok());
+    EXPECT_TRUE(
+        catalog_.functions().RegisterCostlyPredicate("costly", 100, 0.4)
+            .ok());
+    binding_ = {{"r", *r}, {"s", *s}};
+    analyzer_ = std::make_unique<PredicateAnalyzer>(&catalog_, binding_);
+  }
+
+  PredicateInfo Analyze(const ExprPtr& e) {
+    auto info = analyzer_->Analyze(e);
+    EXPECT_TRUE(info.ok()) << info.status();
+    return *info;
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+  TableBinding binding_;
+  std::unique_ptr<PredicateAnalyzer> analyzer_;
+};
+
+TEST_F(PredicateTest, EqualityWithConstantUsesDistinctCount) {
+  const PredicateInfo info = Analyze(Eq(Col("r", "grp"), Int(3)));
+  EXPECT_DOUBLE_EQ(info.selectivity, 0.1);  // 10 distinct values.
+  EXPECT_DOUBLE_EQ(info.cost_per_tuple, 0.0);
+  EXPECT_FALSE(info.is_join());
+  EXPECT_FALSE(info.is_expensive());
+  // Free predicates rank -infinity.
+  EXPECT_TRUE(std::isinf(info.rank()));
+  EXPECT_LT(info.rank(), 0);
+}
+
+TEST_F(PredicateTest, ConstantOnLeftWorksToo) {
+  const PredicateInfo info = Analyze(Eq(Int(3), Col("r", "grp")));
+  EXPECT_DOUBLE_EQ(info.selectivity, 0.1);
+}
+
+TEST_F(PredicateTest, EquiJoinUsesMaxDistinct) {
+  const PredicateInfo info = Analyze(Eq(Col("r", "key"), Col("s", "key")));
+  EXPECT_DOUBLE_EQ(info.selectivity, 1.0 / 1000);  // max(100, 1000).
+  EXPECT_TRUE(info.is_join());
+  ASSERT_TRUE(info.is_simple_equijoin);
+  EXPECT_EQ(info.left_table, "r");
+  EXPECT_EQ(info.right_column, "key");
+  EXPECT_EQ(info.left_distinct, 100);
+  EXPECT_EQ(info.right_distinct, 1000);
+}
+
+TEST_F(PredicateTest, SameTableEqualityIsNotAJoin) {
+  const PredicateInfo info = Analyze(Eq(Col("r", "key"), Col("r", "grp")));
+  EXPECT_FALSE(info.is_join());
+  EXPECT_FALSE(info.is_simple_equijoin);
+}
+
+TEST_F(PredicateTest, RangeSelectivityFromDomain) {
+  // r.grp uniform over [0, 9]: grp < 3 keeps 3/9 of the domain span.
+  const PredicateInfo info =
+      Analyze(Cmp(CompareOp::kLt, Col("r", "grp"), Int(3)));
+  EXPECT_NEAR(info.selectivity, 3.0 / 9.0, 1e-9);
+  // Flipped constant side: 3 < grp means grp > 3.
+  const PredicateInfo flipped =
+      Analyze(Cmp(CompareOp::kLt, Int(3), Col("r", "grp")));
+  EXPECT_NEAR(flipped.selectivity, 6.0 / 9.0, 1e-9);
+}
+
+TEST_F(PredicateTest, RangeWithoutStatsDefaultsToThird) {
+  // Comparing two columns: no constant, default 1/3.
+  const PredicateInfo info =
+      Analyze(Cmp(CompareOp::kLt, Col("r", "key"), Col("r", "grp")));
+  EXPECT_NEAR(info.selectivity, 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(PredicateTest, NotEqualIsComplement) {
+  const PredicateInfo info =
+      Analyze(Cmp(CompareOp::kNe, Col("r", "grp"), Int(3)));
+  EXPECT_NEAR(info.selectivity, 0.9, 1e-9);
+}
+
+TEST_F(PredicateTest, BooleanUdfUsesDeclaredSelectivityAndCost) {
+  const PredicateInfo info = Analyze(Call("costly", {Col("r", "key")}));
+  EXPECT_DOUBLE_EQ(info.selectivity, 0.4);
+  EXPECT_DOUBLE_EQ(info.cost_per_tuple, 100.0);
+  EXPECT_TRUE(info.is_expensive());
+  EXPECT_DOUBLE_EQ(info.rank(), (0.4 - 1.0) / 100.0);
+}
+
+TEST_F(PredicateTest, AndMultipliesOrCombines) {
+  ExprPtr a = Eq(Col("r", "grp"), Int(1));   // 0.1
+  ExprPtr b = Call("costly", {Col("r", "key")});  // 0.4
+  EXPECT_NEAR(Analyze(And(a, b)).selectivity, 0.04, 1e-9);
+  EXPECT_NEAR(Analyze(Or(a, b)).selectivity, 0.1 + 0.4 - 0.04, 1e-9);
+  EXPECT_NEAR(Analyze(Not(b)).selectivity, 0.6, 1e-9);
+}
+
+TEST_F(PredicateTest, NestedFunctionCostsSum) {
+  const PredicateInfo info = Analyze(
+      And(Call("costly", {Col("r", "key")}),
+          Call("costly", {Col("r", "grp")})));
+  EXPECT_DOUBLE_EQ(info.cost_per_tuple, 200.0);
+}
+
+TEST_F(PredicateTest, ExpensiveJoinPredicate) {
+  const PredicateInfo info =
+      Analyze(Call("costly", {Col("r", "key"), Col("s", "key")}));
+  EXPECT_TRUE(info.is_join());
+  EXPECT_TRUE(info.is_expensive());
+  EXPECT_FALSE(info.is_simple_equijoin);
+  EXPECT_EQ(info.tables.size(), 2u);
+}
+
+TEST_F(PredicateTest, InputDistinctValuesSingleColumn) {
+  EXPECT_EQ(Analyze(Call("costly", {Col("r", "grp")})).input_distinct_values,
+            10);
+  EXPECT_EQ(Analyze(Call("costly", {Col("r", "key")})).input_distinct_values,
+            100);
+}
+
+TEST_F(PredicateTest, InputDistinctValuesProductClamped) {
+  // grp × key distinct = 10 * 100 = 1000, clamped by |r| x-product = 100.
+  const PredicateInfo info =
+      Analyze(Call("costly", {Col("r", "grp"), Col("r", "key")}));
+  EXPECT_EQ(info.input_distinct_values, 100);
+}
+
+TEST_F(PredicateTest, UnboundAliasFails) {
+  EXPECT_FALSE(analyzer_->Analyze(Eq(Col("zz", "a"), Int(1))).ok());
+}
+
+TEST_F(PredicateTest, UnknownFunctionFails) {
+  EXPECT_FALSE(analyzer_->Analyze(Call("nope", {Col("r", "key")})).ok());
+}
+
+TEST_F(PredicateTest, RankOrderingMatchesPaperFormula) {
+  // Lower selectivity and lower cost both mean earlier evaluation.
+  catalog::FunctionRegistry& fns = catalog_.functions();
+  ASSERT_TRUE(fns.RegisterCostlyPredicate("cheap_selective", 1, 0.1).ok());
+  ASSERT_TRUE(fns.RegisterCostlyPredicate("pricey_loose", 50, 0.9).ok());
+  const double r1 =
+      Analyze(Call("cheap_selective", {Col("r", "key")})).rank();
+  const double r2 = Analyze(Call("pricey_loose", {Col("r", "key")})).rank();
+  EXPECT_LT(r1, r2);  // Apply cheap & selective first.
+}
+
+}  // namespace
+}  // namespace ppp::expr

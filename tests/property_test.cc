@@ -1,0 +1,271 @@
+// Property tests for the paper's core optimality claims:
+//  * rank-ordering of selections is optimal on a single table (§4.1,
+//    checked against brute-force permutation costs);
+//  * Predicate Migration finds the cost-minimal slot for a selection in a
+//    join chain (checked against exhaustive slot placement over a sweep of
+//    function costs and selectivities);
+//  * Value comparison is a total order (the B-tree and sort operators
+//    depend on it);
+//  * parsed expressions round-trip through ToString.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "optimizer/migration.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace ppp {
+namespace {
+
+using expr::Call;
+using expr::Col;
+using expr::Eq;
+using types::Tuple;
+using types::TypeId;
+using types::Value;
+
+// ---------- Rank ordering vs brute force -----------------------------------
+
+class RankOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankOrderTest, RankOrderMinimizesSequentialCost) {
+  common::Random rng(static_cast<uint64_t>(GetParam()) * 131 + 5);
+  const int k = 2 + static_cast<int>(rng.NextUint64(3));  // 2..4 selections.
+
+  struct Sel {
+    double cost;
+    double selectivity;
+  };
+  std::vector<Sel> sels;
+  for (int i = 0; i < k; ++i) {
+    sels.push_back({std::pow(10.0, rng.NextDouble() * 3 - 1),  // 0.1..100.
+                    0.05 + rng.NextDouble() * 0.9});
+  }
+
+  // Sequential evaluation cost of an order over N input rows (no caching):
+  // sum_i cost_i * N * prod_{j<i} sel_j.
+  auto order_cost = [&](const std::vector<int>& order) {
+    double rows = 1000.0;
+    double total = 0;
+    for (const int i : order) {
+      total += sels[static_cast<size_t>(i)].cost * rows;
+      rows *= sels[static_cast<size_t>(i)].selectivity;
+    }
+    return total;
+  };
+
+  // Brute-force optimum over all k! orders.
+  std::vector<int> perm(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) perm[static_cast<size_t>(i)] = i;
+  double best = order_cost(perm);
+  std::vector<int> ids = perm;
+  while (std::next_permutation(ids.begin(), ids.end())) {
+    best = std::min(best, order_cost(ids));
+  }
+
+  // Rank order: ascending (selectivity - 1) / cost.
+  std::vector<int> by_rank = perm;
+  std::sort(by_rank.begin(), by_rank.end(), [&](int a, int b) {
+    const Sel& x = sels[static_cast<size_t>(a)];
+    const Sel& y = sels[static_cast<size_t>(b)];
+    return (x.selectivity - 1) / x.cost < (y.selectivity - 1) / y.cost;
+  });
+  EXPECT_NEAR(order_cost(by_rank), best, best * 1e-9)
+      << "rank order is not optimal for seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankOrderTest, ::testing::Range(0, 20));
+
+TEST(RankOrderTest, OptimizerAppliesRankOrderOnSingleTable) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  catalog::Catalog catalog(&pool);
+  auto table = catalog.CreateTable("t", {{"x", TypeId::kInt64}});
+  ASSERT_TRUE(table.ok());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*table)->Insert(Tuple({Value(i)})).ok());
+  }
+  ASSERT_TRUE((*table)->Analyze().ok());
+  // Ranks: f1 = (0.9-1)/1 = -0.1, f2 = (0.2-1)/40 = -0.02,
+  //        f3 = (0.3-1)/2 = -0.35. Ascending: f3, f1, f2.
+  ASSERT_TRUE(catalog.functions().RegisterCostlyPredicate("f1", 1, 0.9).ok());
+  ASSERT_TRUE(catalog.functions().RegisterCostlyPredicate("f2", 40, 0.2).ok());
+  ASSERT_TRUE(catalog.functions().RegisterCostlyPredicate("f3", 2, 0.3).ok());
+
+  auto spec = parser::ParseAndBind(
+      "SELECT * FROM t WHERE f1(t.x) AND f2(t.x) AND f3(t.x)", catalog);
+  ASSERT_TRUE(spec.ok());
+  optimizer::Optimizer opt(&catalog, {});
+  auto result = opt.Optimize(*spec, optimizer::Algorithm::kPushDown);
+  ASSERT_TRUE(result.ok());
+
+  // Read the filter chain top-down: must be f2, f1, f3.
+  std::vector<std::string> chain;
+  const plan::PlanNode* node = result->plan.get();
+  while (node->kind == plan::PlanKind::kFilter) {
+    chain.push_back(node->predicate.expr->function_name);
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(chain, (std::vector<std::string>{"f2", "f1", "f3"}));
+}
+
+// ---------- Migration vs exhaustive slot placement --------------------------
+
+/// Fixture: a fixed two-join chain a ⋈ b ⋈ (σ c); the parameterized
+/// expensive selection on `a` may sit at slot 0 (scan), 1 (above J1) or
+/// 2 (above J2). Predicate Migration must land on the cheapest slot.
+class MigrationSlotTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {
+ protected:
+  MigrationSlotTest() : pool_(&disk_, 512), catalog_(&pool_) {
+    MakeTable("a", 500);
+    MakeTable("b", 1000);
+    MakeTable("c", 2000);
+    binding_ = {{"a", *catalog_.GetTable("a")},
+                {"b", *catalog_.GetTable("b")},
+                {"c", *catalog_.GetTable("c")}};
+    analyzer_ =
+        std::make_unique<expr::PredicateAnalyzer>(&catalog_, binding_);
+    cost_ = std::make_unique<cost::CostModel>(&catalog_, binding_,
+                                              cost::CostParams{});
+  }
+
+  void MakeTable(const std::string& name, int64_t rows) {
+    auto table = catalog_.CreateTable(name, {{"uniq", TypeId::kInt64},
+                                             {"tenth", TypeId::kInt64}});
+    ASSERT_TRUE(table.ok());
+    for (int64_t i = 0; i < rows; ++i) {
+      ASSERT_TRUE(
+          (*table)->Insert(Tuple({Value(i), Value(i % 10)})).ok());
+    }
+    ASSERT_TRUE((*table)->Analyze().ok());
+  }
+
+  expr::PredicateInfo Analyze(const expr::ExprPtr& e) {
+    auto info = analyzer_->Analyze(e);
+    EXPECT_TRUE(info.ok()) << info.status();
+    return *info;
+  }
+
+  /// Builds the chain with the expensive filter at `slot` (0..2).
+  plan::PlanPtr BuildAtSlot(int slot, const expr::PredicateInfo& filt) {
+    plan::PlanPtr node = plan::MakeSeqScan("a", "a");
+    if (slot == 0) node = plan::MakeFilter(std::move(node), filt);
+    node = plan::MakeJoin(plan::JoinMethod::kHash, std::move(node),
+                          plan::MakeSeqScan("b", "b"),
+                          Analyze(Eq(Col("a", "uniq"), Col("b", "uniq"))));
+    if (slot == 1) node = plan::MakeFilter(std::move(node), filt);
+    plan::PlanPtr c = plan::MakeFilter(
+        plan::MakeSeqScan("c", "c"),
+        Analyze(Eq(Col("c", "tenth"), expr::Int(0))));
+    node = plan::MakeJoin(plan::JoinMethod::kHash, std::move(node),
+                          std::move(c),
+                          Analyze(Eq(Col("b", "uniq"), Col("c", "uniq"))));
+    if (slot == 2) node = plan::MakeFilter(std::move(node), filt);
+    return node;
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+  expr::TableBinding binding_;
+  std::unique_ptr<expr::PredicateAnalyzer> analyzer_;
+  std::unique_ptr<cost::CostModel> cost_;
+};
+
+TEST_P(MigrationSlotTest, MigrationFindsCheapestSlot) {
+  const double fn_cost = std::get<0>(GetParam());
+  const double fn_sel = std::get<1>(GetParam());
+  const std::string fn = common::StringPrintf("f_%g_%g", fn_cost, fn_sel);
+  ASSERT_TRUE(
+      catalog_.functions().RegisterCostlyPredicate(fn, fn_cost, fn_sel)
+          .ok());
+  const expr::PredicateInfo filt = Analyze(Call(fn, {Col("a", "uniq")}));
+
+  double best = 0;
+  for (int slot = 0; slot < 3; ++slot) {
+    plan::PlanPtr tree = BuildAtSlot(slot, filt);
+    ASSERT_TRUE(cost_->Annotate(tree.get()).ok());
+    if (slot == 0 || tree->est_cost < best) best = tree->est_cost;
+  }
+
+  plan::PlanPtr start = BuildAtSlot(0, filt);
+  ASSERT_TRUE(cost_->Annotate(start.get()).ok());
+  optimizer::PredicateMigrator migrator(cost_.get());
+  ASSERT_TRUE(migrator.Migrate(&start).ok());
+  EXPECT_LE(start->est_cost, best * 1.0001)
+      << "cost=" << fn_cost << " sel=" << fn_sel;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CostSelSweep, MigrationSlotTest,
+    ::testing::Combine(::testing::Values(0.01, 0.1, 1.0, 10.0, 100.0),
+                       ::testing::Values(0.1, 0.5, 0.9)));
+
+// ---------- Value total order -----------------------------------------------
+
+TEST(ValueOrderTest, ComparisonIsTotalOrderOnRandomTriples) {
+  common::Random rng(99);
+  auto random_value = [&]() -> Value {
+    switch (rng.NextUint64(4)) {
+      case 0:
+        return Value(rng.NextInt64(-50, 50));
+      case 1:
+        return Value(rng.NextDouble() * 100 - 50);
+      case 2:
+        return Value(std::string(1 + rng.NextUint64(3), 'a' +
+                                 static_cast<char>(rng.NextUint64(4))));
+      default:
+        return Value();
+    }
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Value a = random_value();
+    const Value b = random_value();
+    const Value c = random_value();
+    // Antisymmetry.
+    EXPECT_EQ(a.Compare(b), -b.Compare(a));
+    // Transitivity (sampled).
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0) << a.ToString() << " " << b.ToString()
+                                 << " " << c.ToString();
+    }
+    // Reflexivity.
+    EXPECT_EQ(a.Compare(a), 0);
+    // Hash consistency.
+    if (a.Compare(b) == 0) {
+      EXPECT_EQ(a.Hash(), b.Hash());
+    }
+  }
+}
+
+// ---------- Parser round trip ------------------------------------------------
+
+TEST(ParserRoundTripTest, ToStringReparsesToEqualTree) {
+  const char* queries[] = {
+      "SELECT * FROM t WHERE t.a = 1 AND costly(t.b)",
+      "SELECT * FROM r, s WHERE r.x = s.y OR NOT (r.z < 3)",
+      "SELECT * FROM t WHERE f(t.a + 2 * t.b, 'lit') AND t.c >= 1.5",
+      "SELECT * FROM t WHERE (t.a = 1 OR t.b = 2) AND t.c <> 3",
+  };
+  for (const char* sql : queries) {
+    auto first = parser::ParseSelect(sql);
+    ASSERT_TRUE(first.ok()) << sql;
+    ASSERT_NE(first->where, nullptr);
+    const std::string printed =
+        "SELECT * FROM t WHERE " + first->where->ToString();
+    auto second = parser::ParseSelect(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_TRUE(first->where->Equals(*second->where)) << printed;
+  }
+}
+
+}  // namespace
+}  // namespace ppp
