@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cacheimpl.dir/bench_ablation_cacheimpl.cpp.o"
+  "CMakeFiles/bench_ablation_cacheimpl.dir/bench_ablation_cacheimpl.cpp.o.d"
+  "bench_ablation_cacheimpl"
+  "bench_ablation_cacheimpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cacheimpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_estimate.dir/bench_ablation_estimate.cpp.o"
+  "CMakeFiles/bench_ablation_estimate.dir/bench_ablation_estimate.cpp.o.d"
+  "bench_ablation_estimate"
+  "bench_ablation_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

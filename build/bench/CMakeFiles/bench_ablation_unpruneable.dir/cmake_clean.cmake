@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unpruneable.dir/bench_ablation_unpruneable.cpp.o"
+  "CMakeFiles/bench_ablation_unpruneable.dir/bench_ablation_unpruneable.cpp.o.d"
+  "bench_ablation_unpruneable"
+  "bench_ablation_unpruneable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unpruneable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

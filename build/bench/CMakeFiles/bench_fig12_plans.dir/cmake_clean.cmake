@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_plans.dir/bench_fig12_plans.cpp.o"
+  "CMakeFiles/bench_fig12_plans.dir/bench_fig12_plans.cpp.o.d"
+  "bench_fig12_plans"
+  "bench_fig12_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

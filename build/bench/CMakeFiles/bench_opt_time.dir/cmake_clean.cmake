@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_time.dir/bench_opt_time.cpp.o"
+  "CMakeFiles/bench_opt_time.dir/bench_opt_time.cpp.o.d"
+  "bench_opt_time"
+  "bench_opt_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ppp_bench_util.dir/bench_util.cc.o.d"
+  "libppp_bench_util.a"
+  "libppp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_crossover.dir/cost_crossover.cpp.o"
+  "CMakeFiles/cost_crossover.dir/cost_crossover.cpp.o.d"
+  "cost_crossover"
+  "cost_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

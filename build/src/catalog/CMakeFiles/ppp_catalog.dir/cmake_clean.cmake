@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_catalog.dir/catalog.cc.o"
+  "CMakeFiles/ppp_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/ppp_catalog.dir/function_registry.cc.o"
+  "CMakeFiles/ppp_catalog.dir/function_registry.cc.o.d"
+  "CMakeFiles/ppp_catalog.dir/table.cc.o"
+  "CMakeFiles/ppp_catalog.dir/table.cc.o.d"
+  "libppp_catalog.a"
+  "libppp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_common.dir/logging.cc.o"
+  "CMakeFiles/ppp_common.dir/logging.cc.o.d"
+  "CMakeFiles/ppp_common.dir/status.cc.o"
+  "CMakeFiles/ppp_common.dir/status.cc.o.d"
+  "CMakeFiles/ppp_common.dir/string_util.cc.o"
+  "CMakeFiles/ppp_common.dir/string_util.cc.o.d"
+  "libppp_common.a"
+  "libppp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_cost.dir/cost_model.cc.o"
+  "CMakeFiles/ppp_cost.dir/cost_model.cc.o.d"
+  "libppp_cost.a"
+  "libppp_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/ppp_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/ppp_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/filter_op.cc" "src/exec/CMakeFiles/ppp_exec.dir/filter_op.cc.o" "gcc" "src/exec/CMakeFiles/ppp_exec.dir/filter_op.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/exec/CMakeFiles/ppp_exec.dir/join_ops.cc.o" "gcc" "src/exec/CMakeFiles/ppp_exec.dir/join_ops.cc.o.d"
+  "/root/repo/src/exec/misc_ops.cc" "src/exec/CMakeFiles/ppp_exec.dir/misc_ops.cc.o" "gcc" "src/exec/CMakeFiles/ppp_exec.dir/misc_ops.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/ppp_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/ppp_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/exec/CMakeFiles/ppp_exec.dir/scan_ops.cc.o" "gcc" "src/exec/CMakeFiles/ppp_exec.dir/scan_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ppp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ppp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/ppp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ppp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ppp_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

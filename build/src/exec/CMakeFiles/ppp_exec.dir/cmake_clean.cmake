@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_exec.dir/executor.cc.o"
+  "CMakeFiles/ppp_exec.dir/executor.cc.o.d"
+  "CMakeFiles/ppp_exec.dir/filter_op.cc.o"
+  "CMakeFiles/ppp_exec.dir/filter_op.cc.o.d"
+  "CMakeFiles/ppp_exec.dir/join_ops.cc.o"
+  "CMakeFiles/ppp_exec.dir/join_ops.cc.o.d"
+  "CMakeFiles/ppp_exec.dir/misc_ops.cc.o"
+  "CMakeFiles/ppp_exec.dir/misc_ops.cc.o.d"
+  "CMakeFiles/ppp_exec.dir/operator.cc.o"
+  "CMakeFiles/ppp_exec.dir/operator.cc.o.d"
+  "CMakeFiles/ppp_exec.dir/scan_ops.cc.o"
+  "CMakeFiles/ppp_exec.dir/scan_ops.cc.o.d"
+  "libppp_exec.a"
+  "libppp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_expr.dir/evaluator.cc.o"
+  "CMakeFiles/ppp_expr.dir/evaluator.cc.o.d"
+  "CMakeFiles/ppp_expr.dir/expr.cc.o"
+  "CMakeFiles/ppp_expr.dir/expr.cc.o.d"
+  "CMakeFiles/ppp_expr.dir/predicate.cc.o"
+  "CMakeFiles/ppp_expr.dir/predicate.cc.o.d"
+  "libppp_expr.a"
+  "libppp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

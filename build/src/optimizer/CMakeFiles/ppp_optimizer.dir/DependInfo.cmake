@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/algorithm.cc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/algorithm.cc.o" "gcc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/algorithm.cc.o.d"
+  "/root/repo/src/optimizer/join_enumerator.cc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/join_enumerator.cc.o" "gcc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/join_enumerator.cc.o.d"
+  "/root/repo/src/optimizer/migration.cc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/migration.cc.o" "gcc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/migration.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/optimizer.cc.o" "gcc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/optimizer_context.cc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/optimizer_context.cc.o" "gcc" "src/optimizer/CMakeFiles/ppp_optimizer.dir/optimizer_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ppp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ppp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ppp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/ppp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ppp_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ppp_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ppp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/optimizer/CMakeFiles/ppp_optimizer.dir/algorithm.cc.o: \
+ /root/repo/src/optimizer/algorithm.cc /usr/include/stdc-predef.h \
+ /root/repo/src/optimizer/algorithm.h

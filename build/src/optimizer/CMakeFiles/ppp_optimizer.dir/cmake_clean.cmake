@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_optimizer.dir/algorithm.cc.o"
+  "CMakeFiles/ppp_optimizer.dir/algorithm.cc.o.d"
+  "CMakeFiles/ppp_optimizer.dir/join_enumerator.cc.o"
+  "CMakeFiles/ppp_optimizer.dir/join_enumerator.cc.o.d"
+  "CMakeFiles/ppp_optimizer.dir/migration.cc.o"
+  "CMakeFiles/ppp_optimizer.dir/migration.cc.o.d"
+  "CMakeFiles/ppp_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/ppp_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/ppp_optimizer.dir/optimizer_context.cc.o"
+  "CMakeFiles/ppp_optimizer.dir/optimizer_context.cc.o.d"
+  "libppp_optimizer.a"
+  "libppp_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_parser.dir/binder.cc.o"
+  "CMakeFiles/ppp_parser.dir/binder.cc.o.d"
+  "CMakeFiles/ppp_parser.dir/parser.cc.o"
+  "CMakeFiles/ppp_parser.dir/parser.cc.o.d"
+  "libppp_parser.a"
+  "libppp_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

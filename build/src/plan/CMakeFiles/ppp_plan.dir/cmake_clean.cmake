@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_plan.dir/plan_node.cc.o"
+  "CMakeFiles/ppp_plan.dir/plan_node.cc.o.d"
+  "CMakeFiles/ppp_plan.dir/query_spec.cc.o"
+  "CMakeFiles/ppp_plan.dir/query_spec.cc.o.d"
+  "libppp_plan.a"
+  "libppp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_storage.dir/btree.cc.o"
+  "CMakeFiles/ppp_storage.dir/btree.cc.o.d"
+  "CMakeFiles/ppp_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/ppp_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ppp_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/ppp_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/ppp_storage.dir/heap_file.cc.o"
+  "CMakeFiles/ppp_storage.dir/heap_file.cc.o.d"
+  "libppp_storage.a"
+  "libppp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_subquery.dir/rewrite.cc.o"
+  "CMakeFiles/ppp_subquery.dir/rewrite.cc.o.d"
+  "libppp_subquery.a"
+  "libppp_subquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_subquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_types.dir/row_schema.cc.o"
+  "CMakeFiles/ppp_types.dir/row_schema.cc.o.d"
+  "CMakeFiles/ppp_types.dir/tuple.cc.o"
+  "CMakeFiles/ppp_types.dir/tuple.cc.o.d"
+  "CMakeFiles/ppp_types.dir/value.cc.o"
+  "CMakeFiles/ppp_types.dir/value.cc.o.d"
+  "libppp_types.a"
+  "libppp_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

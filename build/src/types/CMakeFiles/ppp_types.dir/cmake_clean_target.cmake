@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppp_types.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_workload.dir/measurement.cc.o"
+  "CMakeFiles/ppp_workload.dir/measurement.cc.o.d"
+  "CMakeFiles/ppp_workload.dir/queries.cc.o"
+  "CMakeFiles/ppp_workload.dir/queries.cc.o.d"
+  "CMakeFiles/ppp_workload.dir/random_queries.cc.o"
+  "CMakeFiles/ppp_workload.dir/random_queries.cc.o.d"
+  "CMakeFiles/ppp_workload.dir/schema_gen.cc.o"
+  "CMakeFiles/ppp_workload.dir/schema_gen.cc.o.d"
+  "libppp_workload.a"
+  "libppp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

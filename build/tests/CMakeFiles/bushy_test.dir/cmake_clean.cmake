@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bushy_test.dir/bushy_test.cc.o"
+  "CMakeFiles/bushy_test.dir/bushy_test.cc.o.d"
+  "bushy_test"
+  "bushy_test.pdb"
+  "bushy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bushy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderby_test.dir/orderby_test.cc.o"
+  "CMakeFiles/orderby_test.dir/orderby_test.cc.o.d"
+  "orderby_test"
+  "orderby_test.pdb"
+  "orderby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ppp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/ppp_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/ppp_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ppp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/ppp_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/ppp_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ppp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ppp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ppp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ppp_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
