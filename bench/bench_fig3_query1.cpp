@@ -20,11 +20,21 @@ int main() {
   std::printf("%s\n%s\n\n", queries[0].sql.c_str(),
               queries[0].description.c_str());
 
+  const bool tracing = bench::TraceEnabled();
   std::vector<workload::Measurement> bars;
   for (const optimizer::Algorithm algorithm : bench::kAllAlgorithms) {
-    bars.push_back(bench::RunQuery(db.get(), config, "Q1", algorithm));
+    obs::OptTrace trace;
+    bars.push_back(bench::RunQuery(db.get(), config, "Q1", algorithm, {},
+                                   /*execute=*/true,
+                                   tracing ? &trace : nullptr));
+    if (tracing && !trace.empty()) {
+      std::printf("--- optimizer trace: %s ---\n%s",
+                  bars.back().algorithm.c_str(), trace.ToText().c_str());
+    }
   }
   bench::PrintFigure("relative running times (paper: PushDown loses badly):",
                      bars);
+  if (tracing) bench::PrintDpStats(bars);
+  bench::MaybeWriteBenchJson("fig3_query1", bars);
   return 0;
 }

@@ -28,5 +28,7 @@ int main() {
   bench::PrintFigure(
       "relative running times (paper: PullUp's error nearly insignificant):",
       bars);
+  if (bench::TraceEnabled()) bench::PrintDpStats(bars);
+  bench::MaybeWriteBenchJson("fig4_query2", bars);
   return 0;
 }

@@ -39,5 +39,7 @@ int main() {
   cached.push_back(bench::RunQuery(db.get(), config, "Q3",
                                    optimizer::Algorithm::kMigration));
   bench::PrintFigure("PullUp vs Migration, caching on:", cached);
+  if (bench::TraceEnabled()) bench::PrintDpStats(bars);
+  bench::MaybeWriteBenchJson("fig5_query3", bars);
   return 0;
 }

@@ -41,5 +41,7 @@ int main() {
       "(MovesFilterAboveJoinGroup). Note that the pure cost comparison\n"
       "(Exhaustive, LDL) is blind here — estimates tie — while rank-based\n"
       "hoisting still finds the winning placement.\n");
+  if (bench::TraceEnabled()) bench::PrintDpStats(bars);
+  bench::MaybeWriteBenchJson("fig8_query4", bars);
   return 0;
 }

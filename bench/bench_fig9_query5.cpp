@@ -41,5 +41,7 @@ int main() {
                   bars[3].invocations.count("match100")
                       ? bars[3].invocations.at("match100")
                       : 0));
+  if (bench::TraceEnabled()) bench::PrintDpStats(bars);
+  bench::MaybeWriteBenchJson("fig9_query5", bars);
   return 0;
 }

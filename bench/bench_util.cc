@@ -42,15 +42,44 @@ workload::Measurement RunQuery(workload::Database* db,
                                const workload::BenchmarkConfig& config,
                                const std::string& id,
                                optimizer::Algorithm algorithm,
-                               cost::CostParams cost_params, bool execute) {
+                               cost::CostParams cost_params, bool execute,
+                               obs::OptTrace* trace) {
   auto spec = workload::GetBenchmarkQuery(*db, config, id);
   PPP_CHECK(spec.ok()) << spec.status().ToString();
   exec::ExecParams exec_params;
   exec_params.predicate_caching = cost_params.predicate_caching;
   auto m = workload::RunWithAlgorithm(db, *spec, algorithm, cost_params,
-                                      exec_params, execute);
+                                      exec_params, execute,
+                                      /*collect_explain=*/false, trace);
   PPP_CHECK(m.ok()) << m.status().ToString();
   return *m;
+}
+
+bool TraceEnabled() {
+  const char* env = std::getenv("PPP_TRACE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+void MaybeWriteBenchJson(const std::string& name,
+                         const std::vector<workload::Measurement>& bars) {
+  const char* env = std::getenv("PPP_BENCH_JSON");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') return;
+  auto path = workload::WriteBenchJson(name, bars);
+  if (!path.ok()) {
+    std::printf("(bench json not written: %s)\n",
+                path.status().ToString().c_str());
+    return;
+  }
+  std::printf("wrote %s\n", path->c_str());
+}
+
+void PrintDpStats(const std::vector<workload::Measurement>& bars) {
+  std::printf("DP enumeration statistics:\n");
+  for (const workload::Measurement& m : bars) {
+    std::printf("%-20s %s\n", m.algorithm.c_str(),
+                m.dp_stats.ToString().c_str());
+  }
 }
 
 void PrintHeader(const std::string& title) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "optimizer/algorithm.h"
 #include "workload/database.h"
 #include "workload/measurement.h"
@@ -27,13 +28,28 @@ std::unique_ptr<workload::Database> MakeBenchDatabase(
     int64_t scale, const std::vector<int>& tables = {1, 3, 6, 7, 9, 10});
 
 /// Runs `id` (Q1..Q5) under `algorithm` and returns the measurement.
-/// Aborts on failure.
+/// Aborts on failure. `trace`, when non-null, records the optimizer's
+/// decisions for that run (observability only; charged time is unchanged).
 workload::Measurement RunQuery(workload::Database* db,
                                const workload::BenchmarkConfig& config,
                                const std::string& id,
                                optimizer::Algorithm algorithm,
                                cost::CostParams cost_params = {},
-                               bool execute = true);
+                               bool execute = true,
+                               obs::OptTrace* trace = nullptr);
+
+/// True when PPP_TRACE is set to a non-empty value other than "0":
+/// benches then print optimizer traces and DP statistics.
+bool TraceEnabled();
+
+/// Writes BENCH_<name>.json via workload::WriteBenchJson and prints the
+/// path. Disable with PPP_BENCH_JSON=0.
+void MaybeWriteBenchJson(const std::string& name,
+                         const std::vector<workload::Measurement>& bars);
+
+/// Prints per-algorithm DP enumeration statistics (subplans generated,
+/// pruned, retained, ...) gathered during optimization.
+void PrintDpStats(const std::vector<workload::Measurement>& bars);
 
 /// Prints a separator + title.
 void PrintHeader(const std::string& title);

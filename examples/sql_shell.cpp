@@ -1,12 +1,19 @@
 // A minimal interactive shell over the engine: type SELECT statements
 // against the benchmark database, get the optimized plan (EXPLAIN) and the
 // first rows, with the measured I/O + invocation bill. Reads from stdin;
-// pipe a script in, or run interactively. Meta-commands:
+// pipe a script in, or run interactively. Statements:
+//   SELECT ...                 run the query
+//   EXPLAIN SELECT ...         show the optimized plan, don't run
+//   EXPLAIN ANALYZE SELECT ... run and show the plan with per-operator
+//                              actual rows, timings, I/O, and cache stats
+// Meta-commands:
 //   \tables            list tables
 //   \functions         list registered functions
 //   \algorithm NAME    switch placement algorithm (pushdown, pullup,
 //                      pullrank, migration, ldl, exhaustive)
 //   \explain on|off    toggle plan printing
+//   \trace on|off      dump the optimizer's decision trace after each query
+//   \metrics [reset]   print (or reset) the global metrics registry
 //   \quit
 
 #include <cstdio>
@@ -16,8 +23,11 @@
 
 #include "common/string_util.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "parser/binder.h"
+#include "parser/parser.h"
 #include "subquery/rewrite.h"
 #include "workload/database.h"
 #include "workload/measurement.h"
@@ -54,6 +64,7 @@ int main() {
 
   optimizer::Algorithm algorithm = optimizer::Algorithm::kMigration;
   bool explain = true;
+  bool tracing = false;
 
   std::printf("ppp shell — benchmark database at scale %lld. Try:\n",
               static_cast<long long>(config.scale));
@@ -109,6 +120,26 @@ int main() {
         std::printf("explain %s\n", explain ? "on" : "off");
         continue;
       }
+      if (word == "trace") {
+        std::string mode;
+        cmd >> mode;
+        tracing = (mode != "off");
+        std::printf("trace %s\n", tracing ? "on" : "off");
+        continue;
+      }
+      if (word == "metrics") {
+        std::string mode;
+        cmd >> mode;
+        if (mode == "reset") {
+          obs::MetricsRegistry::Global().ResetAll();
+          std::printf("metrics reset\n");
+        } else {
+          std::printf("%s",
+                      obs::MetricsRegistry::Global().Snapshot().ToText()
+                          .c_str());
+        }
+        continue;
+      }
       std::printf("unknown command \\%s\n", word.c_str());
       continue;
     }
@@ -121,20 +152,40 @@ int main() {
     const std::string sql = statement;
     statement.clear();
 
-    auto spec = subquery::ParseBindRewrite(sql, &db.catalog());
+    // Peel off a leading EXPLAIN [ANALYZE] lexically so the remaining
+    // statement still goes through the full parse/bind/rewrite pipeline.
+    std::string body;
+    const parser::StatementKind kind = parser::StripExplain(sql, &body);
+    const bool execute = kind != parser::StatementKind::kExplain;
+    const bool collect_explain = kind != parser::StatementKind::kSelect;
+
+    auto spec = subquery::ParseBindRewrite(body, &db.catalog());
     if (!spec.ok()) {
       std::printf("error: %s\n", spec.status().ToString().c_str());
       continue;
     }
-    auto m = workload::RunWithAlgorithm(&db, *spec, algorithm, {}, {});
+    obs::OptTrace trace;
+    auto m = workload::RunWithAlgorithm(&db, *spec, algorithm, {}, {},
+                                        execute, collect_explain,
+                                        tracing ? &trace : nullptr);
     if (!m.ok()) {
       std::printf("error: %s\n", m.status().ToString().c_str());
       continue;
     }
-    if (explain) std::printf("%s", m->plan_text.c_str());
-    std::printf("%llu rows; charged time %.6g (io %.6g + udf %.6g)\n",
-                static_cast<unsigned long long>(m->output_rows),
-                m->charged_time, m->charged_io, m->charged_udf);
+    if (collect_explain) {
+      std::printf("%s", m->explain_text.c_str());
+    } else if (explain) {
+      std::printf("%s", m->plan_text.c_str());
+    }
+    if (tracing && !trace.empty()) {
+      std::printf("optimizer trace:\n%s", trace.ToText().c_str());
+      std::printf("dp stats: %s\n", m->dp_stats.ToString().c_str());
+    }
+    if (execute) {
+      std::printf("%llu rows; charged time %.6g (io %.6g + udf %.6g)\n",
+                  static_cast<unsigned long long>(m->output_rows),
+                  m->charged_time, m->charged_io, m->charged_udf);
+    }
   }
   std::printf("\nbye\n");
   return 0;

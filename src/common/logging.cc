@@ -1,12 +1,34 @@
 #include "common/logging.h"
 
+#include <cctype>
+
 namespace ppp::common {
 
 namespace {
-LogLevel g_log_level = LogLevel::kInfo;
+
+/// PPP_LOG_LEVEL=trace|debug|info|warning|error (case-insensitive; also
+/// accepts the single-letter forms used in the output prefix).
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("PPP_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  std::string value(env);
+  for (char& c : value) c = static_cast<char>(std::tolower(c));
+  if (value == "trace" || value == "t") return LogLevel::kTrace;
+  if (value == "debug" || value == "d") return LogLevel::kDebug;
+  if (value == "info" || value == "i") return LogLevel::kInfo;
+  if (value == "warning" || value == "warn" || value == "w") {
+    return LogLevel::kWarning;
+  }
+  if (value == "error" || value == "e") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+LogLevel g_log_level = InitialLogLevel();
 
 const char* LevelName(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace:
+      return "T";
     case LogLevel::kDebug:
       return "D";
     case LogLevel::kInfo:

@@ -8,11 +8,20 @@
 
 namespace ppp::common {
 
-/// Severity levels for the minimal logging facility.
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+/// Severity levels for the minimal logging facility. kTrace carries the
+/// optimizer's live OptTrace echo and is below kDebug.
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4
+};
 
 /// Process-wide minimum level; messages below it are dropped.
-/// Defaults to kInfo. Not thread-safe by design (set once at startup).
+/// Defaults to kInfo, overridable at startup with the PPP_LOG_LEVEL
+/// environment variable (trace|debug|info|warning|error). Not thread-safe
+/// by design (set once at startup).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

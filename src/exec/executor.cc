@@ -297,7 +297,7 @@ std::string ExecStats::ToString() const {
 
 common::Result<std::vector<types::Tuple>> ExecutePlan(
     const plan::PlanNode& plan, ExecContext* ctx, ExecStats* stats,
-    types::RowSchema* out_schema) {
+    types::RowSchema* out_schema, std::unique_ptr<Operator>* root_out) {
   storage::BufferPool* pool = ctx->catalog->buffer_pool();
   const storage::IoStats before = pool->stats();
   ctx->eval.invocation_counts.clear();
@@ -313,6 +313,7 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
 
   PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
                        BuildExecutor(plan, ctx));
+  root->AttachPool(pool);
   if (out_schema != nullptr) *out_schema = root->schema();
   PPP_RETURN_IF_ERROR(root->Open());
   std::vector<types::Tuple> out;
@@ -334,6 +335,7 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
     stats->io.buffer_hits = after.buffer_hits - before.buffer_hits;
     stats->invocations = ctx->eval.invocation_counts;
   }
+  if (root_out != nullptr) *root_out = std::move(root);
   return out;
 }
 

@@ -35,10 +35,13 @@ struct ExecStats {
 /// are measured against the catalog's buffer pool; invocation counts come
 /// from ctx->eval. `out_schema`, when non-null, receives the output row
 /// descriptor (plans with different join orders emit columns in different
-/// orders; compare results with CanonicalResults + schema).
+/// orders; compare results with CanonicalResults + schema). `root_out`,
+/// when non-null, receives the executed operator tree so the caller can
+/// inspect per-operator stats (EXPLAIN ANALYZE).
 common::Result<std::vector<types::Tuple>> ExecutePlan(
     const plan::PlanNode& plan, ExecContext* ctx, ExecStats* stats,
-    types::RowSchema* out_schema = nullptr);
+    types::RowSchema* out_schema = nullptr,
+    std::unique_ptr<Operator>* root_out = nullptr);
 
 }  // namespace ppp::exec
 

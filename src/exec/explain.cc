@@ -1,0 +1,80 @@
+#include "exec/explain.h"
+
+#include "common/string_util.h"
+
+namespace ppp::exec {
+
+namespace {
+
+uint64_t ClampedMinus(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+/// The operator's own I/O: its inclusive subtree delta minus its
+/// children's inclusive deltas (child calls nest inside the parent's).
+storage::IoStats SelfIo(const Operator& op) {
+  storage::IoStats self = op.stats().io;
+  for (const Operator* child : op.Children()) {
+    const storage::IoStats& sub = child->stats().io;
+    self.sequential_reads =
+        ClampedMinus(self.sequential_reads, sub.sequential_reads);
+    self.random_reads = ClampedMinus(self.random_reads, sub.random_reads);
+    self.writes = ClampedMinus(self.writes, sub.writes);
+    self.buffer_hits = ClampedMinus(self.buffer_hits, sub.buffer_hits);
+  }
+  return self;
+}
+
+void AppendActuals(const Operator& op, std::string* out) {
+  const OperatorStats& stats = op.stats();
+  const storage::IoStats self = SelfIo(op);
+  out->append(common::StringPrintf(
+      " (actual rows=%llu opens=%llu time=%.3fms io seq=%llu rand=%llu "
+      "hit=%llu)",
+      static_cast<unsigned long long>(stats.rows_out),
+      static_cast<unsigned long long>(stats.opens),
+      (stats.open_seconds + stats.next_seconds) * 1e3,
+      static_cast<unsigned long long>(self.sequential_reads),
+      static_cast<unsigned long long>(self.random_reads),
+      static_cast<unsigned long long>(self.buffer_hits)));
+  if (stats.has_cache) {
+    out->append(common::StringPrintf(
+        " [cache %s hits=%llu entries=%llu evictions=%llu]",
+        stats.cache_enabled ? "on" : "off",
+        static_cast<unsigned long long>(stats.cache_hits),
+        static_cast<unsigned long long>(stats.cache_entries),
+        static_cast<unsigned long long>(stats.cache_evictions)));
+  }
+}
+
+/// Renders `plan` at `indent`, pairing it with `op` when the operator tree
+/// has a node for it (nullptr = estimates only, e.g. the probed inner
+/// relation of an index nested-loop join).
+void AppendNode(const plan::PlanNode& plan, const Operator* op, int indent,
+                std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(plan.LineString());
+  if (op != nullptr) AppendActuals(*op, out);
+  out->append("\n");
+
+  std::vector<const Operator*> op_children =
+      op != nullptr ? op->Children() : std::vector<const Operator*>{};
+  for (size_t i = 0; i < plan.children.size(); ++i) {
+    const Operator* child_op = i < op_children.size() ? op_children[i]
+                                                      : nullptr;
+    AppendNode(*plan.children[i], child_op, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderExplain(const plan::PlanNode& plan) {
+  return plan.ToString();
+}
+
+std::string RenderExplainAnalyze(const plan::PlanNode& plan,
+                                 const Operator& root) {
+  std::string out;
+  AppendNode(plan, &root, 0, &out);
+  return out;
+}
+
+}  // namespace ppp::exec

@@ -1,0 +1,27 @@
+#ifndef PPP_EXEC_EXPLAIN_H_
+#define PPP_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "exec/operator.h"
+#include "plan/plan_node.h"
+
+namespace ppp::exec {
+
+/// EXPLAIN: the annotated plan tree (optimizer estimates only).
+std::string RenderExplain(const plan::PlanNode& plan);
+
+/// EXPLAIN ANALYZE: the plan tree with each node's estimates followed by
+/// the executed operator's actuals — rows, Open()/Next() wall time, the
+/// node's *self* I/O (its subtree-inclusive pool delta minus its
+/// children's), and predicate-cache counters where one exists.
+///
+/// `root` must be the operator tree ExecutePlan built for `plan`. The two
+/// trees correspond 1:1 except under an index nested-loop join, whose
+/// inner plan child has no operator and is rendered estimates-only.
+std::string RenderExplainAnalyze(const plan::PlanNode& plan,
+                                 const Operator& root);
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_EXPLAIN_H_

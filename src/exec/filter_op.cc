@@ -8,14 +8,24 @@ FilterOp::FilterOp(std::unique_ptr<Operator> child,
   schema_ = child_->schema();
 }
 
-common::Status FilterOp::Open() { return child_->Open(); }
+common::Status FilterOp::OpenImpl() { return child_->Open(); }
 
-common::Status FilterOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status FilterOp::NextImpl(types::Tuple* tuple, bool* eof) {
   while (true) {
     PPP_RETURN_IF_ERROR(child_->Next(tuple, eof));
     if (*eof) return common::Status::OK();
     if (predicate_.Eval(*tuple, &ctx_->eval)) return common::Status::OK();
   }
+}
+
+std::string FilterOp::Describe() const { return "Filter"; }
+
+void FilterOp::RefreshLocalStats() const {
+  stats_.has_cache = true;
+  stats_.cache_enabled = predicate_.cache_enabled();
+  stats_.cache_hits = predicate_.cache_hits();
+  stats_.cache_entries = predicate_.cache_entries();
+  stats_.cache_evictions = predicate_.cache_evictions();
 }
 
 }  // namespace ppp::exec

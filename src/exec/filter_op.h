@@ -16,10 +16,15 @@ class FilterOp : public Operator {
   FilterOp(std::unique_ptr<Operator> child, CachedPredicate predicate,
            ExecContext* ctx);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
-
   const CachedPredicate& predicate() const { return predicate_; }
+
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
+  void RefreshLocalStats() const override;
 
  private:
   std::unique_ptr<Operator> child_;

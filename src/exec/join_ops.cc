@@ -33,12 +33,12 @@ NestedLoopJoinOp::NestedLoopJoinOp(std::unique_ptr<Operator> outer,
   schema_ = types::RowSchema::Concat(outer_->schema(), inner_->schema());
 }
 
-common::Status NestedLoopJoinOp::Open() {
+common::Status NestedLoopJoinOp::OpenImpl() {
   have_outer_ = false;
   return outer_->Open();
 }
 
-common::Status NestedLoopJoinOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status NestedLoopJoinOp::NextImpl(types::Tuple* tuple, bool* eof) {
   while (true) {
     if (!have_outer_) {
       bool outer_eof = false;
@@ -67,6 +67,19 @@ common::Status NestedLoopJoinOp::Next(types::Tuple* tuple, bool* eof) {
   }
 }
 
+std::string NestedLoopJoinOp::Describe() const {
+  return primary_.has_value() ? "NestedLoopJoin" : "NestedLoopJoin(cross)";
+}
+
+void NestedLoopJoinOp::RefreshLocalStats() const {
+  if (!primary_.has_value()) return;
+  stats_.has_cache = true;
+  stats_.cache_enabled = primary_->cache_enabled();
+  stats_.cache_hits = primary_->cache_hits();
+  stats_.cache_entries = primary_->cache_entries();
+  stats_.cache_evictions = primary_->cache_evictions();
+}
+
 // ---- IndexNestedLoopJoinOp -------------------------------------------------
 
 IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(
@@ -81,14 +94,14 @@ IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(
       outer_->schema(), inner_table->RowSchemaForAlias(inner_alias));
 }
 
-common::Status IndexNestedLoopJoinOp::Open() {
+common::Status IndexNestedLoopJoinOp::OpenImpl() {
   have_outer_ = false;
   matches_.clear();
   match_pos_ = 0;
   return outer_->Open();
 }
 
-common::Status IndexNestedLoopJoinOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status IndexNestedLoopJoinOp::NextImpl(types::Tuple* tuple, bool* eof) {
   const storage::BTree* index = inner_table_->GetIndex(inner_column_);
   if (index == nullptr) {
     return common::Status::NotFound("no index on " + inner_table_->name() +
@@ -119,6 +132,11 @@ common::Status IndexNestedLoopJoinOp::Next(types::Tuple* tuple, bool* eof) {
   }
 }
 
+std::string IndexNestedLoopJoinOp::Describe() const {
+  return "IndexNestedLoopJoin(" + inner_table_->name() + "." +
+         inner_column_ + ")";
+}
+
 // ---- MergeJoinOp -----------------------------------------------------------
 
 MergeJoinOp::MergeJoinOp(std::unique_ptr<Operator> outer,
@@ -131,7 +149,7 @@ MergeJoinOp::MergeJoinOp(std::unique_ptr<Operator> outer,
   schema_ = types::RowSchema::Concat(outer_->schema(), inner_->schema());
 }
 
-common::Status MergeJoinOp::Open() {
+common::Status MergeJoinOp::OpenImpl() {
   outer_rows_.clear();
   inner_rows_.clear();
   PPP_RETURN_IF_ERROR(Drain(outer_.get(), &outer_rows_));
@@ -163,7 +181,7 @@ common::Status MergeJoinOp::Open() {
   return common::Status::OK();
 }
 
-common::Status MergeJoinOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status MergeJoinOp::NextImpl(types::Tuple* tuple, bool* eof) {
   while (true) {
     if (group_active_) {
       if (group_pos_ < inner_end_) {
@@ -211,6 +229,8 @@ common::Status MergeJoinOp::Next(types::Tuple* tuple, bool* eof) {
   }
 }
 
+std::string MergeJoinOp::Describe() const { return "MergeJoin"; }
+
 // ---- HashJoinOp ------------------------------------------------------------
 
 HashJoinOp::HashJoinOp(std::unique_ptr<Operator> outer,
@@ -223,7 +243,7 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> outer,
   schema_ = types::RowSchema::Concat(outer_->schema(), inner_->schema());
 }
 
-common::Status HashJoinOp::Open() {
+common::Status HashJoinOp::OpenImpl() {
   table_.clear();
   std::vector<types::Tuple> build_rows;
   PPP_RETURN_IF_ERROR(Drain(inner_.get(), &build_rows));
@@ -238,7 +258,7 @@ common::Status HashJoinOp::Open() {
   return outer_->Open();
 }
 
-common::Status HashJoinOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status HashJoinOp::NextImpl(types::Tuple* tuple, bool* eof) {
   while (true) {
     if (have_outer_ && current_matches_ != nullptr &&
         match_pos_ < current_matches_->size()) {
@@ -263,5 +283,7 @@ common::Status HashJoinOp::Next(types::Tuple* tuple, bool* eof) {
     if (it != table_.end()) current_matches_ = &it->second;
   }
 }
+
+std::string HashJoinOp::Describe() const { return "HashJoin"; }
 
 }  // namespace ppp::exec

@@ -23,8 +23,15 @@ class NestedLoopJoinOp : public Operator {
                    std::unique_ptr<Operator> inner,
                    std::optional<CachedPredicate> primary, ExecContext* ctx);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override {
+    return {outer_.get(), inner_.get()};
+  }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
+  void RefreshLocalStats() const override;
 
  private:
   std::unique_ptr<Operator> outer_;
@@ -44,8 +51,14 @@ class IndexNestedLoopJoinOp : public Operator {
                         const std::string& inner_alias,
                         std::string inner_column, size_t outer_key_index);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  /// The probed inner table is not an operator, so the outer input is the
+  /// only child.
+  std::vector<Operator*> Children() override { return {outer_.get()}; }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   std::unique_ptr<Operator> outer_;
@@ -67,8 +80,14 @@ class MergeJoinOp : public Operator {
               std::unique_ptr<Operator> inner, size_t outer_key_index,
               size_t inner_key_index);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override {
+    return {outer_.get(), inner_.get()};
+  }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   std::unique_ptr<Operator> outer_;
@@ -91,8 +110,14 @@ class HashJoinOp : public Operator {
              std::unique_ptr<Operator> inner, size_t outer_key_index,
              size_t inner_key_index);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override {
+    return {outer_.get(), inner_.get()};
+  }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   std::unique_ptr<Operator> outer_;

@@ -10,7 +10,7 @@ SortOp::SortOp(std::unique_ptr<Operator> child, size_t key_index)
   schema_ = child_->schema();
 }
 
-common::Status SortOp::Open() {
+common::Status SortOp::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   PPP_RETURN_IF_ERROR(child_->Open());
@@ -28,7 +28,7 @@ common::Status SortOp::Open() {
   return common::Status::OK();
 }
 
-common::Status SortOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status SortOp::NextImpl(types::Tuple* tuple, bool* eof) {
   if (pos_ >= rows_.size()) {
     *eof = true;
     return common::Status::OK();
@@ -43,7 +43,7 @@ MaterializeOp::MaterializeOp(std::unique_ptr<Operator> child)
   schema_ = child_->schema();
 }
 
-common::Status MaterializeOp::Open() {
+common::Status MaterializeOp::OpenImpl() {
   pos_ = 0;
   if (filled_) return common::Status::OK();
   PPP_RETURN_IF_ERROR(child_->Open());
@@ -58,7 +58,7 @@ common::Status MaterializeOp::Open() {
   return common::Status::OK();
 }
 
-common::Status MaterializeOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status MaterializeOp::NextImpl(types::Tuple* tuple, bool* eof) {
   if (pos_ >= rows_.size()) {
     *eof = true;
     return common::Status::OK();
@@ -80,7 +80,7 @@ HashAggregateOp::HashAggregateOp(std::unique_ptr<Operator> child,
   schema_ = std::move(output_schema);
 }
 
-common::Status HashAggregateOp::Open() {
+common::Status HashAggregateOp::OpenImpl() {
   results_.clear();
   pos_ = 0;
   PPP_RETURN_IF_ERROR(child_->Open());
@@ -165,7 +165,7 @@ common::Status HashAggregateOp::Open() {
   return common::Status::OK();
 }
 
-common::Status HashAggregateOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status HashAggregateOp::NextImpl(types::Tuple* tuple, bool* eof) {
   if (pos_ >= results_.size()) {
     *eof = true;
     return common::Status::OK();
@@ -182,9 +182,9 @@ ProjectOp::ProjectOp(std::unique_ptr<Operator> child,
   schema_ = std::move(output_schema);
 }
 
-common::Status ProjectOp::Open() { return child_->Open(); }
+common::Status ProjectOp::OpenImpl() { return child_->Open(); }
 
-common::Status ProjectOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status ProjectOp::NextImpl(types::Tuple* tuple, bool* eof) {
   types::Tuple input;
   PPP_RETURN_IF_ERROR(child_->Next(&input, eof));
   if (*eof) return common::Status::OK();
@@ -196,5 +196,10 @@ common::Status ProjectOp::Next(types::Tuple* tuple, bool* eof) {
   *tuple = types::Tuple(std::move(values));
   return common::Status::OK();
 }
+
+std::string SortOp::Describe() const { return "Sort"; }
+std::string MaterializeOp::Describe() const { return "Materialize"; }
+std::string HashAggregateOp::Describe() const { return "Aggregate"; }
+std::string ProjectOp::Describe() const { return "Project"; }
 
 }  // namespace ppp::exec

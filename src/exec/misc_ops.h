@@ -14,8 +14,12 @@ class SortOp : public Operator {
  public:
   SortOp(std::unique_ptr<Operator> child, size_t key_index);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -30,8 +34,12 @@ class MaterializeOp : public Operator {
  public:
   explicit MaterializeOp(std::unique_ptr<Operator> child);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -55,8 +63,12 @@ class HashAggregateOp : public Operator {
                   std::vector<BoundAggregate> aggregates,
                   types::RowSchema output_schema, ExecContext* ctx);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   struct Accumulator {
@@ -82,8 +94,12 @@ class ProjectOp : public Operator {
             std::vector<std::shared_ptr<expr::BoundExpr>> exprs,
             types::RowSchema output_schema, ExecContext* ctx);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+  std::vector<Operator*> Children() override { return {child_.get()}; }
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   std::unique_ptr<Operator> child_;

@@ -1,12 +1,74 @@
 #include "exec/operator.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace ppp::exec {
 
 namespace {
 /// Probes after which an adaptive cache with zero hits gives up (§5.1's
 /// "predicate caching can provide no benefit" condition, detected online).
 constexpr uint64_t kAdaptiveProbeWindow = 512;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void AccumulateDelta(storage::IoStats* io, const storage::IoStats& before,
+                     const storage::IoStats& after) {
+  io->sequential_reads += after.sequential_reads - before.sequential_reads;
+  io->random_reads += after.random_reads - before.random_reads;
+  io->writes += after.writes - before.writes;
+  io->buffer_hits += after.buffer_hits - before.buffer_hits;
+}
 }  // namespace
+
+common::Status Operator::Open() {
+  ++stats_.opens;
+  const storage::IoStats before =
+      pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const auto start = std::chrono::steady_clock::now();
+  common::Status status = OpenImpl();
+  stats_.open_seconds += SecondsSince(start);
+  if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
+  return status;
+}
+
+common::Status Operator::Next(types::Tuple* tuple, bool* eof) {
+  ++stats_.next_calls;
+  const storage::IoStats before =
+      pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const auto start = std::chrono::steady_clock::now();
+  common::Status status = NextImpl(tuple, eof);
+  stats_.next_seconds += SecondsSince(start);
+  if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
+  if (status.ok() && !*eof) ++stats_.rows_out;
+  return status;
+}
+
+const OperatorStats& Operator::stats() const {
+  RefreshLocalStats();
+  return stats_;
+}
+
+std::vector<const Operator*> Operator::Children() const {
+  std::vector<Operator*> mutable_children =
+      const_cast<Operator*>(this)->Children();
+  return {mutable_children.begin(), mutable_children.end()};
+}
+
+void Operator::AttachPool(const storage::BufferPool* pool) {
+  pool_ = pool;
+  for (Operator* child : Children()) child->AttachPool(pool);
+}
+
+void Operator::CollectStats(std::vector<const OperatorStats*>* out) const {
+  out->push_back(&stats());
+  for (const Operator* child : Children()) child->CollectStats(out);
+}
 
 common::Result<CachedPredicate> CachedPredicate::Bind(
     const expr::PredicateInfo& pred, const types::RowSchema& schema,
@@ -40,6 +102,18 @@ common::Result<CachedPredicate> CachedPredicate::Bind(
 
 bool CachedPredicate::Eval(const types::Tuple& tuple,
                            expr::EvalContext* ctx) {
+  static obs::Counter* hit_counter =
+      obs::MetricsRegistry::Global().GetCounter("exec.predicate_cache.hits");
+  static obs::Counter* miss_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "exec.predicate_cache.misses");
+  static obs::Counter* eviction_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "exec.predicate_cache.evictions");
+  static obs::Counter* disable_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "exec.predicate_cache.disables");
+
   if (!cache_enabled_ || disabled_) {
     return bound_->EvalBool(tuple, ctx);
   }
@@ -55,14 +129,17 @@ bool CachedPredicate::Eval(const types::Tuple& tuple,
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++cache_hits_;
+    hit_counter->Increment();
     return it->second;
   }
+  miss_counter->Increment();
   const bool result = bound_->EvalBool(tuple, ctx);
 
   if (adaptive_ && probes_ >= kAdaptiveProbeWindow && cache_hits_ == 0) {
     // Every binding so far was distinct: caching cannot pay here. Free the
     // memory (the footnote-4 swap problem) and stop keying.
     disabled_ = true;
+    disable_counter->Increment();
     cache_.clear();
     fifo_.clear();
     return result;
@@ -71,6 +148,7 @@ bool CachedPredicate::Eval(const types::Tuple& tuple,
     cache_.erase(fifo_.front());
     fifo_.pop_front();
     ++cache_evictions_;
+    eviction_counter->Increment();
   }
   cache_.emplace(key, result);
   fifo_.push_back(std::move(key));

@@ -1,14 +1,18 @@
 #ifndef PPP_EXEC_OPERATOR_H_
 #define PPP_EXEC_OPERATOR_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "expr/evaluator.h"
 #include "expr/predicate.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
 #include "types/row_schema.h"
 #include "types/tuple.h"
 
@@ -63,23 +67,80 @@ struct ExecContext {
   expr::FunctionCache function_cache_storage;
 };
 
+/// Per-operator runtime telemetry, accumulated by the Open()/Next()
+/// wrappers across the operator's whole lifetime (rescans included).
+///
+/// `io` is *inclusive*: the pool delta across this operator's calls covers
+/// its entire subtree, because child calls nest inside the parent's.
+/// EXPLAIN ANALYZE derives the self share as inclusive minus the children's
+/// inclusive totals. Wall-clock fields are diagnostic only — the paper's
+/// charged time is computed from counters, never from these timers.
+struct OperatorStats {
+  uint64_t opens = 0;
+  uint64_t next_calls = 0;
+  uint64_t rows_out = 0;
+  double open_seconds = 0.0;
+  double next_seconds = 0.0;
+  storage::IoStats io;
+
+  /// Predicate-cache view (operators owning a CachedPredicate only).
+  bool has_cache = false;
+  bool cache_enabled = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_evictions = 0;
+};
+
 /// Volcano-style iterator. Open() may be called repeatedly: nested-loop
 /// join restarts its inner subtree by re-opening it, and any per-operator
 /// caches must survive the restart.
+///
+/// Open()/Next() are non-virtual instrumentation wrappers (call counts,
+/// wall time, inclusive I/O deltas against the attached buffer pool);
+/// subclasses implement OpenImpl()/NextImpl().
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual common::Status Open() = 0;
+  common::Status Open();
 
   /// Produces the next tuple, or sets *eof. After *eof, further calls keep
   /// returning eof.
-  virtual common::Status Next(types::Tuple* tuple, bool* eof) = 0;
+  common::Status Next(types::Tuple* tuple, bool* eof);
 
   const types::RowSchema& schema() const { return schema_; }
 
+  /// This operator's telemetry, with any operator-local cache counters
+  /// folded in.
+  const OperatorStats& stats() const;
+
+  /// One-line physical description, e.g. "SeqScan(t3)".
+  virtual std::string Describe() const = 0;
+
+  /// Child operators in plan order (outer before inner). IndexNestedLoop
+  /// has only its outer child here — the probed inner table is not an
+  /// operator.
+  virtual std::vector<Operator*> Children() { return {}; }
+  std::vector<const Operator*> Children() const;
+
+  /// Attaches the buffer pool whose stats() deltas attribute I/O to this
+  /// subtree, recursively. Without a pool the I/O fields stay zero.
+  void AttachPool(const storage::BufferPool* pool);
+
+  /// Appends this subtree's stats in depth-first plan order.
+  void CollectStats(std::vector<const OperatorStats*>* out) const;
+
  protected:
+  virtual common::Status OpenImpl() = 0;
+  virtual common::Status NextImpl(types::Tuple* tuple, bool* eof) = 0;
+
+  /// Folds operator-local counters (predicate caches) into `stats_`;
+  /// overridden by operators owning a CachedPredicate.
+  virtual void RefreshLocalStats() const {}
+
   types::RowSchema schema_;
+  mutable OperatorStats stats_;
+  const storage::BufferPool* pool_ = nullptr;
 };
 
 /// A predicate bound to an input schema, with an optional memo table keyed

@@ -1,18 +1,20 @@
 #include "exec/scan_ops.h"
 
+#include "common/string_util.h"
+
 namespace ppp::exec {
 
 SeqScanOp::SeqScanOp(const catalog::Table* table, const std::string& alias)
-    : table_(table), it_(table->heap().Scan()) {
+    : table_(table), alias_(alias), it_(table->heap().Scan()) {
   schema_ = table->RowSchemaForAlias(alias);
 }
 
-common::Status SeqScanOp::Open() {
+common::Status SeqScanOp::OpenImpl() {
   it_ = table_->heap().Scan();
   return common::Status::OK();
 }
 
-common::Status SeqScanOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status SeqScanOp::NextImpl(types::Tuple* tuple, bool* eof) {
   storage::RecordId rid;
   std::string bytes;
   if (!it_.Next(&rid, &bytes)) {
@@ -24,6 +26,12 @@ common::Status SeqScanOp::Next(types::Tuple* tuple, bool* eof) {
   return common::Status::OK();
 }
 
+std::string SeqScanOp::Describe() const {
+  std::string out = "SeqScan(" + table_->name();
+  if (alias_ != table_->name()) out += " AS " + alias_;
+  return out + ")";
+}
+
 IndexScanOp::IndexScanOp(const catalog::Table* table,
                          const std::string& alias, std::string column,
                          int64_t key)
@@ -32,11 +40,12 @@ IndexScanOp::IndexScanOp(const catalog::Table* table,
 IndexScanOp::IndexScanOp(const catalog::Table* table,
                          const std::string& alias, std::string column,
                          int64_t lo, int64_t hi)
-    : table_(table), column_(std::move(column)), lo_(lo), hi_(hi) {
+    : table_(table), alias_(alias), column_(std::move(column)), lo_(lo),
+      hi_(hi) {
   schema_ = table->RowSchemaForAlias(alias);
 }
 
-common::Status IndexScanOp::Open() {
+common::Status IndexScanOp::OpenImpl() {
   const storage::BTree* index = table_->GetIndex(column_);
   if (index == nullptr) {
     return common::Status::NotFound("no index on " + table_->name() + "." +
@@ -47,7 +56,7 @@ common::Status IndexScanOp::Open() {
   return common::Status::OK();
 }
 
-common::Status IndexScanOp::Next(types::Tuple* tuple, bool* eof) {
+common::Status IndexScanOp::NextImpl(types::Tuple* tuple, bool* eof) {
   if (pos_ >= rids_.size()) {
     *eof = true;
     return common::Status::OK();
@@ -56,6 +65,18 @@ common::Status IndexScanOp::Next(types::Tuple* tuple, bool* eof) {
   ++pos_;
   *eof = false;
   return common::Status::OK();
+}
+
+std::string IndexScanOp::Describe() const {
+  if (lo_ == hi_) {
+    return common::StringPrintf("IndexScan(%s.%s = %lld)",
+                                table_->name().c_str(), column_.c_str(),
+                                static_cast<long long>(lo_));
+  }
+  return common::StringPrintf("IndexScan(%lld <= %s.%s <= %lld)",
+                              static_cast<long long>(lo_),
+                              table_->name().c_str(), column_.c_str(),
+                              static_cast<long long>(hi_));
 }
 
 }  // namespace ppp::exec

@@ -15,11 +15,15 @@ class SeqScanOp : public Operator {
  public:
   SeqScanOp(const catalog::Table* table, const std::string& alias);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   const catalog::Table* table_;
+  std::string alias_;
   storage::HeapFile::Iterator it_;
 };
 
@@ -37,11 +41,15 @@ class IndexScanOp : public Operator {
   IndexScanOp(const catalog::Table* table, const std::string& alias,
               std::string column, int64_t lo, int64_t hi);
 
-  common::Status Open() override;
-  common::Status Next(types::Tuple* tuple, bool* eof) override;
+  std::string Describe() const override;
+
+ protected:
+  common::Status OpenImpl() override;
+  common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
   const catalog::Table* table_;
+  std::string alias_;
   std::string column_;
   int64_t lo_;
   int64_t hi_;

@@ -1,6 +1,7 @@
 #include "expr/evaluator.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ppp::expr {
 
@@ -128,12 +129,19 @@ types::Value BoundExpr::Eval(const types::Tuple& tuple,
         auto it = cache->entries.find(key);
         if (it != cache->entries.end()) {
           ++cache->hits;
+          static obs::Counter* hit_counter =
+              obs::MetricsRegistry::Global().GetCounter(
+                  "expr.function_cache.hits");
+          hit_counter->Increment();
           return it->second;
         }
       }
       if (ctx != nullptr) {
         ++ctx->invocation_counts[function_->name];
       }
+      static obs::Counter* invocation_counter =
+          obs::MetricsRegistry::Global().GetCounter("expr.udf.invocations");
+      invocation_counter->Increment();
       types::Value result = function_->impl(args);
       if (cache != nullptr) {
         if (cache->max_entries > 0 &&

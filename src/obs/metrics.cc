@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace ppp::obs {
+
+namespace {
+
+/// %.17g keeps doubles round-trippable; trims to the short form for the
+/// common integral case.
+std::string NumberToString(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return common::StringPrintf("%.17g", v);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+double Histogram::min() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest sample with at least p% of samples <= it.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+void Histogram::Reset() {
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " " + NumberToString(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += common::StringPrintf(
+        "%s count=%zu sum=%s min=%s max=%s p50=%s p95=%s p99=%s\n",
+        name.c_str(), h.count, NumberToString(h.sum).c_str(),
+        NumberToString(h.min).c_str(), NumberToString(h.max).c_str(),
+        NumberToString(h.p50).c_str(), NumberToString(h.p95).c_str(),
+        NumberToString(h.p99).c_str());
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": " + NumberToString(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + NumberToString(h.sum) +
+           ", \"min\": " + NumberToString(h.min) +
+           ", \"max\": " + NumberToString(h.max) +
+           ", \"p50\": " + NumberToString(h.p50) +
+           ", \"p95\": " + NumberToString(h.p95) +
+           ", \"p99\": " + NumberToString(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &histograms_[name];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSummary s;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    s.p50 = h.Percentile(50);
+    s.p95 = h.Percentile(95);
+    s.p99 = h.Percentile(99);
+    snap.histograms[name] = s;
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (hist_ != nullptr) {
+    hist_->Observe(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count());
+  }
+}
+
+}  // namespace ppp::obs

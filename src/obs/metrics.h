@@ -1,0 +1,124 @@
+#ifndef PPP_OBS_METRICS_H_
+#define PPP_OBS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppp::obs {
+
+/// Monotonically increasing event count (cache hits, page reads, UDF
+/// invocations). Plain uint64: the engine is single-threaded by design and
+/// the paper's whole measurement methodology is exact event counting.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depths, plan-space sizes).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Sample distribution with exact percentiles. Keeps raw samples — metric
+/// cardinality here is tiny (one histogram per instrumented site), so
+/// exactness beats a sketch.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  /// Exact percentile by nearest-rank over the sorted samples; `p` in
+  /// [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Point-in-time copy of every registered metric, detached from the
+/// registry so it can be exported or diffed without racing live updates.
+struct MetricsSnapshot {
+  struct HistogramSummary {
+    size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// One `name value` line per metric, sorted by name.
+  std::string ToText() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+};
+
+/// Name -> metric map. Metric objects are stable once created (node-based
+/// map), so hot paths look a pointer up once and increment through it.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the engine's built-in
+  /// instrumentation (buffer pool, UDF evaluator, predicate caches, DP
+  /// enumerator).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (keeps registrations, so cached pointers stay
+  /// valid). Benches call this between phases to get per-phase deltas.
+  void ResetAll();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Observes elapsed wall-clock seconds into a histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ppp::obs
+
+#endif  // PPP_OBS_METRICS_H_

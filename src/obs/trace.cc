@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ppp::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string ValuesToText(const std::vector<double>& values) {
+  if (values.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (const double v : values) {
+    parts.push_back(common::StringPrintf("%.6g", v));
+  }
+  return " [" + common::Join(parts, " ") + "]";
+}
+
+}  // namespace
+
+void OptTrace::Add(std::string label, std::string detail,
+                   std::vector<double> values) {
+  TraceEntry entry;
+  entry.depth = depth_;
+  entry.label = std::move(label);
+  entry.detail = std::move(detail);
+  entry.values = std::move(values);
+  if (echo_) {
+    PPP_LOG(Trace) << entry.label << ": " << entry.detail
+                   << ValuesToText(entry.values);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void OptTrace::Push(std::string label, std::string detail) {
+  Add(std::move(label), std::move(detail));
+  ++depth_;
+}
+
+void OptTrace::Pop() {
+  if (depth_ > 0) --depth_;
+}
+
+void OptTrace::Clear() {
+  entries_.clear();
+  depth_ = 0;
+}
+
+std::vector<const TraceEntry*> OptTrace::Find(std::string_view label) const {
+  std::vector<const TraceEntry*> out;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.label == label) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::string OptTrace::ToText() const {
+  std::string out;
+  for (const TraceEntry& entry : entries_) {
+    out.append(static_cast<size_t>(entry.depth) * 2, ' ');
+    out += entry.label;
+    if (!entry.detail.empty()) out += ": " + entry.detail;
+    out += ValuesToText(entry.values);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string OptTrace::ToJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const TraceEntry& entry = entries_[i];
+    if (i > 0) out += ", ";
+    out += "{\"depth\": " + std::to_string(entry.depth) + ", \"label\": \"" +
+           JsonEscape(entry.label) + "\", \"detail\": \"" +
+           JsonEscape(entry.detail) + "\", \"values\": [";
+    for (size_t v = 0; v < entry.values.size(); ++v) {
+      if (v > 0) out += ", ";
+      out += std::isfinite(entry.values[v])
+                 ? common::StringPrintf("%.17g", entry.values[v])
+                 : std::string("null");
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ppp::obs

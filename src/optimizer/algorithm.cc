@@ -1,5 +1,7 @@
 #include "optimizer/algorithm.h"
 
+#include "common/string_util.h"
+
 namespace ppp::optimizer {
 
 const char* AlgorithmName(Algorithm algorithm) {
@@ -54,6 +56,17 @@ EnumOptions OptionsFor(Algorithm algorithm) {
       break;
   }
   return opts;
+}
+
+std::string DpStats::ToString() const {
+  return common::StringPrintf(
+      "generated=%llu pruned=%llu retained=%llu unpruneable=%llu "
+      "order_keeps=%llu",
+      static_cast<unsigned long long>(subplans_generated),
+      static_cast<unsigned long long>(subplans_pruned),
+      static_cast<unsigned long long>(subplans_retained),
+      static_cast<unsigned long long>(unpruneable_retained),
+      static_cast<unsigned long long>(order_keeps));
 }
 
 }  // namespace ppp::optimizer

@@ -1,6 +1,10 @@
 #ifndef PPP_OPTIMIZER_ALGORITHM_H_
 #define PPP_OPTIMIZER_ALGORITHM_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
 namespace ppp::optimizer {
 
 /// The predicate placement algorithms of the paper (Table 1).
@@ -64,6 +68,25 @@ struct EnumOptions {
 };
 
 EnumOptions OptionsFor(Algorithm algorithm);
+
+/// Counters of one DP enumeration (JoinEnumerator::Run), reported by
+/// EXPLAIN ANALYZE and the benches' per-algorithm statistics.
+struct DpStats {
+  /// Subplans offered to the memo (before pruning).
+  uint64_t subplans_generated = 0;
+  /// Offers rejected because an existing plan dominated them.
+  uint64_t subplans_pruned = 0;
+  /// Subplans retained across all memo entries at the end of the run.
+  uint64_t subplans_retained = 0;
+  /// Dominated offers kept anyway because they contain an expensive
+  /// predicate left below a join (§4.4 unpruneable retention).
+  uint64_t unpruneable_retained = 0;
+  /// Offers kept despite a cheaper plan because they carry an interesting
+  /// order no cheaper plan has.
+  uint64_t order_keeps = 0;
+
+  std::string ToString() const;
+};
 
 }  // namespace ppp::optimizer
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ppp::optimizer {
 
@@ -293,6 +294,12 @@ common::Result<bool> JoinEnumerator::HoistByRank(
     PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(join));
     const cost::JoinStreamInfo info = ctx_->cost().JoinStream(*join, side);
     if (child->predicate.rank() <= info.rank) break;
+    if (ctx_->trace() != nullptr) {
+      ctx_->trace()->Add("pullrank.hoist",
+                         child->predicate.expr->ToString() +
+                             (side == 0 ? " (outer)" : " (inner)"),
+                         {child->predicate.rank(), info.rank});
+    }
     // Pop the filter: splice its input into the join, float the predicate.
     floating->push_back(child->predicate);
     plan::PlanPtr filter =
@@ -455,7 +462,7 @@ common::Status JoinEnumerator::CombineWithTable(
           return a.plan->est_cost < b.plan->est_cost;
         });
     if (best != local.end()) {
-      out->push_back(std::move(*best));
+      Offer(std::move(*best), out);
     }
     return common::Status::OK();
   }
@@ -531,7 +538,7 @@ common::Status JoinEnumerator::CombineBushy(
         [](const CandidatePlan& a, const CandidatePlan& b) {
           return a.plan->est_cost < b.plan->est_cost;
         });
-    if (best != local.end()) out->push_back(std::move(*best));
+    if (best != local.end()) Offer(std::move(*best), out);
     return common::Status::OK();
   }
   for (CandidatePlan& cand : local) {
@@ -546,17 +553,14 @@ common::Status JoinEnumerator::CombineWithVirtual(
   plan::PlanPtr plan =
       plan::MakeFilter(left.plan->Clone(), ctx_->pred(pred));
   PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(plan.get()));
-  CandidatePlan cand{std::move(plan), left.unpruneable};
-  if (!opts_.prune) {
-    out->push_back(std::move(cand));
-  } else {
-    Offer(std::move(cand), out);
-  }
+  // Offer handles the no-prune mode itself (counted push, no dominance).
+  Offer({std::move(plan), left.unpruneable}, out);
   return common::Status::OK();
 }
 
 void JoinEnumerator::Offer(CandidatePlan cand,
                            std::vector<CandidatePlan>* plans) const {
+  ++dp_stats_.subplans_generated;
   if (!opts_.prune) {
     plans->push_back(std::move(cand));
     return;
@@ -568,9 +572,44 @@ void JoinEnumerator::Offer(CandidatePlan cand,
     return !b.plan->est_order.has_value() ||
            a.plan->est_order == b.plan->est_order;
   };
-  if (!cand.unpruneable) {
+  obs::OptTrace* trace = ctx_->trace();
+  bool dominated = false;
+  for (const CandidatePlan& existing : *plans) {
+    if (dominates(existing, cand)) {
+      dominated = true;
+      break;
+    }
+  }
+  if (dominated) {
+    if (!cand.unpruneable) {
+      ++dp_stats_.subplans_pruned;
+      if (trace != nullptr) {
+        trace->Add("dp.prune", cand.plan->Signature(),
+                   {cand.plan->est_cost});
+      }
+      return;
+    }
+    // §4.4: an expensive predicate is still below a join in this subplan,
+    // so Predicate Migration may yet improve it — exempt from pruning.
+    ++dp_stats_.unpruneable_retained;
+    if (trace != nullptr) {
+      trace->Add("dp.keep.unpruneable", cand.plan->Signature(),
+                 {cand.plan->est_cost});
+    }
+  } else if (cand.plan->est_order.has_value()) {
+    // An interesting order earns retention whenever a cheaper (or equal)
+    // plan already exists — the classic System R justification.
     for (const CandidatePlan& existing : *plans) {
-      if (dominates(existing, cand)) return;
+      if (existing.plan->est_cost <= cand.plan->est_cost) {
+        ++dp_stats_.order_keeps;
+        if (trace != nullptr) {
+          trace->Add("dp.keep.order",
+                     cand.plan->Signature() + " order=" +
+                         *cand.plan->est_order,
+                     {cand.plan->est_cost});
+        }
+        break;
+      }
     }
   }
   plans->erase(
@@ -584,6 +623,7 @@ void JoinEnumerator::Offer(CandidatePlan cand,
 }
 
 common::Result<std::vector<CandidatePlan>> JoinEnumerator::Run() {
+  dp_stats_ = DpStats();
   const size_t num_tables = ctx_->num_tables();
   const size_t num_elems = num_tables + virtual_preds_.size();
   if (num_elems > 22) {
@@ -657,6 +697,10 @@ common::Result<std::vector<CandidatePlan>> JoinEnumerator::Run() {
   plans_retained_ = 0;
   for (const std::vector<CandidatePlan>& entry : memo) {
     plans_retained_ += entry.size();
+  }
+  dp_stats_.subplans_retained = plans_retained_;
+  if (ctx_->trace() != nullptr) {
+    ctx_->trace()->Add("dp.summary", dp_stats_.ToString());
   }
 
   if (memo[full].empty()) {

@@ -50,6 +50,10 @@ class JoinEnumerator {
   /// Run() — the plan-space-growth metric of ablation A3.
   size_t plans_retained() const { return plans_retained_; }
 
+  /// Full DP counters of the last Run(): offers, prunes, unpruneable and
+  /// interesting-order retentions.
+  const DpStats& dp_stats() const { return dp_stats_; }
+
  private:
   using ElemSet = uint64_t;
 
@@ -116,6 +120,9 @@ class JoinEnumerator {
   std::vector<size_t> omitted_;
   std::vector<std::vector<CandidatePlan>> base_cands_;  // Per table.
   size_t plans_retained_ = 0;
+  /// Offer() is called from const enumeration paths; the counters are pure
+  /// telemetry.
+  mutable DpStats dp_stats_;
 };
 
 }  // namespace ppp::optimizer

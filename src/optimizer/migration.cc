@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ppp::optimizer {
 
@@ -168,6 +169,17 @@ common::Status PredicateMigrator::OptimizeStream(
       groups.push_back(Compose(lower, upper));
     }
   }
+  if (trace_ != nullptr) {
+    // After composition, group ranks are non-decreasing up the stream —
+    // the series-parallel invariant the trace test asserts.
+    std::vector<double> ranks;
+    ranks.reserve(groups.size());
+    for (const Group& g : groups) ranks.push_back(g.rank());
+    trace_->Add("migration.groups",
+                "stream=" + leaf_alias + " joins=" + std::to_string(k) +
+                    " groups=" + std::to_string(groups.size()),
+                ranks);
+  }
 
   // ---- Desired slot per filter: below the first group of rank >= its
   // own, clamped up to its eligibility point.
@@ -185,7 +197,16 @@ common::Status PredicateMigrator::OptimizeStream(
     }
     slot = std::max(slot, eligibility(pred));
     desired[f] = slot;
-    if (slot != filters[f].slot) any_move = true;
+    if (slot != filters[f].slot) {
+      any_move = true;
+      if (trace_ != nullptr) {
+        trace_->Add("migration.move",
+                    pred.expr->ToString() + " slot " +
+                        std::to_string(filters[f].slot) + " -> " +
+                        std::to_string(slot),
+                    {r});
+      }
+    }
   }
   if (!any_move) return common::Status::OK();
   *changed = true;

@@ -7,6 +7,10 @@
 #include "cost/cost_model.h"
 #include "plan/plan_node.h"
 
+namespace ppp::obs {
+class OptTrace;
+}  // namespace ppp::obs
+
 namespace ppp::optimizer {
 
 /// The Predicate Migration algorithm (§4.4, [HS93a]/[He92]).
@@ -28,7 +32,12 @@ namespace ppp::optimizer {
 /// Inner streams are processed before outer ones, matching Montage (§5.2).
 class PredicateMigrator {
  public:
-  explicit PredicateMigrator(const cost::CostModel* cost) : cost_(cost) {}
+  /// `trace`, when non-null, receives one "migration.groups" entry per
+  /// optimized stream (the composed group ranks, non-decreasing upstream)
+  /// and one "migration.move" entry per relocated predicate.
+  explicit PredicateMigrator(const cost::CostModel* cost,
+                             obs::OptTrace* trace = nullptr)
+      : cost_(cost), trace_(trace) {}
 
   /// Migrates predicates within `*root` (a join/filter tree without a
   /// Project on top). The tree is re-annotated on return. Returns the
@@ -53,6 +62,7 @@ class PredicateMigrator {
                                 bool* changed) const;
 
   const cost::CostModel* cost_;
+  obs::OptTrace* trace_ = nullptr;
 };
 
 }  // namespace ppp::optimizer

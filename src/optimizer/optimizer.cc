@@ -11,9 +11,11 @@
 namespace ppp::optimizer {
 
 common::Result<OptimizeResult> Optimizer::Optimize(
-    const plan::QuerySpec& spec, Algorithm algorithm) const {
+    const plan::QuerySpec& spec, Algorithm algorithm,
+    obs::OptTrace* trace) const {
   PPP_ASSIGN_OR_RETURN(std::unique_ptr<OptimizerContext> ctx,
                        OptimizerContext::Build(catalog_, spec, params_));
+  ctx->set_trace(trace);
 
   JoinEnumerator enumerator(ctx.get(), OptionsFor(algorithm));
   PPP_ASSIGN_OR_RETURN(std::vector<CandidatePlan> candidates,
@@ -22,6 +24,7 @@ common::Result<OptimizeResult> Optimizer::Optimize(
   OptimizeResult result;
   result.plans_retained = enumerator.plans_retained();
   result.final_candidates = candidates.size();
+  result.dp_stats = enumerator.dp_stats();
 
   if (algorithm == Algorithm::kPullUp) {
     // Paste the omitted expensive predicates on top of every candidate,
@@ -39,7 +42,7 @@ common::Result<OptimizeResult> Optimizer::Optimize(
   }
 
   if (algorithm == Algorithm::kMigration) {
-    PredicateMigrator migrator(&ctx->cost());
+    PredicateMigrator migrator(&ctx->cost(), trace);
     for (CandidatePlan& cand : candidates) {
       PPP_ASSIGN_OR_RETURN(const int rounds, migrator.Migrate(&cand.plan));
       result.migration_rounds = std::max(result.migration_rounds, rounds);

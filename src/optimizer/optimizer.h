@@ -10,6 +10,10 @@
 #include "plan/plan_node.h"
 #include "plan/query_spec.h"
 
+namespace ppp::obs {
+class OptTrace;
+}  // namespace ppp::obs
+
 namespace ppp::optimizer {
 
 /// Outcome of one optimization: the chosen plan plus the bookkeeping the
@@ -24,6 +28,8 @@ struct OptimizeResult {
   size_t final_candidates = 0;
   /// Fixpoint rounds in which Predicate Migration moved a predicate.
   int migration_rounds = 0;
+  /// Full DP enumeration counters (offers, prunes, retentions).
+  DpStats dp_stats;
 };
 
 /// Facade over the placement algorithms: builds the optimizer context,
@@ -36,8 +42,12 @@ class Optimizer {
                      cost::CostParams params = {})
       : catalog_(catalog), params_(params) {}
 
-  common::Result<OptimizeResult> Optimize(const plan::QuerySpec& spec,
-                                          Algorithm algorithm) const;
+  /// Optimizes `spec` under `algorithm`. `trace`, when non-null, records
+  /// the enumerator's pruning decisions, PullRank hoists, and Predicate
+  /// Migration steps.
+  common::Result<OptimizeResult> Optimize(
+      const plan::QuerySpec& spec, Algorithm algorithm,
+      obs::OptTrace* trace = nullptr) const;
 
   const cost::CostParams& params() const { return params_; }
 

@@ -12,6 +12,10 @@
 #include "expr/predicate.h"
 #include "plan/query_spec.h"
 
+namespace ppp::obs {
+class OptTrace;
+}  // namespace ppp::obs
+
 namespace ppp::optimizer {
 
 /// Bitmask over the query's range variables (≤ 32 tables).
@@ -55,8 +59,15 @@ class OptimizerContext {
 
   std::string TableSetToString(TableSet set) const;
 
+  /// Optional optimizer-trace sink; nullptr (the default) disables
+  /// tracing. Not owned.
+  obs::OptTrace* trace() const { return trace_; }
+  void set_trace(obs::OptTrace* trace) { trace_ = trace; }
+
  private:
   OptimizerContext() = default;
+
+  obs::OptTrace* trace_ = nullptr;
 
   const catalog::Catalog* catalog_ = nullptr;
   plan::QuerySpec spec_;

@@ -205,7 +205,7 @@ class Parser {
     static const char* kKeywords[] = {
         "SELECT", "FROM", "WHERE", "AND",   "OR",       "NOT",
         "AS",     "IN",   "ORDER", "BY",    "ASC",      "GROUP",
-        "HAVING", "DISTINCT"};
+        "HAVING", "DISTINCT", "EXPLAIN", "ANALYZE"};
     for (const char* k : kKeywords) {
       if (upper == k) return true;
     }
@@ -448,6 +448,54 @@ common::Result<ParsedSelect> ParseSelect(const std::string& sql) {
   PPP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
   return parser.Select();
+}
+
+namespace {
+
+/// If `sql` starts (at `*pos`, after whitespace) with `word` as a whole
+/// identifier, case-insensitively, advances `*pos` past it.
+bool ConsumeWord(const std::string& sql, size_t* pos, const char* word) {
+  size_t i = *pos;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t w = 0;
+  size_t j = i;
+  while (word[w] != '\0' && j < sql.size() &&
+         std::toupper(static_cast<unsigned char>(sql[j])) == word[w]) {
+    ++w;
+    ++j;
+  }
+  if (word[w] != '\0') return false;
+  if (j < sql.size() &&
+      (std::isalnum(static_cast<unsigned char>(sql[j])) || sql[j] == '_')) {
+    return false;  // Longer identifier, e.g. "explainer".
+  }
+  *pos = j;
+  return true;
+}
+
+}  // namespace
+
+StatementKind StripExplain(const std::string& sql, std::string* rest) {
+  size_t pos = 0;
+  if (!ConsumeWord(sql, &pos, "EXPLAIN")) {
+    *rest = sql;
+    return StatementKind::kSelect;
+  }
+  const StatementKind kind = ConsumeWord(sql, &pos, "ANALYZE")
+                                 ? StatementKind::kExplainAnalyze
+                                 : StatementKind::kExplain;
+  *rest = sql.substr(pos);
+  return kind;
+}
+
+common::Result<ParsedStatement> ParseStatement(const std::string& sql) {
+  ParsedStatement out;
+  std::string rest;
+  out.kind = StripExplain(sql, &rest);
+  PPP_ASSIGN_OR_RETURN(out.select, ParseSelect(rest));
+  return out;
 }
 
 }  // namespace ppp::parser

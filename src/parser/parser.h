@@ -35,6 +35,28 @@ struct ParsedSelect {
 /// unqualified column references, and function calls.
 common::Result<ParsedSelect> ParseSelect(const std::string& sql);
 
+/// What the statement asks for: run the query, show its plan, or run it
+/// and show the plan annotated with actuals.
+enum class StatementKind {
+  kSelect,
+  kExplain,         // EXPLAIN SELECT ...
+  kExplainAnalyze,  // EXPLAIN ANALYZE SELECT ...
+};
+
+struct ParsedStatement {
+  StatementKind kind = StatementKind::kSelect;
+  ParsedSelect select;
+};
+
+/// Strips a leading `EXPLAIN [ANALYZE]` prefix (case-insensitive) from
+/// `sql`, storing the remaining statement in `*rest` and returning the
+/// statement kind. Purely lexical, so callers that bind and rewrite SQL
+/// themselves (the shell) can reuse their pipeline on `*rest`.
+StatementKind StripExplain(const std::string& sql, std::string* rest);
+
+/// ParseSelect plus the EXPLAIN / EXPLAIN ANALYZE prefix.
+common::Result<ParsedStatement> ParseStatement(const std::string& sql);
+
 }  // namespace ppp::parser
 
 #endif  // PPP_PARSER_PARSER_H_

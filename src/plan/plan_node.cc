@@ -88,6 +88,16 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
 
 void PlanNode::AppendTo(std::string* out, int indent) const {
   out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(LineString());
+  out->append("\n");
+  for (const std::unique_ptr<PlanNode>& child : children) {
+    child->AppendTo(out, indent + 1);
+  }
+}
+
+std::string PlanNode::LineString() const {
+  std::string line;
+  std::string* out = &line;
   switch (kind) {
     case PlanKind::kSeqScan:
       out->append("SeqScan(" + alias + ":" + table_name + ")");
@@ -142,10 +152,7 @@ void PlanNode::AppendTo(std::string* out, int indent) const {
     if (est_order.has_value()) out->append(" order=" + *est_order);
     out->append("}");
   }
-  out->append("\n");
-  for (const std::unique_ptr<PlanNode>& child : children) {
-    child->AppendTo(out, indent + 1);
-  }
+  return line;
 }
 
 std::string PlanNode::ToString() const {

@@ -108,6 +108,10 @@ struct PlanNode {
   /// Multi-line indented tree rendering, with annotations when present.
   std::string ToString() const;
 
+  /// This node's single line of ToString() (description + annotations, no
+  /// indent or newline) — the unit EXPLAIN renders per plan node.
+  std::string LineString() const;
+
   /// Single-line structural signature (no annotations), for tests.
   std::string Signature() const;
 

@@ -1,8 +1,35 @@
 #include "storage/buffer_pool.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ppp::storage {
+
+namespace {
+// Process-wide I/O-class counters, mirroring the per-pool stats_ so a
+// metrics snapshot sees all pools at once. Pointers from the registry are
+// stable for the process lifetime.
+obs::Counter* HitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("storage.buffer_pool.hits");
+  return c;
+}
+obs::Counter* SeqReadCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "storage.buffer_pool.sequential_reads");
+  return c;
+}
+obs::Counter* RandReadCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "storage.buffer_pool.random_reads");
+  return c;
+}
+obs::Counter* WriteCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("storage.buffer_pool.writes");
+  return c;
+}
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
   PPP_CHECK(capacity > 0);
@@ -20,6 +47,7 @@ Page* BufferPool::FetchPage(PageId page_id) {
     ++frame.pin_count;
     frame.lru_tick = tick_;
     ++stats_.buffer_hits;
+    HitCounter()->Increment();
     return &frame.page;
   }
   const size_t idx = FindVictim();
@@ -65,6 +93,7 @@ void BufferPool::FlushAll() {
       disk_->WritePage(frame.page_id, frame.page);
       frame.dirty = false;
       ++stats_.writes;
+      WriteCounter()->Increment();
     }
   }
 }
@@ -75,6 +104,7 @@ void BufferPool::EvictAll() {
     if (frame.dirty) {
       disk_->WritePage(frame.page_id, frame.page);
       ++stats_.writes;
+      WriteCounter()->Increment();
     }
     page_table_.erase(frame.page_id);
     frame = Frame();
@@ -99,6 +129,7 @@ size_t BufferPool::FindVictim() {
   if (frame.dirty) {
     disk_->WritePage(frame.page_id, frame.page);
     ++stats_.writes;
+    WriteCounter()->Increment();
   }
   page_table_.erase(frame.page_id);
   frame = Frame();
@@ -109,8 +140,10 @@ void BufferPool::RecordMissRead(PageId page_id) {
   if (last_missed_page_ != kInvalidPageId &&
       page_id == last_missed_page_ + 1) {
     ++stats_.sequential_reads;
+    SeqReadCounter()->Increment();
   } else {
     ++stats_.random_reads;
+    RandReadCounter()->Increment();
   }
   last_missed_page_ = page_id;
 }

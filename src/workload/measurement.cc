@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 
 #include "common/string_util.h"
+#include "exec/explain.h"
+#include "exec/operator.h"
 #include "optimizer/optimizer.h"
 
 namespace ppp::workload {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += common::StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 std::string Measurement::Summary() const {
   std::string out = common::StringPrintf(
@@ -20,6 +47,71 @@ std::string Measurement::Summary() const {
   std::sort(invs.begin(), invs.end());
   if (!invs.empty()) out += "  [" + common::Join(invs, " ") + "]";
   return out;
+}
+
+std::string Measurement::ToJson() const {
+  std::string out = "{";
+  out += "\"algorithm\": \"" + JsonEscape(algorithm) + "\"";
+  out += common::StringPrintf(", \"est_cost\": %.17g", est_cost);
+  out += common::StringPrintf(", \"charged_time\": %.17g", charged_time);
+  out += common::StringPrintf(", \"charged_io\": %.17g", charged_io);
+  out += common::StringPrintf(", \"charged_udf\": %.17g", charged_udf);
+  out += ", \"output_rows\": " + std::to_string(output_rows);
+  out += common::StringPrintf(", \"optimize_seconds\": %.17g",
+                              optimize_seconds);
+  out += ", \"plans_retained\": " + std::to_string(plans_retained);
+  out += ", \"io\": {\"sequential_reads\": " +
+         std::to_string(io.sequential_reads) +
+         ", \"random_reads\": " + std::to_string(io.random_reads) +
+         ", \"writes\": " + std::to_string(io.writes) +
+         ", \"buffer_hits\": " + std::to_string(io.buffer_hits) + "}";
+  out += ", \"dp_stats\": {\"subplans_generated\": " +
+         std::to_string(dp_stats.subplans_generated) +
+         ", \"subplans_pruned\": " + std::to_string(dp_stats.subplans_pruned) +
+         ", \"subplans_retained\": " +
+         std::to_string(dp_stats.subplans_retained) +
+         ", \"unpruneable_retained\": " +
+         std::to_string(dp_stats.unpruneable_retained) +
+         ", \"order_keeps\": " + std::to_string(dp_stats.order_keeps) + "}";
+  out += ", \"invocations\": {";
+  std::vector<std::string> names;
+  for (const auto& [name, count] : invocations) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  bool first = true;
+  for (const std::string& name : names) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + JsonEscape(name) +
+           "\": " + std::to_string(invocations.at(name));
+  }
+  out += "}";
+  out += ", \"plan\": \"" + JsonEscape(plan_text) + "\"";
+  if (!explain_text.empty()) {
+    out += ", \"explain\": \"" + JsonEscape(explain_text) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+common::Result<std::string> WriteBenchJson(
+    const std::string& name, const std::vector<Measurement>& measurements) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return common::Status::Internal("cannot open " + path + " for writing");
+  }
+  out << "{\"bench\": \"" << JsonEscape(name) << "\", \"measurements\": [\n";
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    out << "  " << measurements[i].ToJson();
+    if (i + 1 < measurements.size()) out << ",";
+    out << "\n";
+  }
+  out << "]}\n";
+  out.close();
+  if (out.fail()) {
+    return common::Status::Internal("failed writing " + path);
+  }
+  return path;
 }
 
 double ChargedTime(const exec::ExecStats& stats,
@@ -46,14 +138,15 @@ double ChargedTime(const exec::ExecStats& stats,
 common::Result<Measurement> RunWithAlgorithm(
     Database* db, const plan::QuerySpec& spec,
     optimizer::Algorithm algorithm, const cost::CostParams& cost_params,
-    const exec::ExecParams& exec_params, bool execute) {
+    const exec::ExecParams& exec_params, bool execute, bool collect_explain,
+    obs::OptTrace* trace) {
   Measurement m;
   m.algorithm = optimizer::AlgorithmName(algorithm);
 
   optimizer::Optimizer opt(&db->catalog(), cost_params);
   const auto started = std::chrono::steady_clock::now();
   PPP_ASSIGN_OR_RETURN(optimizer::OptimizeResult result,
-                       opt.Optimize(spec, algorithm));
+                       opt.Optimize(spec, algorithm, trace));
   m.optimize_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
@@ -61,8 +154,12 @@ common::Result<Measurement> RunWithAlgorithm(
   m.est_cost = result.est_cost;
   m.plans_retained = result.plans_retained;
   m.plan_text = result.plan->ToString();
+  m.dp_stats = result.dp_stats;
 
-  if (!execute) return m;
+  if (!execute) {
+    if (collect_explain) m.explain_text = exec::RenderExplain(*result.plan);
+    return m;
+  }
 
   // Cold start: nothing of the previous run survives in the pool.
   db->pool().FlushAll();
@@ -78,12 +175,19 @@ common::Result<Measurement> RunWithAlgorithm(
   }
 
   exec::ExecStats stats;
-  PPP_ASSIGN_OR_RETURN(std::vector<types::Tuple> rows,
-                       exec::ExecutePlan(*result.plan, &ctx, &stats));
+  std::unique_ptr<exec::Operator> root;
+  PPP_ASSIGN_OR_RETURN(
+      std::vector<types::Tuple> rows,
+      exec::ExecutePlan(*result.plan, &ctx, &stats, nullptr,
+                        collect_explain ? &root : nullptr));
   m.output_rows = stats.output_rows;
   m.invocations = stats.invocations;
+  m.io = stats.io;
   m.charged_time = ChargedTime(stats, db->catalog().functions(), cost_params,
                                &m.charged_io, &m.charged_udf);
+  if (collect_explain && root != nullptr) {
+    m.explain_text = exec::RenderExplainAnalyze(*result.plan, *root);
+  }
   (void)rows;
   return m;
 }

@@ -8,8 +8,10 @@
 #include "common/status.h"
 #include "cost/cost_params.h"
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "optimizer/algorithm.h"
 #include "plan/query_spec.h"
+#include "storage/io_stats.h"
 #include "workload/database.h"
 
 namespace ppp::workload {
@@ -29,9 +31,24 @@ struct Measurement {
   double optimize_seconds = 0.0;
   size_t plans_retained = 0;
   std::string plan_text;
+  /// Raw I/O classes of the run (the counters charged_io derives from).
+  storage::IoStats io;
+  /// DP enumeration counters of the optimize step.
+  optimizer::DpStats dp_stats;
+  /// EXPLAIN [ANALYZE] rendering; filled when collect_explain is set.
+  std::string explain_text;
 
   std::string Summary() const;
+
+  /// One JSON object with every field above (invocations as a nested
+  /// object); the unit benches aggregate into BENCH_<name>.json.
+  std::string ToJson() const;
 };
+
+/// Writes `measurements` as a JSON array to BENCH_<name>.json in the
+/// current directory. Returns the path written.
+common::Result<std::string> WriteBenchJson(
+    const std::string& name, const std::vector<Measurement>& measurements);
 
 /// Converts executor stats into charged relative time under `params`.
 double ChargedTime(const exec::ExecStats& stats,
@@ -42,10 +59,14 @@ double ChargedTime(const exec::ExecStats& stats,
 /// Optimizes `spec` with `algorithm`, evicts the buffer pool (cold start,
 /// as the paper's one-query-at-a-time measurements imply), executes, and
 /// measures. `execute` false skips execution (for optimize-time studies).
+/// `collect_explain` fills Measurement::explain_text — EXPLAIN ANALYZE of
+/// the executed operator tree when executing, plain EXPLAIN otherwise.
+/// `trace`, when non-null, records the optimizer's decisions.
 common::Result<Measurement> RunWithAlgorithm(
     Database* db, const plan::QuerySpec& spec,
     optimizer::Algorithm algorithm, const cost::CostParams& cost_params,
-    const exec::ExecParams& exec_params, bool execute = true);
+    const exec::ExecParams& exec_params, bool execute = true,
+    bool collect_explain = false, obs::OptTrace* trace = nullptr);
 
 /// Canonical form of a result set (sorted serialized tuples), for
 /// cross-algorithm equivalence checks.

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "parser/parser.h"
+#include "workload/database.h"
+#include "workload/measurement.h"
+#include "workload/queries.h"
+#include "workload/schema_gen.h"
+
+namespace ppp {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() {
+    config_.scale = 300;
+    config_.table_numbers = {3, 6, 10};
+    EXPECT_TRUE(workload::LoadBenchmarkDatabase(&db_, config_).ok());
+    EXPECT_TRUE(workload::RegisterBenchmarkFunctions(&db_).ok());
+  }
+
+  workload::Measurement Run(const std::string& id,
+                            optimizer::Algorithm algorithm, bool execute) {
+    auto spec = workload::GetBenchmarkQuery(db_, config_, id);
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    auto m = workload::RunWithAlgorithm(&db_, *spec, algorithm, {}, {},
+                                        execute, /*collect_explain=*/true);
+    EXPECT_TRUE(m.ok()) << m.status();
+    return *m;
+  }
+
+  workload::Database db_;
+  workload::BenchmarkConfig config_;
+};
+
+TEST_F(ExplainTest, PlainExplainHasNoActuals) {
+  const workload::Measurement m =
+      Run("Q1", optimizer::Algorithm::kMigration, /*execute=*/false);
+  EXPECT_FALSE(m.explain_text.empty());
+  EXPECT_EQ(m.explain_text, m.plan_text);
+  EXPECT_EQ(m.explain_text.find("actual"), std::string::npos);
+}
+
+TEST_F(ExplainTest, AnalyzeAnnotatesEveryOperatorLine) {
+  const workload::Measurement m =
+      Run("Q1", optimizer::Algorithm::kMigration, /*execute=*/true);
+  const std::vector<std::string> plain = SplitLines(m.plan_text);
+  const std::vector<std::string> analyzed = SplitLines(m.explain_text);
+  // Same tree shape, one line per plan node.
+  ASSERT_EQ(analyzed.size(), plain.size());
+  for (const std::string& line : analyzed) {
+    EXPECT_NE(line.find("actual rows="), std::string::npos) << line;
+    EXPECT_NE(line.find("io seq="), std::string::npos) << line;
+  }
+}
+
+TEST_F(ExplainTest, RootActualRowsMatchOutputRows) {
+  const workload::Measurement m =
+      Run("Q1", optimizer::Algorithm::kPushDown, /*execute=*/true);
+  const std::vector<std::string> lines = SplitLines(m.explain_text);
+  ASSERT_FALSE(lines.empty());
+  const size_t pos = lines[0].find("actual rows=");
+  ASSERT_NE(pos, std::string::npos);
+  const uint64_t rows =
+      std::stoull(lines[0].substr(pos + std::string("actual rows=").size()));
+  EXPECT_EQ(rows, m.output_rows);
+}
+
+TEST_F(ExplainTest, ExpensiveFilterReportsCacheStats) {
+  // Q4's costly100(t3.ua) filter carries a predicate cache; EXPLAIN
+  // ANALYZE must surface its hit/entry/eviction counters.
+  const workload::Measurement m =
+      Run("Q4", optimizer::Algorithm::kMigration, /*execute=*/true);
+  EXPECT_NE(m.explain_text.find("[cache "), std::string::npos);
+  EXPECT_NE(m.explain_text.find("hits="), std::string::npos);
+  EXPECT_NE(m.explain_text.find("evictions="), std::string::npos);
+}
+
+TEST_F(ExplainTest, AnalyzeDoesNotChangeChargedResults) {
+  const workload::Measurement plain =
+      Run("Q1", optimizer::Algorithm::kMigration, /*execute=*/true);
+  auto spec = workload::GetBenchmarkQuery(db_, config_, "Q1");
+  ASSERT_TRUE(spec.ok());
+  auto bare = workload::RunWithAlgorithm(
+      &db_, *spec, optimizer::Algorithm::kMigration, {}, {});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(plain.output_rows, bare->output_rows);
+  EXPECT_DOUBLE_EQ(plain.charged_time, bare->charged_time);
+}
+
+TEST(StripExplainTest, RecognizesPrefixes) {
+  std::string rest;
+  EXPECT_EQ(parser::StripExplain("SELECT * FROM t3", &rest),
+            parser::StatementKind::kSelect);
+  EXPECT_EQ(rest, "SELECT * FROM t3");
+
+  EXPECT_EQ(parser::StripExplain("EXPLAIN SELECT * FROM t3", &rest),
+            parser::StatementKind::kExplain);
+  EXPECT_EQ(rest.find("EXPLAIN"), std::string::npos);
+  EXPECT_NE(rest.find("SELECT"), std::string::npos);
+
+  EXPECT_EQ(
+      parser::StripExplain("  explain  analyze  select * from t3", &rest),
+      parser::StatementKind::kExplainAnalyze);
+  EXPECT_NE(rest.find("select"), std::string::npos);
+}
+
+TEST(StripExplainTest, DoesNotEatIdentifierPrefixes) {
+  // "EXPLAINER" is an identifier, not the keyword.
+  std::string rest;
+  EXPECT_EQ(parser::StripExplain("EXPLAINER", &rest),
+            parser::StatementKind::kSelect);
+  EXPECT_EQ(rest, "EXPLAINER");
+  // EXPLAIN followed by a non-ANALYZE word strips only EXPLAIN.
+  EXPECT_EQ(parser::StripExplain("EXPLAIN ANALYZER", &rest),
+            parser::StatementKind::kExplain);
+  EXPECT_NE(rest.find("ANALYZER"), std::string::npos);
+}
+
+TEST(StripExplainTest, ParseStatementCarriesKind) {
+  auto stmt = parser::ParseStatement("EXPLAIN ANALYZE SELECT * FROM t3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->kind, parser::StatementKind::kExplainAnalyze);
+  ASSERT_EQ(stmt->select.tables.size(), 1u);
+  EXPECT_EQ(stmt->select.tables[0].table_name, "t3");
+
+  auto plain = parser::ParseStatement("SELECT * FROM t3");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->kind, parser::StatementKind::kSelect);
+}
+
+}  // namespace
+}  // namespace ppp

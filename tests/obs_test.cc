@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ppp::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(10.0);
+  g.Add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 12.5);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, ExactPercentilesOverOneToHundred) {
+  Histogram h;
+  // Insert out of order; percentiles are over the sorted samples.
+  for (int i = 100; i >= 1; --i) h.Observe(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Nearest-rank over N=100: p maps straight to the p-th sample.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, EmptyAndSingleSample) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.Observe(7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 7.0);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndSnapshot) {
+  MetricsRegistry registry;
+  Counter* hits = registry.GetCounter("test.hits");
+  Gauge* depth = registry.GetGauge("test.depth");
+  Histogram* lat = registry.GetHistogram("test.latency");
+  hits->Increment(3);
+  depth->Set(4.0);
+  lat->Observe(1.0);
+  lat->Observe(2.0);
+  // Creating more metrics must not invalidate earlier pointers.
+  for (int i = 0; i < 64; ++i) {
+    registry.GetCounter("test.other" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("test.hits"), hits);
+  hits->Increment();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.hits"), 4u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.depth"), 4.0);
+  EXPECT_EQ(snap.histograms.at("test.latency").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("test.latency").sum, 3.0);
+
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("test.hits 4"), std::string::npos);
+  EXPECT_NE(text.find("test.latency count=2"), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"test.hits\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.count");
+  c->Increment(9);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  // The same pointer keeps working after a reset.
+  c->Increment();
+  EXPECT_EQ(registry.Snapshot().counters.at("test.count"), 1u);
+}
+
+TEST(ScopedTimerTest, ObservesOneSample) {
+  Histogram h;
+  { ScopedTimer timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(OptTraceTest, AddFindAndDepth) {
+  OptTrace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.Add("dp.prune", "t1 x t3", {12.5});
+  trace.Push("migration", "stream t10");
+  trace.Add("migration.move", "costly100 up", {0.5});
+  trace.Pop();
+  trace.Add("dp.prune", "t3 x t10", {7.0});
+  ASSERT_EQ(trace.entries().size(), 4u);
+  EXPECT_EQ(trace.entries()[2].depth, 1);
+  EXPECT_EQ(trace.entries()[3].depth, 0);
+
+  const auto prunes = trace.Find("dp.prune");
+  ASSERT_EQ(prunes.size(), 2u);
+  EXPECT_EQ(prunes[0]->detail, "t1 x t3");
+  EXPECT_DOUBLE_EQ(prunes[1]->values[0], 7.0);
+  EXPECT_TRUE(trace.Find("nope").empty());
+}
+
+TEST(OptTraceTest, TextAndJsonDumps) {
+  OptTrace trace;
+  trace.Push("outer", "scope");
+  trace.Add("inner", "say \"hi\"", {1.0, 2.0});
+  trace.Pop();
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+  // The nested entry is indented further than its parent.
+  EXPECT_LT(text.find("outer"), text.find("inner"));
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"label\": \"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace ppp::obs
