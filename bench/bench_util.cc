@@ -46,10 +46,9 @@ workload::Measurement RunQuery(workload::Database* db,
                                obs::OptTrace* trace) {
   auto spec = workload::GetBenchmarkQuery(*db, config, id);
   PPP_CHECK(spec.ok()) << spec.status().ToString();
-  exec::ExecParams exec_params;
-  exec_params.predicate_caching = cost_params.predicate_caching;
   auto m = workload::RunWithAlgorithm(db, *spec, algorithm, cost_params,
-                                      exec_params, execute,
+                                      workload::ExecParamsFor(cost_params),
+                                      execute,
                                       /*collect_explain=*/false, trace);
   PPP_CHECK(m.ok()) << m.status().ToString();
   return *m;

@@ -14,6 +14,8 @@
 //   \explain on|off    toggle plan printing
 //   \trace on|off      dump the optimizer's decision trace after each query
 //   \metrics [reset]   print (or reset) the global metrics registry
+//   \set workers N     parallel workers for expensive predicates (1 = off)
+//   \set batch N       rows per executor batch
 //   \quit
 
 #include <cstdio>
@@ -65,6 +67,8 @@ int main() {
   optimizer::Algorithm algorithm = optimizer::Algorithm::kMigration;
   bool explain = true;
   bool tracing = false;
+  cost::CostParams cost_params;
+  size_t batch_size = exec::ExecParams{}.batch_size;
 
   std::printf("ppp shell — benchmark database at scale %lld. Try:\n",
               static_cast<long long>(config.scale));
@@ -140,6 +144,21 @@ int main() {
         }
         continue;
       }
+      if (word == "set") {
+        std::string knob;
+        long long value = 0;
+        cmd >> knob >> value;
+        if (knob == "workers" && value >= 1) {
+          cost_params.parallel_workers = static_cast<double>(value);
+          std::printf("workers %lld\n", value);
+        } else if (knob == "batch" && value >= 1) {
+          batch_size = static_cast<size_t>(value);
+          std::printf("batch %lld\n", value);
+        } else {
+          std::printf("usage: \\set workers N | \\set batch N  (N >= 1)\n");
+        }
+        continue;
+      }
       std::printf("unknown command \\%s\n", word.c_str());
       continue;
     }
@@ -165,8 +184,10 @@ int main() {
       continue;
     }
     obs::OptTrace trace;
-    auto m = workload::RunWithAlgorithm(&db, *spec, algorithm, {}, {},
-                                        execute, collect_explain,
+    exec::ExecParams exec_params = workload::ExecParamsFor(cost_params);
+    exec_params.batch_size = batch_size;
+    auto m = workload::RunWithAlgorithm(&db, *spec, algorithm, cost_params,
+                                        exec_params, execute, collect_explain,
                                         tracing ? &trace : nullptr);
     if (!m.ok()) {
       std::printf("error: %s\n", m.status().ToString().c_str());

@@ -2,12 +2,24 @@
 # Tier-1 verification: configure, build, and run the full test suite.
 # src/obs/ is compiled with -Wall -Wextra -Werror (set in its
 # CMakeLists.txt), so warnings in the observability layer fail this check.
+#
+# A second pass rebuilds under ThreadSanitizer (-DPPP_SANITIZE=thread) and
+# reruns the suite — the parallel predicate evaluator, thread pool, and
+# sharded caches must be race-free, not just correct-by-luck. Skip it with
+# SKIP_TSAN=1 when iterating.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  cmake -B "$TSAN_BUILD_DIR" -S . -DPPP_SANITIZE=thread
+  cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

@@ -34,6 +34,11 @@ struct FunctionDef {
   /// subquery whose I/O already flows through the buffer pool), and
   /// cost_per_call exists only for the optimizer's estimates.
   bool charge_invocations = true;
+  /// Whether impl may be invoked from the batch executor's worker threads.
+  /// False for functions that touch shared engine state (e.g. rewritten
+  /// subqueries executing nested plans through the buffer pool); such
+  /// predicates always evaluate on the coordinator thread.
+  bool parallel_safe = true;
   std::function<types::Value(const std::vector<types::Value>&)> impl;
 };
 

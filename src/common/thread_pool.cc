@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+namespace ppp::common {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkOn(Job* job, std::unique_lock<std::mutex>* lock) {
+  while (job->next_task < job->num_tasks) {
+    const size_t i = job->next_task++;
+    const std::function<void(size_t)>* task = job->task;
+    lock->unlock();
+    (*task)(i);
+    lock->lock();
+    if (--job->remaining == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks,
+                     const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (threads_.empty() || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.task = &task;
+  job.num_tasks = num_tasks;
+  job.remaining = num_tasks;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &job;
+  work_cv_.notify_all();
+  // The caller is a worker too: with W pool threads, Run gets W + 1
+  // executors, so parallel_workers == pool size + 1.
+  WorkOn(&job, &lock);
+  done_cv_.wait(lock, [&job] { return job.remaining == 0; });
+  // Workers only dereference job_ under mu_, so clearing it here (before
+  // the stack Job dies) is what makes the Job's lifetime safe.
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return shutdown_ ||
+             (job_ != nullptr && job_->next_task < job_->num_tasks);
+    });
+    if (shutdown_) return;
+    WorkOn(job_, &lock);
+  }
+}
+
+}  // namespace ppp::common

@@ -1,0 +1,67 @@
+#ifndef PPP_COMMON_THREAD_POOL_H_
+#define PPP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppp::common {
+
+/// Persistent worker pool for fan-out/join workloads (the batch-at-a-time
+/// expensive-predicate evaluator). Threads are spawned once and reused
+/// across batches, so the per-batch cost is one wakeup, not a spawn.
+///
+/// The pool runs one *job* at a time: Run(n, fn) publishes a job of `n`
+/// index-addressed tasks, the caller participates as an extra worker, and
+/// Run returns when every task finished. Tasks are expected to be chunky
+/// (one contiguous slice of a tuple batch each), so claims go through the
+/// pool mutex; the tasks themselves run unlocked. Concurrent Run calls
+/// serialize, which matches the engine's single-coordinator execution
+/// model.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: Run degenerates to the
+  /// caller executing every task inline).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Executes fn(0) .. fn(num_tasks - 1) across the workers plus the
+  /// calling thread; returns when all tasks completed. Tasks are claimed
+  /// dynamically, so uneven task durations balance. `fn` must not throw.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& task);
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t num_tasks = 0;
+    size_t next_task = 0;   // Guarded by ThreadPool::mu_.
+    size_t remaining = 0;   // Guarded by ThreadPool::mu_.
+  };
+
+  /// Claims and runs tasks of `job` until none are left; `lock` must hold
+  /// mu_ on entry and holds it again on return.
+  void WorkOn(Job* job, std::unique_lock<std::mutex>* lock);
+
+  void WorkerLoop();
+
+  std::mutex run_mu_;  // Serializes Run() callers.
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers: a job arrived / shutdown.
+  std::condition_variable done_cv_;  // Run(): the job completed.
+  Job* job_ = nullptr;               // Guarded by mu_.
+  bool shutdown_ = false;            // Guarded by mu_.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ppp::common
+
+#endif  // PPP_COMMON_THREAD_POOL_H_

@@ -279,7 +279,14 @@ common::Status CostModel::Annotate(plan::PlanNode* node) const {
             DistinctInStream(static_cast<double>(pred.input_distinct_values),
                              child.est_rows, pred.input_base_rows));
       }
-      const double udf_charge = evals * pred.cost_per_tuple;
+      // The executor fans expensive-predicate filters across
+      // parallel_workers threads; the latency-bound UDF charge divides by
+      // the effective parallelism. Cheap predicates and join primaries stay
+      // serial (the executor does not parallelize them).
+      const double effective_workers =
+          pred.is_expensive() ? std::max(1.0, params_.parallel_workers) : 1.0;
+      const double udf_charge =
+          evals * pred.cost_per_tuple / effective_workers;
       node->est_rows = child.est_rows * pred.selectivity;
       node->est_rows_noexp = pred.is_expensive()
                                  ? child.est_rows_noexp

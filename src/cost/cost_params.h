@@ -35,6 +35,14 @@ struct CostParams {
   /// the optimizer models what the executor does. Ablation A2.
   bool predicate_caching = true;
 
+  /// Worker threads the executor may fan an expensive-predicate filter's
+  /// batch across (ExecParams::parallel_workers). The model divides a
+  /// Filter's per-tuple predicate charge by the effective parallelism:
+  /// expensive predicates are latency-bound (their cost is declared in
+  /// random-I/O units), so concurrent workers overlap that latency. Join
+  /// primaries are not parallelized by the executor and keep full cost.
+  double parallel_workers = 1.0;
+
   /// When true (Montage behaviour, §5.2), `{R}` in per-input selectivities
   /// and differential costs is the *current* planned cardinality, including
   /// expensive selections currently placed below the join — risking

@@ -1,5 +1,7 @@
 #include "exec/executor.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "exec/filter_op.h"
 #include "exec/join_ops.h"
@@ -302,10 +304,23 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   const storage::IoStats before = pool->stats();
   ctx->eval.invocation_counts.clear();
 
+  // Workers beyond the coordinator come from a persistent pool, reused
+  // across executions on the same context.
+  const size_t workers = std::max<size_t>(1, ctx->params.parallel_workers);
+  if (workers > 1 && (ctx->thread_pool == nullptr ||
+                      ctx->thread_pool->num_threads() != workers - 1)) {
+    ctx->thread_pool = std::make_shared<common::ThreadPool>(workers - 1);
+  }
+
   // Wire the function-level cache when that mode is selected.
   if (ctx->params.predicate_caching &&
       ctx->params.cache_mode == CacheMode::kFunction) {
-    ctx->function_cache_storage.max_entries = ctx->params.cache_max_entries;
+    expr::FunctionCache::Options options;
+    options.max_entries = ctx->params.cache_max_entries;
+    options.shards = ShardedPredicateCache::ShardsFor(workers);
+    options.adaptive = ctx->params.adaptive_caching;
+    options.probe_window = ctx->params.adaptive_probe_window;
+    ctx->function_cache_storage.Configure(options);
     ctx->eval.function_cache = &ctx->function_cache_storage;
   } else {
     ctx->eval.function_cache = nullptr;
@@ -314,15 +329,20 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
                        BuildExecutor(plan, ctx));
   root->AttachPool(pool);
+  root->SetBatchSize(ctx->params.batch_size);
   if (out_schema != nullptr) *out_schema = root->schema();
   PPP_RETURN_IF_ERROR(root->Open());
   std::vector<types::Tuple> out;
-  types::Tuple tuple;
+  TupleBatch batch;
   bool eof = false;
-  while (true) {
-    PPP_RETURN_IF_ERROR(root->Next(&tuple, &eof));
-    if (eof) break;
-    out.push_back(std::move(tuple));
+  while (!eof) {
+    batch.clear();
+    PPP_RETURN_IF_ERROR(root->NextBatch(
+        ctx->params.batch_size == 0 ? 1 : ctx->params.batch_size, &batch,
+        &eof));
+    for (types::Tuple& tuple : batch.tuples) {
+      out.push_back(std::move(tuple));
+    }
   }
 
   if (stats != nullptr) {

@@ -6,6 +6,13 @@ FilterOp::FilterOp(std::unique_ptr<Operator> child,
                    CachedPredicate predicate, ExecContext* ctx)
     : child_(std::move(child)), predicate_(std::move(predicate)), ctx_(ctx) {
   schema_ = child_->schema();
+  parallel_ = ctx_->params.parallel_workers > 1 &&
+              ctx_->thread_pool != nullptr && predicate_.is_expensive() &&
+              predicate_.parallel_safe();
+  if (parallel_) {
+    evaluator_ = std::make_unique<ParallelPredicateEvaluator>(
+        ctx_->thread_pool.get());
+  }
 }
 
 common::Status FilterOp::OpenImpl() { return child_->Open(); }
@@ -18,7 +25,36 @@ common::Status FilterOp::NextImpl(types::Tuple* tuple, bool* eof) {
   }
 }
 
-std::string FilterOp::Describe() const { return "Filter"; }
+common::Status FilterOp::NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                                       bool* eof) {
+  *eof = false;
+  TupleBatch input;
+  // Loop until we produce at least one row (or hit eof), so a selective
+  // predicate doesn't bubble empty batches up the pipeline.
+  while (batch->empty() && !*eof) {
+    input.clear();
+    PPP_RETURN_IF_ERROR(child_->NextBatch(max_rows, &input, eof));
+    if (input.empty()) continue;
+    if (parallel_) {
+      std::vector<char> keep;
+      evaluator_->EvalBatch(&predicate_, input, ctx_, &keep);
+      for (size_t i = 0; i < input.size(); ++i) {
+        if (keep[i]) batch->tuples.push_back(std::move(input.tuples[i]));
+      }
+    } else {
+      for (types::Tuple& tuple : input.tuples) {
+        if (predicate_.Eval(tuple, &ctx_->eval)) {
+          batch->tuples.push_back(std::move(tuple));
+        }
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+std::string FilterOp::Describe() const {
+  return parallel_ ? "Filter(parallel)" : "Filter";
+}
 
 void FilterOp::RefreshLocalStats() const {
   stats_.has_cache = true;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "exec/operator.h"
+#include "exec/parallel_eval.h"
 
 namespace ppp::exec {
 
@@ -11,6 +12,12 @@ namespace ppp::exec {
 /// cache belongs to the operator instance and survives Open() — a
 /// nested-loop rescan re-runs the filter but pays no repeated function
 /// invocations for bindings already seen.
+///
+/// The batch path fans expensive, parallel-safe predicates across the
+/// context's worker pool (ParallelPredicateEvaluator); everything else —
+/// cheap predicates, unsafe functions, serial configurations — evaluates
+/// tuple-by-tuple on the coordinator, bit-identical to the tuple-at-a-time
+/// engine.
 class FilterOp : public Operator {
  public:
   FilterOp(std::unique_ptr<Operator> child, CachedPredicate predicate,
@@ -18,18 +25,25 @@ class FilterOp : public Operator {
 
   const CachedPredicate& predicate() const { return predicate_; }
 
+  /// Whether the batch path fans this filter out across workers.
+  bool parallel() const { return parallel_; }
+
   std::string Describe() const override;
   std::vector<Operator*> Children() override { return {child_.get()}; }
 
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
+  common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                               bool* eof) override;
   void RefreshLocalStats() const override;
 
  private:
   std::unique_ptr<Operator> child_;
   CachedPredicate predicate_;
   ExecContext* ctx_;
+  bool parallel_ = false;
+  std::unique_ptr<ParallelPredicateEvaluator> evaluator_;
 };
 
 }  // namespace ppp::exec

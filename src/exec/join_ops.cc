@@ -6,16 +6,20 @@ namespace ppp::exec {
 
 namespace {
 
-/// Drains `op` into `out` (after Open).
-common::Status Drain(Operator* op, std::vector<types::Tuple>* out) {
+/// Drains `op` into `out` (after Open), pulling batch-at-a-time.
+common::Status Drain(Operator* op, size_t batch_size,
+                     std::vector<types::Tuple>* out) {
   PPP_RETURN_IF_ERROR(op->Open());
-  types::Tuple tuple;
+  TupleBatch batch;
   bool eof = false;
-  while (true) {
-    PPP_RETURN_IF_ERROR(op->Next(&tuple, &eof));
-    if (eof) return common::Status::OK();
-    out->push_back(std::move(tuple));
+  while (!eof) {
+    batch.clear();
+    PPP_RETURN_IF_ERROR(op->NextBatch(batch_size, &batch, &eof));
+    for (types::Tuple& tuple : batch.tuples) {
+      out->push_back(std::move(tuple));
+    }
   }
+  return common::Status::OK();
 }
 
 }  // namespace
@@ -152,8 +156,8 @@ MergeJoinOp::MergeJoinOp(std::unique_ptr<Operator> outer,
 common::Status MergeJoinOp::OpenImpl() {
   outer_rows_.clear();
   inner_rows_.clear();
-  PPP_RETURN_IF_ERROR(Drain(outer_.get(), &outer_rows_));
-  PPP_RETURN_IF_ERROR(Drain(inner_.get(), &inner_rows_));
+  PPP_RETURN_IF_ERROR(Drain(outer_.get(), batch_size_, &outer_rows_));
+  PPP_RETURN_IF_ERROR(Drain(inner_.get(), batch_size_, &inner_rows_));
   // NULL keys never join.
   auto null_key = [](size_t key) {
     return [key](const types::Tuple& t) { return t.Get(key).is_null(); };
@@ -246,7 +250,7 @@ HashJoinOp::HashJoinOp(std::unique_ptr<Operator> outer,
 common::Status HashJoinOp::OpenImpl() {
   table_.clear();
   std::vector<types::Tuple> build_rows;
-  PPP_RETURN_IF_ERROR(Drain(inner_.get(), &build_rows));
+  PPP_RETURN_IF_ERROR(Drain(inner_.get(), batch_size_, &build_rows));
   for (types::Tuple& row : build_rows) {
     const types::Value& key = row.Get(inner_key_);
     if (key.is_null()) continue;

@@ -14,12 +14,14 @@ common::Status SortOp::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   PPP_RETURN_IF_ERROR(child_->Open());
-  types::Tuple tuple;
+  TupleBatch batch;
   bool eof = false;
-  while (true) {
-    PPP_RETURN_IF_ERROR(child_->Next(&tuple, &eof));
-    if (eof) break;
-    rows_.push_back(std::move(tuple));
+  while (!eof) {
+    batch.clear();
+    PPP_RETURN_IF_ERROR(child_->NextBatch(batch_size_, &batch, &eof));
+    for (types::Tuple& tuple : batch.tuples) {
+      rows_.push_back(std::move(tuple));
+    }
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const types::Tuple& a, const types::Tuple& b) {
@@ -47,12 +49,14 @@ common::Status MaterializeOp::OpenImpl() {
   pos_ = 0;
   if (filled_) return common::Status::OK();
   PPP_RETURN_IF_ERROR(child_->Open());
-  types::Tuple tuple;
+  TupleBatch batch;
   bool eof = false;
-  while (true) {
-    PPP_RETURN_IF_ERROR(child_->Next(&tuple, &eof));
-    if (eof) break;
-    rows_.push_back(std::move(tuple));
+  while (!eof) {
+    batch.clear();
+    PPP_RETURN_IF_ERROR(child_->NextBatch(batch_size_, &batch, &eof));
+    for (types::Tuple& tuple : batch.tuples) {
+      rows_.push_back(std::move(tuple));
+    }
   }
   filled_ = true;
   return common::Status::OK();
@@ -65,6 +69,15 @@ common::Status MaterializeOp::NextImpl(types::Tuple* tuple, bool* eof) {
   }
   *tuple = rows_[pos_++];
   *eof = false;
+  return common::Status::OK();
+}
+
+common::Status MaterializeOp::NextBatchImpl(size_t max_rows,
+                                            TupleBatch* batch, bool* eof) {
+  while (batch->size() < max_rows && pos_ < rows_.size()) {
+    batch->tuples.push_back(rows_[pos_++]);
+  }
+  *eof = pos_ >= rows_.size();
   return common::Status::OK();
 }
 
@@ -90,39 +103,43 @@ common::Status HashAggregateOp::OpenImpl() {
            std::pair<std::vector<types::Value>, std::vector<Accumulator>>>
       groups;
 
-  types::Tuple tuple;
+  TupleBatch batch;
   bool eof = false;
   bool saw_row = false;
-  while (true) {
-    PPP_RETURN_IF_ERROR(child_->Next(&tuple, &eof));
-    if (eof) break;
-    saw_row = true;
-    std::vector<types::Value> key_values;
-    key_values.reserve(key_indexes_.size());
-    for (const size_t i : key_indexes_) key_values.push_back(tuple.Get(i));
-    const std::string key = types::Tuple(key_values).Serialize();
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) {
-      it->second.first = std::move(key_values);
-      it->second.second.resize(aggregates_.size());
-    }
-    for (size_t a = 0; a < aggregates_.size(); ++a) {
-      Accumulator& acc = it->second.second[a];
-      const BoundAggregate& agg = aggregates_[a];
-      types::Value v;
-      if (agg.arg != nullptr) {
-        v = agg.arg->Eval(tuple, &ctx_->eval);
-        if (v.is_null()) continue;  // SQL: NULLs are ignored.
+  while (!eof) {
+    batch.clear();
+    PPP_RETURN_IF_ERROR(child_->NextBatch(batch_size_, &batch, &eof));
+    for (const types::Tuple& tuple : batch.tuples) {
+      saw_row = true;
+      std::vector<types::Value> key_values;
+      key_values.reserve(key_indexes_.size());
+      for (const size_t i : key_indexes_) {
+        key_values.push_back(tuple.Get(i));
       }
-      ++acc.count;
-      if (agg.arg != nullptr) {
-        if (v.type() == types::TypeId::kInt64 ||
-            v.type() == types::TypeId::kDouble) {
-          acc.sum += v.AsNumeric();
+      const std::string key = types::Tuple(key_values).Serialize();
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.first = std::move(key_values);
+        it->second.second.resize(aggregates_.size());
+      }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        Accumulator& acc = it->second.second[a];
+        const BoundAggregate& agg = aggregates_[a];
+        types::Value v;
+        if (agg.arg != nullptr) {
+          v = agg.arg->Eval(tuple, &ctx_->eval);
+          if (v.is_null()) continue;  // SQL: NULLs are ignored.
         }
-        if (!acc.has_value || v.Compare(acc.min) < 0) acc.min = v;
-        if (!acc.has_value || v.Compare(acc.max) > 0) acc.max = v;
-        acc.has_value = true;
+        ++acc.count;
+        if (agg.arg != nullptr) {
+          if (v.type() == types::TypeId::kInt64 ||
+              v.type() == types::TypeId::kDouble) {
+            acc.sum += v.AsNumeric();
+          }
+          if (!acc.has_value || v.Compare(acc.min) < 0) acc.min = v;
+          if (!acc.has_value || v.Compare(acc.max) > 0) acc.max = v;
+          acc.has_value = true;
+        }
       }
     }
   }
@@ -188,13 +205,27 @@ common::Status ProjectOp::NextImpl(types::Tuple* tuple, bool* eof) {
   types::Tuple input;
   PPP_RETURN_IF_ERROR(child_->Next(&input, eof));
   if (*eof) return common::Status::OK();
+  *tuple = Apply(input);
+  return common::Status::OK();
+}
+
+common::Status ProjectOp::NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                                        bool* eof) {
+  TupleBatch input;
+  PPP_RETURN_IF_ERROR(child_->NextBatch(max_rows, &input, eof));
+  for (const types::Tuple& tuple : input.tuples) {
+    batch->tuples.push_back(Apply(tuple));
+  }
+  return common::Status::OK();
+}
+
+types::Tuple ProjectOp::Apply(const types::Tuple& input) {
   std::vector<types::Value> values;
   values.reserve(exprs_.size());
   for (const std::shared_ptr<expr::BoundExpr>& e : exprs_) {
     values.push_back(e->Eval(input, &ctx_->eval));
   }
-  *tuple = types::Tuple(std::move(values));
-  return common::Status::OK();
+  return types::Tuple(std::move(values));
 }
 
 std::string SortOp::Describe() const { return "Sort"; }

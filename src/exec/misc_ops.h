@@ -40,6 +40,8 @@ class MaterializeOp : public Operator {
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
+  common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                               bool* eof) override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -100,8 +102,12 @@ class ProjectOp : public Operator {
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
+  common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                               bool* eof) override;
 
  private:
+  types::Tuple Apply(const types::Tuple& input);
+
   std::unique_ptr<Operator> child_;
   std::vector<std::shared_ptr<expr::BoundExpr>> exprs_;
   ExecContext* ctx_;

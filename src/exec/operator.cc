@@ -7,9 +7,6 @@
 namespace ppp::exec {
 
 namespace {
-/// Probes after which an adaptive cache with zero hits gives up (§5.1's
-/// "predicate caching can provide no benefit" condition, detected online).
-constexpr uint64_t kAdaptiveProbeWindow = 512;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -24,6 +21,7 @@ void AccumulateDelta(storage::IoStats* io, const storage::IoStats& before,
   io->writes += after.writes - before.writes;
   io->buffer_hits += after.buffer_hits - before.buffer_hits;
 }
+
 }  // namespace
 
 common::Status Operator::Open() {
@@ -49,6 +47,47 @@ common::Status Operator::Next(types::Tuple* tuple, bool* eof) {
   return status;
 }
 
+common::Status Operator::NextBatch(size_t max_rows, TupleBatch* batch,
+                                   bool* eof) {
+  static obs::Counter* batch_counter =
+      obs::MetricsRegistry::Global().GetCounter("exec.batches");
+  static obs::Histogram* fill_histogram =
+      obs::MetricsRegistry::Global().GetHistogram("exec.batch.fill");
+  if (max_rows == 0) max_rows = 1;
+  ++stats_.batches;
+  const size_t rows_before = batch->size();
+  const storage::IoStats before =
+      pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const auto start = std::chrono::steady_clock::now();
+  common::Status status = NextBatchImpl(max_rows, batch, eof);
+  stats_.next_seconds += SecondsSince(start);
+  if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
+  if (status.ok()) {
+    const size_t produced = batch->size() - rows_before;
+    stats_.rows_out += produced;
+    batch_counter->Increment();
+    fill_histogram->Observe(static_cast<double>(produced) /
+                            static_cast<double>(max_rows));
+  }
+  return status;
+}
+
+common::Status Operator::NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                                       bool* eof) {
+  *eof = false;
+  types::Tuple tuple;
+  while (batch->size() < max_rows) {
+    bool row_eof = false;
+    PPP_RETURN_IF_ERROR(NextImpl(&tuple, &row_eof));
+    if (row_eof) {
+      *eof = true;
+      break;
+    }
+    batch->tuples.push_back(std::move(tuple));
+  }
+  return common::Status::OK();
+}
+
 const OperatorStats& Operator::stats() const {
   RefreshLocalStats();
   return stats_;
@@ -65,6 +104,11 @@ void Operator::AttachPool(const storage::BufferPool* pool) {
   for (Operator* child : Children()) child->AttachPool(pool);
 }
 
+void Operator::SetBatchSize(size_t batch_size) {
+  batch_size_ = batch_size == 0 ? 1 : batch_size;
+  for (Operator* child : Children()) child->SetBatchSize(batch_size);
+}
+
 void Operator::CollectStats(std::vector<const OperatorStats*>* out) const {
   out->push_back(&stats());
   for (const Operator* child : Children()) child->CollectStats(out);
@@ -78,46 +122,39 @@ common::Result<CachedPredicate> CachedPredicate::Bind(
       std::unique_ptr<expr::BoundExpr> bound,
       expr::BoundExpr::Bind(pred.expr, schema, catalog.functions()));
   out.bound_ = std::move(bound);
+  out.is_expensive_ = pred.is_expensive();
+
+  // Cacheability and parallel safety are both properties of the functions
+  // the predicate invokes.
+  bool cacheable = true;
+  std::vector<const expr::Expr*> calls;
+  pred.expr->CollectFunctionCalls(&calls);
+  for (const expr::Expr* call : calls) {
+    auto def = catalog.functions().Lookup(call->function_name);
+    if (!def.ok() || !(*def)->cacheable) cacheable = false;
+    if (!def.ok() || !(*def)->parallel_safe) out.parallel_safe_ = false;
+  }
 
   const bool try_cache = params.predicate_caching &&
                          params.cache_mode == CacheMode::kPredicate;
-  if (try_cache && pred.is_expensive()) {
-    // Cache only when every function in the predicate is cacheable.
-    bool cacheable = true;
-    std::vector<const expr::Expr*> calls;
-    pred.expr->CollectFunctionCalls(&calls);
-    for (const expr::Expr* call : calls) {
-      auto def = catalog.functions().Lookup(call->function_name);
-      if (!def.ok() || !(*def)->cacheable) {
-        cacheable = false;
-        break;
-      }
-    }
-    out.cache_enabled_ = cacheable && !calls.empty();
-    out.adaptive_ = params.adaptive_caching;
-    out.max_entries_ = params.cache_max_entries;
+  ShardedPredicateCache::Options options;
+  if (try_cache && pred.is_expensive() && cacheable && !calls.empty()) {
+    out.cache_enabled_ = true;
+    options.max_entries = params.cache_max_entries;
+    options.shards =
+        ShardedPredicateCache::ShardsFor(params.parallel_workers);
+    options.adaptive = params.adaptive_caching;
+    options.probe_window = params.adaptive_probe_window;
   }
+  out.cache_ = std::make_shared<ShardedPredicateCache>(options);
   return out;
 }
 
 bool CachedPredicate::Eval(const types::Tuple& tuple,
                            expr::EvalContext* ctx) {
-  static obs::Counter* hit_counter =
-      obs::MetricsRegistry::Global().GetCounter("exec.predicate_cache.hits");
-  static obs::Counter* miss_counter =
-      obs::MetricsRegistry::Global().GetCounter(
-          "exec.predicate_cache.misses");
-  static obs::Counter* eviction_counter =
-      obs::MetricsRegistry::Global().GetCounter(
-          "exec.predicate_cache.evictions");
-  static obs::Counter* disable_counter =
-      obs::MetricsRegistry::Global().GetCounter(
-          "exec.predicate_cache.disables");
-
-  if (!cache_enabled_ || disabled_) {
+  if (!cache_enabled_ || cache_->disabled()) {
     return bound_->EvalBool(tuple, ctx);
   }
-  ++probes_;
   // Key = the values of the predicate's input columns, serialized. This is
   // the paper's "hash table keyed on the bindings of the input variables".
   std::vector<types::Value> key_values;
@@ -125,34 +162,9 @@ bool CachedPredicate::Eval(const types::Tuple& tuple,
   for (size_t index : bound_->column_indexes()) {
     key_values.push_back(tuple.Get(index));
   }
-  std::string key = types::Tuple(std::move(key_values)).Serialize();
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++cache_hits_;
-    hit_counter->Increment();
-    return it->second;
-  }
-  miss_counter->Increment();
-  const bool result = bound_->EvalBool(tuple, ctx);
-
-  if (adaptive_ && probes_ >= kAdaptiveProbeWindow && cache_hits_ == 0) {
-    // Every binding so far was distinct: caching cannot pay here. Free the
-    // memory (the footnote-4 swap problem) and stop keying.
-    disabled_ = true;
-    disable_counter->Increment();
-    cache_.clear();
-    fifo_.clear();
-    return result;
-  }
-  if (max_entries_ > 0 && cache_.size() >= max_entries_) {
-    cache_.erase(fifo_.front());
-    fifo_.pop_front();
-    ++cache_evictions_;
-    eviction_counter->Increment();
-  }
-  cache_.emplace(key, result);
-  fifo_.push_back(std::move(key));
-  return result;
+  const std::string key = types::Tuple(std::move(key_values)).Serialize();
+  return cache_->GetOrCompute(
+      key, [&] { return bound_->EvalBool(tuple, ctx); });
 }
 
 }  // namespace ppp::exec

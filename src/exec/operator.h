@@ -1,14 +1,14 @@
 #ifndef PPP_EXEC_OPERATOR_H_
 #define PPP_EXEC_OPERATOR_H_
 
-#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/pred_cache.h"
 #include "expr/evaluator.h"
 #include "expr/predicate.h"
 #include "storage/buffer_pool.h"
@@ -36,7 +36,7 @@ enum class CacheMode {
 struct ExecParams {
   /// Master switch for the §5.1 memoization. Should match
   /// cost::CostParams::predicate_caching so the optimizer models the
-  /// executor.
+  /// executor (workload::ExecParamsFor builds a consistent pair).
   bool predicate_caching = true;
 
   CacheMode cache_mode = CacheMode::kPredicate;
@@ -48,9 +48,32 @@ struct ExecParams {
 
   /// The optimization "planned for Montage but not implemented" (§5.1):
   /// stop caching a predicate whose inputs never repeat. Implemented
-  /// online: a cache observing zero hits in its first 512 probes disables
-  /// itself and frees its entries.
+  /// online: a cache observing zero hits in its first
+  /// `adaptive_probe_window` probes disables itself and frees its entries.
   bool adaptive_caching = false;
+
+  /// Probes an adaptive cache gets before the zero-hit check, in both
+  /// cache modes (predicate and function).
+  uint64_t adaptive_probe_window = 512;
+
+  /// Rows per TupleBatch in the batch-at-a-time pipeline.
+  size_t batch_size = 1024;
+
+  /// Total threads (including the coordinator) that evaluate an expensive
+  /// filter predicate's batch concurrently. 1 = serial execution,
+  /// bit-identical to the tuple-at-a-time engine. Counters stay exact at
+  /// any setting; see ParallelPredicateEvaluator.
+  size_t parallel_workers = 1;
+};
+
+/// A batch of tuples flowing between operators (batch-at-a-time execution;
+/// the tuple-at-a-time Next() remains as a compatibility shim).
+struct TupleBatch {
+  std::vector<types::Tuple> tuples;
+
+  size_t size() const { return tuples.size(); }
+  bool empty() const { return tuples.empty(); }
+  void clear() { tuples.clear(); }
 };
 
 /// Shared state of one plan execution: invocation counters (the paper's
@@ -65,10 +88,15 @@ struct ExecContext {
   /// Backing store for eval.function_cache when cache_mode == kFunction
   /// (wired by ExecutePlan).
   expr::FunctionCache function_cache_storage;
+  /// Worker pool for the parallel predicate evaluator; created by
+  /// ExecutePlan when params.parallel_workers > 1 and reused across
+  /// executions on the same context.
+  std::shared_ptr<common::ThreadPool> thread_pool;
 };
 
-/// Per-operator runtime telemetry, accumulated by the Open()/Next()
-/// wrappers across the operator's whole lifetime (rescans included).
+/// Per-operator runtime telemetry, accumulated by the Open()/Next()/
+/// NextBatch() wrappers across the operator's whole lifetime (rescans
+/// included).
 ///
 /// `io` is *inclusive*: the pool delta across this operator's calls covers
 /// its entire subtree, because child calls nest inside the parent's.
@@ -78,6 +106,7 @@ struct ExecContext {
 struct OperatorStats {
   uint64_t opens = 0;
   uint64_t next_calls = 0;
+  uint64_t batches = 0;
   uint64_t rows_out = 0;
   double open_seconds = 0.0;
   double next_seconds = 0.0;
@@ -91,13 +120,15 @@ struct OperatorStats {
   uint64_t cache_evictions = 0;
 };
 
-/// Volcano-style iterator. Open() may be called repeatedly: nested-loop
-/// join restarts its inner subtree by re-opening it, and any per-operator
-/// caches must survive the restart.
+/// Volcano-style iterator, extended with batch-at-a-time pulls. Open() may
+/// be called repeatedly: nested-loop join restarts its inner subtree by
+/// re-opening it, and any per-operator caches must survive the restart.
 ///
-/// Open()/Next() are non-virtual instrumentation wrappers (call counts,
-/// wall time, inclusive I/O deltas against the attached buffer pool);
-/// subclasses implement OpenImpl()/NextImpl().
+/// Open()/Next()/NextBatch() are non-virtual instrumentation wrappers
+/// (call counts, wall time, inclusive I/O deltas against the attached
+/// buffer pool); subclasses implement OpenImpl()/NextImpl() and may
+/// override NextBatchImpl() — the default adapter loops NextImpl(), so
+/// every operator speaks both protocols.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -107,6 +138,12 @@ class Operator {
   /// Produces the next tuple, or sets *eof. After *eof, further calls keep
   /// returning eof.
   common::Status Next(types::Tuple* tuple, bool* eof);
+
+  /// Appends up to `max_rows` tuples to `batch` (callers pass it empty).
+  /// *eof set means the stream is exhausted — the final batch may still
+  /// carry rows. A false *eof with an empty batch is legal (an operator
+  /// may decline to produce this round); drivers must loop on *eof only.
+  common::Status NextBatch(size_t max_rows, TupleBatch* batch, bool* eof);
 
   const types::RowSchema& schema() const { return schema_; }
 
@@ -127,12 +164,22 @@ class Operator {
   /// subtree, recursively. Without a pool the I/O fields stay zero.
   void AttachPool(const storage::BufferPool* pool);
 
+  /// Sets the preferred batch size this subtree uses when pulling from its
+  /// children (pipeline breakers draining on Open), recursively.
+  void SetBatchSize(size_t batch_size);
+
   /// Appends this subtree's stats in depth-first plan order.
   void CollectStats(std::vector<const OperatorStats*>* out) const;
 
  protected:
   virtual common::Status OpenImpl() = 0;
   virtual common::Status NextImpl(types::Tuple* tuple, bool* eof) = 0;
+
+  /// Default batch adapter: fills `batch` by looping NextImpl(). Operators
+  /// with a native batch path (scans, filter, project, materialize)
+  /// override this.
+  virtual common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                                       bool* eof);
 
   /// Folds operator-local counters (predicate caches) into `stats_`;
   /// overridden by operators owning a CachedPredicate.
@@ -141,11 +188,14 @@ class Operator {
   types::RowSchema schema_;
   mutable OperatorStats stats_;
   const storage::BufferPool* pool_ = nullptr;
+  size_t batch_size_ = 1024;
 };
 
 /// A predicate bound to an input schema, with an optional memo table keyed
 /// on the values of the predicate's input columns (the paper caches whole
-/// predicates, not functions — §5.1).
+/// predicates, not functions — §5.1). The memo is a ShardedPredicateCache,
+/// so Eval is safe to call concurrently from the parallel predicate
+/// evaluator's workers (each with its own EvalContext).
 class CachedPredicate {
  public:
   /// Binds and configures memoization from `params`: the predicate-level
@@ -160,24 +210,32 @@ class CachedPredicate {
   /// not invoke any function.
   bool Eval(const types::Tuple& tuple, expr::EvalContext* ctx);
 
-  bool cache_enabled() const { return cache_enabled_ && !disabled_; }
-  size_t cache_entries() const { return cache_.size(); }
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_evictions() const { return cache_evictions_; }
+  bool cache_enabled() const {
+    return cache_enabled_ && !cache_->disabled();
+  }
+  size_t cache_entries() const { return cache_->entries(); }
+  uint64_t cache_hits() const { return cache_->hits(); }
+  uint64_t cache_evictions() const { return cache_->evictions(); }
+
+  /// True when the predicate references at least one expensive function —
+  /// the only predicates worth fanning out.
+  bool is_expensive() const { return is_expensive_; }
+
+  /// True when every function the predicate invokes is parallel_safe, i.e.
+  /// may run on worker threads.
+  bool parallel_safe() const { return parallel_safe_; }
 
  private:
   CachedPredicate() = default;
 
   std::shared_ptr<expr::BoundExpr> bound_;
   bool cache_enabled_ = false;
-  bool adaptive_ = false;
-  bool disabled_ = false;
-  size_t max_entries_ = 0;
-  std::unordered_map<std::string, bool> cache_;
-  std::deque<std::string> fifo_;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_evictions_ = 0;
-  uint64_t probes_ = 0;
+  bool is_expensive_ = false;
+  bool parallel_safe_ = true;
+  /// Always non-null after Bind (disabled caches use a zero-capacity
+  /// configuration purely for the accessors); shared so CachedPredicate
+  /// stays copyable.
+  std::shared_ptr<ShardedPredicateCache> cache_;
 };
 
 }  // namespace ppp::exec

@@ -1,0 +1,57 @@
+#ifndef PPP_EXEC_PRED_CACHE_H_
+#define PPP_EXEC_PRED_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/sharded_memo.h"
+
+namespace ppp::exec {
+
+/// The §5.1 predicate cache ("a hash table keyed on the bindings of the
+/// input variables"), sharded so the parallel predicate evaluator's
+/// concurrent probes don't serialize on one mutex. Wraps
+/// common::ShardedMemo<bool> and wires its events into the global metrics
+/// registry (exec.predicate_cache.*), keeping hit/miss/eviction counts
+/// exact under concurrency.
+class ShardedPredicateCache {
+ public:
+  struct Options {
+    /// Total entry bound (FIFO replacement); 0 = unbounded.
+    size_t max_entries = 0;
+    size_t shards = 1;
+    /// §5.1 adaptive self-disable: give up after `probe_window` probes with
+    /// zero hits.
+    bool adaptive = false;
+    uint64_t probe_window = 512;
+  };
+
+  explicit ShardedPredicateCache(const Options& options);
+
+  /// Picks a shard count for a given worker count: 1 when serial (which
+  /// preserves the single-table FIFO eviction order, and therefore
+  /// bit-identical serial behaviour), several shards per worker otherwise.
+  static size_t ShardsFor(size_t parallel_workers);
+
+  /// Returns the cached verdict for `key`, evaluating `compute` at most
+  /// once per distinct key (concurrent probers of an in-flight key wait).
+  bool GetOrCompute(const std::string& key,
+                    const std::function<bool()>& compute) {
+    return memo_.GetOrCompute(key, compute);
+  }
+
+  bool disabled() const { return memo_.disabled(); }
+  size_t entries() const { return memo_.entries(); }
+  uint64_t probes() const { return memo_.probes(); }
+  uint64_t hits() const { return memo_.hits(); }
+  uint64_t evictions() const { return memo_.evictions(); }
+  uint64_t contended_probes() const { return memo_.contended_probes(); }
+
+ private:
+  common::ShardedMemo<bool> memo_;
+};
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_PRED_CACHE_H_

@@ -26,6 +26,23 @@ common::Status SeqScanOp::NextImpl(types::Tuple* tuple, bool* eof) {
   return common::Status::OK();
 }
 
+common::Status SeqScanOp::NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                                        bool* eof) {
+  *eof = false;
+  storage::RecordId rid;
+  std::string bytes;
+  while (batch->size() < max_rows) {
+    if (!it_.Next(&rid, &bytes)) {
+      *eof = true;
+      break;
+    }
+    PPP_ASSIGN_OR_RETURN(types::Tuple tuple,
+                         types::Tuple::Deserialize(bytes));
+    batch->tuples.push_back(std::move(tuple));
+  }
+  return common::Status::OK();
+}
+
 std::string SeqScanOp::Describe() const {
   std::string out = "SeqScan(" + table_->name();
   if (alias_ != table_->name()) out += " AS " + alias_;
@@ -64,6 +81,21 @@ common::Status IndexScanOp::NextImpl(types::Tuple* tuple, bool* eof) {
   PPP_ASSIGN_OR_RETURN(*tuple, table_->Read(rids_[pos_]));
   ++pos_;
   *eof = false;
+  return common::Status::OK();
+}
+
+common::Status IndexScanOp::NextBatchImpl(size_t max_rows,
+                                          TupleBatch* batch, bool* eof) {
+  *eof = false;
+  while (batch->size() < max_rows) {
+    if (pos_ >= rids_.size()) {
+      *eof = true;
+      break;
+    }
+    PPP_ASSIGN_OR_RETURN(types::Tuple tuple, table_->Read(rids_[pos_]));
+    ++pos_;
+    batch->tuples.push_back(std::move(tuple));
+  }
   return common::Status::OK();
 }
 

@@ -20,6 +20,8 @@ class SeqScanOp : public Operator {
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
+  common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                               bool* eof) override;
 
  private:
   const catalog::Table* table_;
@@ -46,6 +48,8 @@ class IndexScanOp : public Operator {
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
+  common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
+                               bool* eof) override;
 
  private:
   const catalog::Table* table_;

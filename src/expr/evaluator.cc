@@ -5,6 +5,43 @@
 
 namespace ppp::expr {
 
+FunctionCache::FunctionCache() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  common::ShardedMemo<types::Value>::Listener listener;
+  listener.on_hit = [counter = registry.GetCounter(
+                         "expr.function_cache.hits")] {
+    counter->Increment();
+  };
+  listener.on_miss = [counter = registry.GetCounter(
+                          "expr.function_cache.misses")] {
+    counter->Increment();
+  };
+  listener.on_eviction = [counter = registry.GetCounter(
+                              "expr.function_cache.evictions")] {
+    counter->Increment();
+  };
+  listener.on_disable = [counter = registry.GetCounter(
+                             "expr.function_cache.disables")] {
+    counter->Increment();
+  };
+  listener.on_contention = [counter = registry.GetCounter(
+                                "expr.function_cache.shard_contention")] {
+    counter->Increment();
+  };
+  memo_.set_listener(std::move(listener));
+}
+
+void FunctionCache::Configure(const Options& options) {
+  if (options == options_) return;
+  options_ = options;
+  common::ShardedMemo<types::Value>::Options memo;
+  memo.max_entries = options.max_entries;
+  memo.shards = options.shards == 0 ? 1 : options.shards;
+  memo.adaptive = options.adaptive;
+  memo.probe_window = options.probe_window;
+  memo_.Reset(memo);
+}
+
 common::Result<std::unique_ptr<BoundExpr>> BoundExpr::Bind(
     const ExprPtr& expr, const types::RowSchema& schema,
     const catalog::FunctionRegistry& functions) {
@@ -119,41 +156,28 @@ types::Value BoundExpr::Eval(const types::Tuple& tuple,
         args.push_back(child->Eval(tuple, ctx));
       }
       // Per-function memoization ([Jhi88] / §5.1 alternative): key on the
-      // function name plus serialized argument values.
+      // function name plus serialized argument values. The invocation tally
+      // happens inside the memo's compute callback, so under the batch
+      // executor each actual invocation lands in exactly one worker's
+      // per-worker EvalContext and merged totals stay exact.
+      static obs::Counter* invocation_counter =
+          obs::MetricsRegistry::Global().GetCounter("expr.udf.invocations");
+      auto invoke = [&]() -> types::Value {
+        if (ctx != nullptr) {
+          ++ctx->invocation_counts[function_->name];
+        }
+        invocation_counter->Increment();
+        return function_->impl(args);
+      };
       FunctionCache* cache =
           (ctx != nullptr && function_->cacheable) ? ctx->function_cache
                                                    : nullptr;
-      std::string key;
-      if (cache != nullptr) {
-        key = function_->name + "\x1f" + types::Tuple(args).Serialize();
-        auto it = cache->entries.find(key);
-        if (it != cache->entries.end()) {
-          ++cache->hits;
-          static obs::Counter* hit_counter =
-              obs::MetricsRegistry::Global().GetCounter(
-                  "expr.function_cache.hits");
-          hit_counter->Increment();
-          return it->second;
-        }
+      if (cache == nullptr || cache->disabled()) {
+        return invoke();
       }
-      if (ctx != nullptr) {
-        ++ctx->invocation_counts[function_->name];
-      }
-      static obs::Counter* invocation_counter =
-          obs::MetricsRegistry::Global().GetCounter("expr.udf.invocations");
-      invocation_counter->Increment();
-      types::Value result = function_->impl(args);
-      if (cache != nullptr) {
-        if (cache->max_entries > 0 &&
-            cache->entries.size() >= cache->max_entries) {
-          cache->entries.erase(cache->fifo.front());
-          cache->fifo.pop_front();
-          ++cache->evictions;
-        }
-        cache->entries.emplace(key, result);
-        cache->fifo.push_back(std::move(key));
-      }
-      return result;
+      const std::string key =
+          function_->name + "\x1f" + types::Tuple(args).Serialize();
+      return cache->GetOrCompute(key, invoke);
     }
     case ExprKind::kAnd: {
       // SQL three-valued logic: false dominates NULL.

@@ -2,13 +2,14 @@
 #define PPP_EXPR_EVALUATOR_H_
 
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/function_registry.h"
+#include "common/sharded_memo.h"
 #include "common/status.h"
 #include "expr/expr.h"
 #include "types/row_schema.h"
@@ -18,13 +19,44 @@ namespace ppp::expr {
 
 /// Per-function memo table: the [Jhi88] alternative to whole-predicate
 /// caching that §5.1 contrasts with Montage's design. Keyed on
-/// (function, serialized arguments); FIFO eviction when bounded.
-struct FunctionCache {
-  size_t max_entries = 0;  // 0 = unbounded.
-  std::unordered_map<std::string, types::Value> entries;
-  std::deque<std::string> fifo;  // Insertion order, for eviction.
-  uint64_t hits = 0;
-  uint64_t evictions = 0;
+/// (function, serialized arguments); FIFO eviction when bounded. Backed by
+/// a sharded, thread-safe memo so the batch executor's workers can share
+/// one cache, with the same adaptive self-disable as the predicate cache.
+class FunctionCache {
+ public:
+  struct Options {
+    size_t max_entries = 0;  // 0 = unbounded.
+    size_t shards = 1;
+    bool adaptive = false;
+    uint64_t probe_window = 512;
+
+    bool operator==(const Options&) const = default;
+  };
+
+  FunctionCache();
+
+  /// Applies `options`; drops existing entries only when they changed, so
+  /// repeated executions under the same configuration keep their memo.
+  void Configure(const Options& options);
+
+  /// Returns the memoized result, running `compute` at most once per
+  /// distinct key (concurrent probers of an in-flight key wait).
+  types::Value GetOrCompute(const std::string& key,
+                            const std::function<types::Value()>& compute) {
+    return memo_.GetOrCompute(key, compute);
+  }
+
+  /// True once the adaptive policy disabled this cache (zero hits in the
+  /// first probe_window probes); callers then invoke functions directly.
+  bool disabled() const { return memo_.disabled(); }
+
+  size_t entries() const { return memo_.entries(); }
+  uint64_t hits() const { return memo_.hits(); }
+  uint64_t evictions() const { return memo_.evictions(); }
+
+ private:
+  Options options_;
+  common::ShardedMemo<types::Value> memo_;
 };
 
 /// Mutable per-query evaluation state: the UDF invocation counters that the

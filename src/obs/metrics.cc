@@ -44,25 +44,42 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(v);
   sum_ += v;
 }
 
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
 double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return samples_.empty()
              ? 0.0
              : *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return samples_.empty()
              ? 0.0
              : *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::Percentile(double p) const {
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) return 0.0;
+    sorted = samples_;
+  }
   std::sort(sorted.begin(), sorted.end());
   p = std::clamp(p, 0.0, 100.0);
   // Nearest-rank: the smallest sample with at least p% of samples <= it.
@@ -72,6 +89,7 @@ double Histogram::Percentile(double p) const {
 }
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   samples_.clear();
   sum_ = 0.0;
 }
@@ -133,19 +151,23 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return &counters_[name];
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return &gauges_[name];
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return &histograms_[name];
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
   for (const auto& [name, h] : histograms_) {
@@ -163,6 +185,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.Reset();
   for (auto& [name, g] : gauges_) g.Reset();
   for (auto& [name, h] : histograms_) h.Reset();

@@ -1,48 +1,55 @@
 #ifndef PPP_OBS_METRICS_H_
 #define PPP_OBS_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace ppp::obs {
 
 /// Monotonically increasing event count (cache hits, page reads, UDF
-/// invocations). Plain uint64: the engine is single-threaded by design and
-/// the paper's whole measurement methodology is exact event counting.
+/// invocations). Relaxed atomic: the batch executor's worker threads bump
+/// counters concurrently, and the paper's measurement methodology is exact
+/// event counting, so increments must not be lost. Reads are only taken at
+/// snapshot points (no ordering needed with other memory).
 class Counter {
  public:
-  void Increment(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Last-write-wins instantaneous value (queue depths, plan-space sizes).
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double d) { value_ += d; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Sample distribution with exact percentiles. Keeps raw samples — metric
 /// cardinality here is tiny (one histogram per instrumented site), so
-/// exactness beats a sketch.
+/// exactness beats a sketch. Mutex-guarded: histograms are observed from
+/// worker threads (batch fill, shard waits) but never on per-tuple paths.
 class Histogram {
  public:
   void Observe(double v);
 
-  size_t count() const { return samples_.size(); }
-  double sum() const { return sum_; }
+  size_t count() const;
+  double sum() const;
   double min() const;
   double max() const;
   /// Exact percentile by nearest-rank over the sorted samples; `p` in
@@ -52,6 +59,7 @@ class Histogram {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::vector<double> samples_;
   double sum_ = 0.0;
 };
@@ -81,6 +89,9 @@ struct MetricsSnapshot {
 
 /// Name -> metric map. Metric objects are stable once created (node-based
 /// map), so hot paths look a pointer up once and increment through it.
+/// Registration and snapshotting take the registry mutex; updates through
+/// cached metric pointers are lock-free (atomics) or per-metric locked
+/// (histograms) and never touch the map.
 class MetricsRegistry {
  public:
   /// The process-wide registry used by the engine's built-in
@@ -99,6 +110,7 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -180,6 +180,9 @@ common::Result<expr::ExprPtr> RewriteExpr(const expr::ExprPtr& e,
   // The subquery does real, metered I/O when invoked; cost_per_call is an
   // optimizer estimate, not a bill.
   def.charge_invocations = false;
+  // The impl executes nested plans through the shared buffer pool and
+  // memoizes in SubqueryRuntime — coordinator-thread only.
+  def.parallel_safe = false;
   def.impl = [runtime](const std::vector<types::Value>& args) {
     if (args.empty() || args[0].is_null()) return types::Value(false);
     auto values = runtime->ValueSet(args);

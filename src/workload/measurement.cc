@@ -60,6 +60,7 @@ std::string Measurement::ToJson() const {
   out += common::StringPrintf(", \"optimize_seconds\": %.17g",
                               optimize_seconds);
   out += ", \"plans_retained\": " + std::to_string(plans_retained);
+  out += common::StringPrintf(", \"wall_seconds\": %.17g", wall_seconds);
   out += ", \"io\": {\"sequential_reads\": " +
          std::to_string(io.sequential_reads) +
          ", \"random_reads\": " + std::to_string(io.random_reads) +
@@ -112,6 +113,14 @@ common::Result<std::string> WriteBenchJson(
     return common::Status::Internal("failed writing " + path);
   }
   return path;
+}
+
+exec::ExecParams ExecParamsFor(const cost::CostParams& cost_params) {
+  exec::ExecParams exec_params;
+  exec_params.predicate_caching = cost_params.predicate_caching;
+  exec_params.parallel_workers = static_cast<size_t>(
+      std::max(1.0, cost_params.parallel_workers));
+  return exec_params;
 }
 
 double ChargedTime(const exec::ExecStats& stats,
@@ -176,10 +185,15 @@ common::Result<Measurement> RunWithAlgorithm(
 
   exec::ExecStats stats;
   std::unique_ptr<exec::Operator> root;
+  const auto exec_started = std::chrono::steady_clock::now();
   PPP_ASSIGN_OR_RETURN(
       std::vector<types::Tuple> rows,
       exec::ExecutePlan(*result.plan, &ctx, &stats, nullptr,
                         collect_explain ? &root : nullptr));
+  m.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    exec_started)
+          .count();
   m.output_rows = stats.output_rows;
   m.invocations = stats.invocations;
   m.io = stats.io;

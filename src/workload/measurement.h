@@ -37,6 +37,9 @@ struct Measurement {
   optimizer::DpStats dp_stats;
   /// EXPLAIN [ANALYZE] rendering; filled when collect_explain is set.
   std::string explain_text;
+  /// Wall-clock of the execute phase. Diagnostic only (the parallel bench
+  /// reports speedups from it); charged_time stays the paper's currency.
+  double wall_seconds = 0.0;
 
   std::string Summary() const;
 
@@ -49,6 +52,12 @@ struct Measurement {
 /// current directory. Returns the path written.
 common::Result<std::string> WriteBenchJson(
     const std::string& name, const std::vector<Measurement>& measurements);
+
+/// Execution parameters consistent with `cost_params`: the knobs shared by
+/// optimizer and executor (predicate_caching, parallel_workers) are copied
+/// from the cost side, so the optimizer always models what the executor
+/// does. Use this instead of setting the two flags independently.
+exec::ExecParams ExecParamsFor(const cost::CostParams& cost_params);
 
 /// Converts executor stats into charged relative time under `params`.
 double ChargedTime(const exec::ExecStats& stats,

@@ -141,8 +141,8 @@ TEST_F(CacheTest, BoundedFunctionCacheEvicts) {
       plan::MakeSeqScan("t", "t"), Analyze(Call("f", {Col("t", "grp")})));
   ExecStats stats;
   ASSERT_TRUE(ExecutePlan(*plan, &ctx, &stats).ok());
-  EXPECT_LE(ctx.function_cache_storage.entries.size(), 4u);
-  EXPECT_GT(ctx.function_cache_storage.evictions, 0u);
+  EXPECT_LE(ctx.function_cache_storage.entries(), 4u);
+  EXPECT_GT(ctx.function_cache_storage.evictions(), 0u);
 }
 
 TEST_F(CacheTest, NonCacheableFunctionNeverCached) {
@@ -174,6 +174,70 @@ TEST_F(CacheTest, AdaptiveCachingKeepsUsefulCaches) {
   params.adaptive_caching = true;
   // 20 distinct bindings: plenty of hits, cache must stay on.
   EXPECT_EQ(RunFilter("grp", params).invocations.at("f"), 20u);
+}
+
+TEST_F(CacheTest, AdaptiveProbeWindowIsConfigurable) {
+  // With a window larger than the input, the zero-hit check never fires
+  // and the (useless) cache keeps absorbing entries: same invocation count
+  // but one entry per distinct binding remains live.
+  ExecParams params;
+  params.cache_mode = CacheMode::kPredicate;
+  params.adaptive_caching = true;
+  params.adaptive_probe_window = 100000;
+  EXPECT_EQ(RunFilter("uniq", params).invocations.at("f"), 1000u);
+
+  // A tiny window disables almost immediately on unique inputs.
+  params.adaptive_probe_window = 8;
+  EXPECT_EQ(RunFilter("uniq", params).invocations.at("f"), 1000u);
+}
+
+TEST_F(CacheTest, AdaptiveWindowHonoredInFunctionMode) {
+  // The adaptive self-disable applies to the [Jhi88] function cache too:
+  // unique inputs, zero hits, cache disables after the window and the
+  // query still evaluates every tuple exactly once.
+  ExecParams params;
+  params.cache_mode = CacheMode::kFunction;
+  params.adaptive_caching = true;
+  params.adaptive_probe_window = 64;
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.binding = binding_;
+  ctx.params = params;
+  plan::PlanPtr plan = plan::MakeFilter(
+      plan::MakeSeqScan("t", "t"), Analyze(Call("f", {Col("t", "uniq")})));
+  ExecStats stats;
+  ASSERT_TRUE(ExecutePlan(*plan, &ctx, &stats).ok());
+  EXPECT_EQ(stats.invocations.at("f"), 1000u);
+  EXPECT_TRUE(ctx.function_cache_storage.disabled());
+  // Entries were freed on disable (the footnote-4 swap concern).
+  EXPECT_EQ(ctx.function_cache_storage.entries(), 0u);
+}
+
+TEST_F(CacheTest, ShardedCacheEvictsUnderParallelConfig) {
+  // parallel_workers > 1 shards the predicate cache; the FIFO bound still
+  // holds across shards and results stay correct.
+  ExecParams params;
+  params.cache_mode = CacheMode::kPredicate;
+  params.cache_max_entries = 4;
+  params.parallel_workers = 4;
+  params.batch_size = 64;
+  const ExecStats sharded = RunFilter("grp", params);
+  const ExecStats unbounded = RunFilter("grp", ExecParams{});
+  EXPECT_EQ(sharded.output_rows, unbounded.output_rows);
+  EXPECT_GT(sharded.invocations.at("f"), unbounded.invocations.at("f"));
+}
+
+TEST_F(CacheTest, ShardedAdaptiveDisableUnderParallelConfig) {
+  ExecParams params;
+  params.cache_mode = CacheMode::kPredicate;
+  params.adaptive_caching = true;
+  params.parallel_workers = 4;
+  params.batch_size = 128;
+  const ExecStats stats = RunFilter("uniq", params);
+  // Every distinct binding evaluated exactly once even while the cache
+  // disables itself mid-run: pending-entry dedup keeps counters exact.
+  EXPECT_EQ(stats.invocations.at("f"), 1000u);
+  EXPECT_EQ(stats.output_rows, RunFilter("uniq", ExecParams{}).output_rows);
 }
 
 TEST_F(CacheTest, CachedPredicateAccessors) {

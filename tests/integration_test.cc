@@ -68,10 +68,8 @@ class IntegrationTest : public ::testing::Test {
                                 Algorithm algorithm, bool caching = true) {
     cost::CostParams cost_params;
     cost_params.predicate_caching = caching;
-    exec::ExecParams exec_params;
-    exec_params.predicate_caching = caching;
     auto m = workload::RunWithAlgorithm(&db_, spec, algorithm, cost_params,
-                                        exec_params);
+                                        workload::ExecParamsFor(cost_params));
     EXPECT_TRUE(m.ok()) << m.status();
     return *m;
   }
