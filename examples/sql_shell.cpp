@@ -14,19 +14,31 @@
 //   \explain on|off    toggle plan printing
 //   \trace on|off      dump the optimizer's decision trace after each query
 //   \metrics [reset]   print (or reset) the global metrics registry
+//   \spans on|off|clear|dump [FILE]
+//                      lifecycle span tracing; dump writes Chrome
+//                      trace-event JSON (default trace.json) for Perfetto
+//   \profile [reset]   per-function runtime profile (observed cost and
+//                      distinct-value selectivity)
+//   \calibrate [off]   re-run placement of the last query with observed
+//                      costs/selectivities; report placement regret and
+//                      keep feedback on for later queries ('off' reverts)
 //   \set workers N     parallel workers for expensive predicates (1 = off)
 //   \set batch N       rows per executor batch
 //   \quit
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "optimizer/optimizer.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
@@ -69,6 +81,7 @@ int main() {
   bool tracing = false;
   cost::CostParams cost_params;
   size_t batch_size = exec::ExecParams{}.batch_size;
+  std::optional<plan::QuerySpec> last_spec;
 
   std::printf("ppp shell — benchmark database at scale %lld. Try:\n",
               static_cast<long long>(config.scale));
@@ -144,6 +157,77 @@ int main() {
         }
         continue;
       }
+      if (word == "spans") {
+        std::string mode;
+        cmd >> mode;
+        obs::SpanTracer& tracer = obs::SpanTracer::Global();
+        if (mode == "off") {
+          tracer.set_enabled(false);
+          std::printf("spans off (%zu buffered)\n", tracer.size());
+        } else if (mode == "clear") {
+          tracer.Clear();
+          std::printf("spans cleared\n");
+        } else if (mode == "dump") {
+          std::string file;
+          cmd >> file;
+          if (file.empty()) file = "trace.json";
+          const common::Status status =
+              obs::WriteChromeTrace(file, tracer.Snapshot());
+          if (!status.ok()) {
+            std::printf("error: %s\n", status.ToString().c_str());
+          } else {
+            std::printf("wrote %zu span(s) to %s (%llu dropped)\n",
+                        tracer.size(), file.c_str(),
+                        static_cast<unsigned long long>(tracer.dropped()));
+          }
+        } else {
+          tracer.set_enabled(true);
+          std::printf("spans on\n");
+        }
+        continue;
+      }
+      if (word == "profile") {
+        std::string mode;
+        cmd >> mode;
+        if (mode == "reset") {
+          obs::PredicateProfiler::Global().Reset();
+          std::printf("profile reset\n");
+        } else {
+          std::printf("%s",
+                      obs::PredicateProfiler::Global().ReportText().c_str());
+        }
+        continue;
+      }
+      if (word == "calibrate") {
+        std::string mode;
+        cmd >> mode;
+        if (mode == "off") {
+          cost_params.use_feedback = false;
+          obs::PredicateFeedbackStore::Global().Clear();
+          std::printf("feedback off (store cleared)\n");
+          continue;
+        }
+        if (!last_spec.has_value()) {
+          std::printf("no query yet: run one first, then \\calibrate\n");
+          continue;
+        }
+        auto report = workload::Calibrate(&db.catalog(), *last_spec,
+                                          algorithm, cost_params);
+        if (!report.ok()) {
+          std::printf("error: %s\n", report.status().ToString().c_str());
+          continue;
+        }
+        std::printf("%s\n", report->Summary().c_str());
+        if (report->placement_changed) {
+          std::printf("plan before:\n%splan after:\n%s",
+                      report->plan_before.c_str(),
+                      report->plan_after.c_str());
+        }
+        cost_params.use_feedback = true;
+        std::printf("feedback on: subsequent queries use observed "
+                    "costs/selectivities\n");
+        continue;
+      }
       if (word == "set") {
         std::string knob;
         long long value = 0;
@@ -183,6 +267,7 @@ int main() {
       std::printf("error: %s\n", spec.status().ToString().c_str());
       continue;
     }
+    last_spec = *spec;
     obs::OptTrace trace;
     exec::ExecParams exec_params = workload::ExecParamsFor(cost_params);
     exec_params.batch_size = batch_size;

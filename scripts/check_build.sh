@@ -3,9 +3,15 @@
 # src/obs/ is compiled with -Wall -Wextra -Werror (set in its
 # CMakeLists.txt), so warnings in the observability layer fail this check.
 #
+# After the tests, a traced query is piped through the SQL shell and the
+# dumped Chrome trace-event JSON is validated (with python3's json module
+# when available) — the span tracer must emit loadable traces, not just
+# pass its unit tests.
+#
 # A second pass rebuilds under ThreadSanitizer (-DPPP_SANITIZE=thread) and
-# reruns the suite — the parallel predicate evaluator, thread pool, and
-# sharded caches must be race-free, not just correct-by-luck. Skip it with
+# reruns the suite with span tracing forced on (PPP_TRACE_SPANS=1) — the
+# parallel predicate evaluator, thread pool, sharded caches, and the span
+# ring buffer must be race-free, not just correct-by-luck. Skip it with
 # SKIP_TSAN=1 when iterating.
 set -euo pipefail
 
@@ -18,8 +24,37 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# Traced-query smoke test: run a parallel expensive-predicate query with
+# spans on, dump the trace, and check the JSON parses.
+TRACE_FILE="$BUILD_DIR/check_trace.json"
+rm -f "$TRACE_FILE"
+"$BUILD_DIR/examples/sql_shell" >/dev/null <<EOF
+\\spans on
+\\set workers 4
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+\\spans dump $TRACE_FILE
+\\quit
+EOF
+[[ -s "$TRACE_FILE" ]] || { echo "span dump missing: $TRACE_FILE" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE_FILE" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+cats = {e["cat"] for e in events}
+for expected in ("query", "frontend", "optimize", "exec"):
+    assert expected in cats, f"missing span category {expected}: {sorted(cats)}"
+print(f"trace ok: {len(events)} events, categories {sorted(cats)}")
+PYEOF
+else
+  echo "python3 not found; skipped trace JSON validation"
+fi
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DPPP_SANITIZE=thread
   cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
-  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)"
+  PPP_TRACE_SPANS=1 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
+    -j "$(nproc)"
 fi

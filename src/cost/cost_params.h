@@ -49,6 +49,11 @@ struct CostParams {
   /// over-eager pullup. When false, expensive selections below are assumed
   /// to pass everything (the under-eager direction). Ablation A4.
   bool current_cardinality_estimate = true;
+
+  /// When true, predicate analysis consults obs::PredicateFeedbackStore for
+  /// observed UDF cost/selectivity, overriding the static catalog numbers
+  /// for any function that has been profiled (the \calibrate path).
+  bool use_feedback = false;
 };
 
 }  // namespace ppp::cost

@@ -1,8 +1,10 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/string_util.h"
+#include "obs/span.h"
 #include "exec/filter_op.h"
 #include "exec/join_ops.h"
 #include "exec/misc_ops.h"
@@ -304,6 +306,9 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   const storage::IoStats before = pool->stats();
   ctx->eval.invocation_counts.clear();
 
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) span.emplace("exec", "execute");
+
   // Workers beyond the coordinator come from a persistent pool, reused
   // across executions on the same context.
   const size_t workers = std::max<size_t>(1, ctx->params.parallel_workers);
@@ -344,6 +349,8 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
       out.push_back(std::move(tuple));
     }
   }
+
+  if (span.has_value()) span->AddArg("rows", std::to_string(out.size()));
 
   if (stats != nullptr) {
     const storage::IoStats after = pool->stats();

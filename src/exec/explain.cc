@@ -1,6 +1,9 @@
 #include "exec/explain.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
+#include "obs/profiler.h"
 
 namespace ppp::exec {
 
@@ -45,14 +48,67 @@ void AppendActuals(const Operator& op, std::string* out) {
   }
 }
 
+/// Estimated vs observed rank for the node's predicate, when at least one
+/// of its UDFs has a runtime profile. Observed cost replaces the declared
+/// cost of every profiled function; observed selectivity rescales the
+/// estimate by the profiled functions' pass-rate ratio (non-profiled
+/// factors keep their catalog estimates).
+void AppendRankDrift(const plan::PlanNode& plan,
+                     const catalog::FunctionRegistry& functions,
+                     std::string* out) {
+  const expr::PredicateInfo& pred = plan.predicate;
+  if (pred.expr == nullptr || !pred.is_expensive()) return;
+
+  std::vector<const expr::Expr*> calls;
+  pred.expr->CollectFunctionCalls(&calls);
+  const obs::PredicateProfiler& profiler = obs::PredicateProfiler::Global();
+  const double spio = profiler.seconds_per_io();
+
+  bool any_profiled = false;
+  double obs_cost = 0.0;
+  double sel_ratio = 1.0;
+  for (const expr::Expr* call : calls) {
+    const auto def = functions.Lookup(call->function_name);
+    const double def_cost = def.ok() ? (*def)->cost_per_call : 0.0;
+    const std::optional<obs::PredicateProfile> profile =
+        profiler.Get(call->function_name);
+    if (!profile.has_value()) {
+      obs_cost += def_cost;
+      continue;
+    }
+    any_profiled = true;
+    obs_cost += profile->ObservedCostIos(spio);
+    if (def.ok() && profile->has_selectivity &&
+        (*def)->return_type == types::TypeId::kBool &&
+        (*def)->selectivity > 0.0) {
+      sel_ratio *= profile->ObservedSelectivity((*def)->selectivity) /
+                   (*def)->selectivity;
+    }
+  }
+  if (!any_profiled) return;  // No runtime data: the line stays clean.
+
+  const double est_rank = pred.rank();
+  const double obs_sel = std::clamp(pred.selectivity * sel_ratio, 0.0, 1.0);
+  const double obs_rank =
+      obs_cost > 0.0 ? (obs_sel - 1.0) / obs_cost : est_rank;
+  const bool drift =
+      obs::RankDriftExceeds(est_rank, obs_rank, profiler.drift_threshold());
+  out->append(common::StringPrintf(" [rank est=%.4g obs=%.4g%s]", est_rank,
+                                   obs_rank, drift ? " DRIFT" : ""));
+}
+
 /// Renders `plan` at `indent`, pairing it with `op` when the operator tree
 /// has a node for it (nullptr = estimates only, e.g. the probed inner
 /// relation of an index nested-loop join).
 void AppendNode(const plan::PlanNode& plan, const Operator* op, int indent,
+                const catalog::FunctionRegistry* functions,
                 std::string* out) {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   out->append(plan.LineString());
   if (op != nullptr) AppendActuals(*op, out);
+  if (op != nullptr && functions != nullptr) {
+    AppendRankDrift(plan, *functions, out);
+  }
   out->append("\n");
 
   std::vector<const Operator*> op_children =
@@ -60,7 +116,7 @@ void AppendNode(const plan::PlanNode& plan, const Operator* op, int indent,
   for (size_t i = 0; i < plan.children.size(); ++i) {
     const Operator* child_op = i < op_children.size() ? op_children[i]
                                                       : nullptr;
-    AppendNode(*plan.children[i], child_op, indent + 1, out);
+    AppendNode(*plan.children[i], child_op, indent + 1, functions, out);
   }
 }
 
@@ -71,9 +127,10 @@ std::string RenderExplain(const plan::PlanNode& plan) {
 }
 
 std::string RenderExplainAnalyze(const plan::PlanNode& plan,
-                                 const Operator& root) {
+                                 const Operator& root,
+                                 const catalog::FunctionRegistry* functions) {
   std::string out;
-  AppendNode(plan, &root, 0, &out);
+  AppendNode(plan, &root, 0, functions, &out);
   return out;
 }
 

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "catalog/function_registry.h"
 #include "exec/operator.h"
 #include "plan/plan_node.h"
 
@@ -19,8 +20,17 @@ std::string RenderExplain(const plan::PlanNode& plan);
 /// `root` must be the operator tree ExecutePlan built for `plan`. The two
 /// trees correspond 1:1 except under an index nested-loop join, whose
 /// inner plan child has no operator and is rendered estimates-only.
+///
+/// When `functions` is supplied, nodes carrying an expensive predicate
+/// whose UDFs have runtime profiles additionally render
+/// `[rank est=… obs=…]`, with a DRIFT flag when the observed rank
+/// (from PredicateProfiler's observed cost and distinct-value selectivity)
+/// disagrees with the catalog-estimated rank beyond the profiler's drift
+/// threshold.
 std::string RenderExplainAnalyze(const plan::PlanNode& plan,
-                                 const Operator& root);
+                                 const Operator& root,
+                                 const catalog::FunctionRegistry* functions =
+                                     nullptr);
 
 }  // namespace ppp::exec
 

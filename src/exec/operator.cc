@@ -1,8 +1,10 @@
 #include "exec/operator.h"
 
 #include <chrono>
+#include <optional>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ppp::exec {
 
@@ -26,6 +28,10 @@ void AccumulateDelta(storage::IoStats* io, const storage::IoStats& before,
 
 common::Status Operator::Open() {
   ++stats_.opens;
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) {
+    span.emplace("exec", "open:" + Describe());
+  }
   const storage::IoStats before =
       pool_ != nullptr ? pool_->stats() : storage::IoStats();
   const auto start = std::chrono::steady_clock::now();
@@ -55,6 +61,12 @@ common::Status Operator::NextBatch(size_t max_rows, TupleBatch* batch,
       obs::MetricsRegistry::Global().GetHistogram("exec.batch.fill");
   if (max_rows == 0) max_rows = 1;
   ++stats_.batches;
+  // Per-batch (not per-tuple) drain spans keep trace volume proportional to
+  // batches; the Next() shim path stays unspanned.
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) {
+    span.emplace("exec", "batch:" + Describe());
+  }
   const size_t rows_before = batch->size();
   const storage::IoStats before =
       pool_ != nullptr ? pool_->stats() : storage::IoStats();
@@ -65,6 +77,7 @@ common::Status Operator::NextBatch(size_t max_rows, TupleBatch* batch,
   if (status.ok()) {
     const size_t produced = batch->size() - rows_before;
     stats_.rows_out += produced;
+    if (span.has_value()) span->AddArg("rows", std::to_string(produced));
     batch_counter->Increment();
     fill_histogram->Observe(static_cast<double>(produced) /
                             static_cast<double>(max_rows));

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ppp::exec {
 
@@ -41,6 +43,14 @@ void ParallelPredicateEvaluator::EvalBatch(CachedPredicate* pred,
 
   const auto wall_start = std::chrono::steady_clock::now();
   const auto eval_slice = [&](size_t w) {
+    // The span is created on the executing thread, so its tid is the
+    // worker's track in the exported trace (or the coordinator's — the
+    // caller participates in the pool's Run).
+    std::optional<obs::Span> span;
+    if (obs::SpanTracer::Global().enabled()) {
+      span.emplace("exec.parallel", "worker");
+      span->AddArg("slice", std::to_string(w));
+    }
     const auto start = std::chrono::steady_clock::now();
     const size_t begin = w * slice;
     const size_t end = std::min(batch.size(), begin + slice);

@@ -1,7 +1,12 @@
 #include "expr/evaluator.h"
 
+#include <chrono>
+#include <optional>
+
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
 
 namespace ppp::expr {
 
@@ -167,7 +172,32 @@ types::Value BoundExpr::Eval(const types::Tuple& tuple,
           ++ctx->invocation_counts[function_->name];
         }
         invocation_counter->Increment();
-        return function_->impl(args);
+        obs::PredicateProfiler& profiler = obs::PredicateProfiler::Global();
+        const bool spans_on = obs::SpanTracer::Global().enabled() &&
+                              function_->cost_per_call > 0;
+        if (!profiler.enabled() && !spans_on) return function_->impl(args);
+        // Per-invocation span only for declared-expensive functions (cheap
+        // comparators would swamp the trace); the profiler sees every call.
+        std::optional<obs::Span> span;
+        if (spans_on) span.emplace("udf", function_->name);
+        const auto start = std::chrono::steady_clock::now();
+        types::Value result = function_->impl(args);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (profiler.enabled()) {
+          // Distinct-input selectivity per §5.1: keyed on the serialized
+          // argument tuple, the same identity the predicate cache uses.
+          std::optional<bool> passed;
+          std::string input_key;
+          if (function_->return_type == types::TypeId::kBool) {
+            passed = !result.is_null() && result.AsBool();
+            input_key = types::Tuple(args).Serialize();
+          }
+          profiler.Record(function_->name, seconds, input_key, passed);
+        }
+        return result;
       };
       FunctionCache* cache =
           (ctx != nullptr && function_->cacheable) ? ctx->function_cache

@@ -1,8 +1,10 @@
 #include "expr/predicate.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/string_util.h"
+#include "obs/profiler.h"
 
 namespace ppp::expr {
 
@@ -90,8 +92,13 @@ common::Result<double> PredicateAnalyzer::EstimateSelectivity(
     case ExprKind::kFunctionCall: {
       PPP_ASSIGN_OR_RETURN(const catalog::FunctionDef* def,
                            catalog_->functions().Lookup(expr.function_name));
-      if (def->return_type == types::TypeId::kBool) return def->selectivity;
-      return 1.0;
+      if (def->return_type != types::TypeId::kBool) return 1.0;
+      if (feedback_ != nullptr) {
+        const std::optional<obs::FeedbackEntry> fb =
+            feedback_->Lookup(expr.function_name);
+        if (fb.has_value() && fb->has_selectivity) return fb->selectivity;
+      }
+      return def->selectivity;
     }
     case ExprKind::kAnd: {
       PPP_ASSIGN_OR_RETURN(const double a,
@@ -190,6 +197,14 @@ common::Result<double> PredicateAnalyzer::EstimateCost(
   for (const Expr* call : calls) {
     PPP_ASSIGN_OR_RETURN(const catalog::FunctionDef* def,
                          catalog_->functions().Lookup(call->function_name));
+    if (feedback_ != nullptr) {
+      const std::optional<obs::FeedbackEntry> fb =
+          feedback_->Lookup(call->function_name);
+      if (fb.has_value()) {
+        cost += fb->cost_per_call;
+        continue;
+      }
+    }
     cost += def->cost_per_call;
   }
   return cost;

@@ -10,6 +10,10 @@
 #include "common/status.h"
 #include "expr/expr.h"
 
+namespace ppp::obs {
+class PredicateFeedbackStore;
+}  // namespace ppp::obs
+
 namespace ppp::expr {
 
 /// Maps range-variable names (FROM-clause aliases) to their base tables.
@@ -87,6 +91,14 @@ class PredicateAnalyzer {
 
   const TableBinding& binding() const { return binding_; }
 
+  /// When set, function cost/selectivity come from the feedback store's
+  /// observed values (falling back to the catalog declaration for
+  /// functions never profiled). This is the calibration path: re-analyzing
+  /// the same conjuncts with feedback yields observed ranks.
+  void set_feedback(const obs::PredicateFeedbackStore* feedback) {
+    feedback_ = feedback;
+  }
+
  private:
   common::Result<double> EstimateSelectivity(const Expr& expr) const;
   common::Result<double> EstimateCost(const Expr& expr) const;
@@ -97,6 +109,7 @@ class PredicateAnalyzer {
 
   const catalog::Catalog* catalog_;
   TableBinding binding_;
+  const obs::PredicateFeedbackStore* feedback_ = nullptr;
 };
 
 }  // namespace ppp::expr

@@ -45,13 +45,30 @@ std::string JsonEscape(const std::string& s) {
 
 void Histogram::Observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
-  samples_.push_back(v);
+  count_ += 1;
   sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  if (samples_.size() < kSampleCap) {
+    samples_.push_back(v);
+    return;
+  }
+  // Algorithm R: keep sample i with probability kSampleCap / count. The
+  // xorshift64 step is cheap enough to run under the lock.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const uint64_t slot = rng_state_ % count_;
+  if (slot < kSampleCap) samples_[slot] = v;
 }
 
 size_t Histogram::count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return samples_.size();
+  return count_;
 }
 
 double Histogram::sum() const {
@@ -61,16 +78,17 @@ double Histogram::sum() const {
 
 double Histogram::min() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return samples_.empty()
-             ? 0.0
-             : *std::min_element(samples_.begin(), samples_.end());
+  return min_;
 }
 
 double Histogram::max() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return samples_.empty()
-             ? 0.0
-             : *std::max_element(samples_.begin(), samples_.end());
+  return max_;
+}
+
+bool Histogram::samples_capped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > kSampleCap;
 }
 
 double Histogram::Percentile(double p) const {
@@ -91,7 +109,10 @@ double Histogram::Percentile(double p) const {
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   samples_.clear();
+  count_ = 0;
   sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
 }
 
 std::string MetricsSnapshot::ToText() const {
@@ -104,11 +125,12 @@ std::string MetricsSnapshot::ToText() const {
   }
   for (const auto& [name, h] : histograms) {
     out += common::StringPrintf(
-        "%s count=%zu sum=%s min=%s max=%s p50=%s p95=%s p99=%s\n",
+        "%s count=%zu sum=%s min=%s max=%s p50=%s p95=%s p99=%s%s\n",
         name.c_str(), h.count, NumberToString(h.sum).c_str(),
         NumberToString(h.min).c_str(), NumberToString(h.max).c_str(),
         NumberToString(h.p50).c_str(), NumberToString(h.p95).c_str(),
-        NumberToString(h.p99).c_str());
+        NumberToString(h.p99).c_str(),
+        h.samples_capped ? " samples_capped=1" : "");
   }
   return out;
 }
@@ -139,7 +161,8 @@ std::string MetricsSnapshot::ToJson() const {
            ", \"max\": " + NumberToString(h.max) +
            ", \"p50\": " + NumberToString(h.p50) +
            ", \"p95\": " + NumberToString(h.p95) +
-           ", \"p99\": " + NumberToString(h.p99) + "}";
+           ", \"p99\": " + NumberToString(h.p99) + ", \"samples_capped\": " +
+           (h.samples_capped ? "true" : "false") + "}";
   }
   out += "}}";
   return out;
@@ -179,6 +202,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     s.p50 = h.Percentile(50);
     s.p95 = h.Percentile(95);
     s.p99 = h.Percentile(99);
+    s.samples_capped = h.samples_capped();
     snap.histograms[name] = s;
   }
   return snap;

@@ -40,28 +40,44 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Sample distribution with exact percentiles. Keeps raw samples — metric
-/// cardinality here is tiny (one histogram per instrumented site), so
-/// exactness beats a sketch. Mutex-guarded: histograms are observed from
-/// worker threads (batch fill, shard waits) but never on per-tuple paths.
+/// Sample distribution with exact percentiles up to a cap. Keeps raw
+/// samples until kSampleCap, then switches to reservoir sampling
+/// (Algorithm R, fixed seed) so a long-running shell's memory stays
+/// bounded; count/sum/min/max remain exact scalars throughout, and
+/// samples_capped() reports when percentiles became estimates.
+/// Mutex-guarded: histograms are observed from worker threads (batch fill,
+/// shard waits) but never on per-tuple paths.
 class Histogram {
  public:
+  /// Raw samples retained for exact percentiles; beyond this the reservoir
+  /// keeps a uniform subset of the stream.
+  static constexpr size_t kSampleCap = 4096;
+
   void Observe(double v);
 
   size_t count() const;
   double sum() const;
   double min() const;
   double max() const;
-  /// Exact percentile by nearest-rank over the sorted samples; `p` in
-  /// [0, 100]. Returns 0 when empty.
+  /// Percentile by nearest-rank over the retained samples; exact below
+  /// kSampleCap, a reservoir estimate past it. `p` in [0, 100]. Returns 0
+  /// when empty.
   double Percentile(double p) const;
+  /// True once Observe() has been called more than kSampleCap times.
+  bool samples_capped() const;
 
   void Reset();
 
  private:
   mutable std::mutex mu_;
   std::vector<double> samples_;
+  size_t count_ = 0;
   double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  /// xorshift64 state for reservoir replacement; fixed seed keeps runs
+  /// reproducible.
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
 };
 
 /// Point-in-time copy of every registered metric, detached from the
@@ -75,6 +91,8 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// Percentiles are reservoir estimates, not exact (see Histogram).
+    bool samples_capped = false;
   };
 
   std::map<std::string, uint64_t> counters;

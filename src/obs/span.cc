@@ -1,0 +1,117 @@
+#include "obs/span.h"
+
+#include <cstdlib>
+
+namespace ppp::obs {
+
+namespace {
+
+bool EnvEnabled(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+std::atomic<int> next_thread_id{0};
+
+}  // namespace
+
+int CurrentThreadId() {
+  thread_local const int id =
+      next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {
+  enabled_.store(EnvEnabled("PPP_TRACE_SPANS"), std::memory_order_relaxed);
+}
+
+SpanTracer& SpanTracer::Global() {
+  static SpanTracer* tracer = new SpanTracer();
+  return *tracer;
+}
+
+double SpanTracer::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SpanTracer::Record(SpanEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> SpanTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void SpanTracer::set_max_events(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_events_ = n;
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+Span::Span(std::string_view cat, std::string_view name) {
+  SpanTracer& tracer = SpanTracer::Global();
+  if (!tracer.enabled()) return;  // The one branch paid when tracing is off.
+  tracer_ = &tracer;
+  start_ = std::chrono::steady_clock::now();
+  // ts and dur derive from the same clock read, so a child's ts + dur can
+  // never exceed its enclosing span's — nesting stays strict in the export.
+  event_.ts_us = std::chrono::duration<double, std::micro>(
+                     start_ - tracer.epoch())
+                     .count();
+  event_.name.assign(name.data(), name.size());
+  event_.cat.assign(cat.data(), cat.size());
+  event_.tid = CurrentThreadId();
+}
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      event_(std::move(other.event_)),
+      start_(other.start_) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    event_ = std::move(other.event_);
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::AddArg(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  event_.args.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  event_.dur_us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  tracer_->Record(std::move(event_));
+  tracer_ = nullptr;
+}
+
+}  // namespace ppp::obs

@@ -1,0 +1,110 @@
+#ifndef PPP_OBS_SPAN_H_
+#define PPP_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ppp::obs {
+
+/// One completed span: a named wall-clock interval on one thread.
+/// Timestamps are microseconds since the tracer's epoch (steady clock), the
+/// unit Chrome's trace-event format uses. Nesting is implicit: spans on the
+/// same thread close in LIFO order (they are RAII scopes), so an event's
+/// parent is the enclosing interval with the same tid.
+struct SpanEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Small dense id of the calling thread (0 for the first thread that asks,
+/// then 1, 2, ...). Stable for the thread's lifetime; used as the Chrome
+/// trace `tid` so per-worker execute spans land on distinct tracks.
+int CurrentThreadId();
+
+/// Process-wide collector of SpanEvents for the per-query lifecycle trace
+/// (parse → bind → rewrite → optimize → execute). Off by default; enabled
+/// by the PPP_TRACE_SPANS environment variable or \spans in the shell.
+/// When off, instrumented sites pay exactly one relaxed atomic load.
+///
+/// The event buffer is bounded: past max_events() new spans are counted in
+/// dropped() instead of stored, so a long shell session cannot grow without
+/// limit.
+class SpanTracer {
+ public:
+  /// The tracer every built-in instrumentation site records into.
+  static SpanTracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this tracer's construction (steady clock).
+  double NowMicros() const;
+
+  /// The instant ts_us values are measured from.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+  /// Appends one finished span (thread-safe); drops it when the buffer is
+  /// at max_events().
+  void Record(SpanEvent event);
+
+  std::vector<SpanEvent> Snapshot() const;
+  size_t size() const;
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void set_max_events(size_t n);
+  void Clear();
+
+ private:
+  SpanTracer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  size_t max_events_ = 1u << 20;
+};
+
+/// RAII span over the global tracer: construction checks the enabled flag
+/// (the only cost when tracing is off), destruction records the completed
+/// interval. Movable so spans can live in std::optional; not copyable.
+class Span {
+ public:
+  Span(std::string_view cat, std::string_view name);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+
+  /// False when the tracer was disabled at construction (no-op span).
+  bool active() const { return tracer_ != nullptr; }
+
+  void AddArg(std::string_view key, std::string_view value);
+
+  /// Closes the span now (idempotent; the destructor calls it).
+  void End();
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  SpanEvent event_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ppp::obs
+
+#endif  // PPP_OBS_SPAN_H_

@@ -1,0 +1,35 @@
+#ifndef PPP_OBS_TRACE_EXPORT_H_
+#define PPP_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/span.h"
+
+namespace ppp::obs {
+
+/// Serializes spans as Chrome trace-event JSON ("X" complete events with
+/// microsecond ts/dur), the format chrome://tracing and Perfetto load
+/// directly: {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", ...}]}.
+std::string ToChromeTraceJson(const std::vector<SpanEvent>& events);
+
+/// Writes ToChromeTraceJson(events) to `path`.
+common::Status WriteChromeTrace(const std::string& path,
+                                const std::vector<SpanEvent>& events);
+
+/// Parses Chrome trace-event JSON produced by ToChromeTraceJson back into
+/// events (phase-"X" entries only). Strict enough to prove the export is
+/// well-formed JSON with the expected schema; tests round-trip through it.
+common::Result<std::vector<SpanEvent>> ParseChromeTrace(
+    const std::string& json);
+
+/// Checks that spans nest strictly per thread: for any two spans on the
+/// same tid, their intervals are either disjoint or one contains the
+/// other. RAII spans guarantee this by construction; the check guards the
+/// exporter (and any future non-RAII recorder) in tests.
+common::Status ValidateSpanNesting(const std::vector<SpanEvent>& events);
+
+}  // namespace ppp::obs
+
+#endif  // PPP_OBS_TRACE_EXPORT_H_

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <numeric>
+#include <optional>
 
 #include "common/logging.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace ppp::optimizer {
@@ -655,8 +657,18 @@ common::Result<std::vector<CandidatePlan>> JoinEnumerator::Run() {
     return pa != pb ? pa < pb : a < b;
   });
 
+  // One child span per DP level (popcount of the subset being built), so a
+  // trace shows where enumeration time goes as the lattice widens.
+  const bool traced = obs::SpanTracer::Global().enabled();
+  int current_level = -1;
+  std::optional<obs::Span> level_span;
   for (ElemSet set : by_size) {
     if (std::popcount(set) < 2 || !Feasible(set)) continue;
+    if (traced && std::popcount(set) != current_level) {
+      current_level = std::popcount(set);
+      level_span.emplace("optimize", "dp.level");
+      level_span->AddArg("level", std::to_string(current_level));
+    }
     for (size_t e = 0; e < num_elems; ++e) {
       if (!((set >> e) & 1)) continue;
       const ElemSet left = set & ~(ElemSet{1} << e);
@@ -693,6 +705,7 @@ common::Result<std::vector<CandidatePlan>> JoinEnumerator::Run() {
       }
     }
   }
+  level_span.reset();
 
   plans_retained_ = 0;
   for (const std::vector<CandidatePlan>& entry : memo) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "common/logging.h"
+#include "obs/span.h"
 #include "optimizer/join_enumerator.h"
 #include "optimizer/migration.h"
 #include "optimizer/optimizer_context.h"
@@ -13,6 +15,11 @@ namespace ppp::optimizer {
 common::Result<OptimizeResult> Optimizer::Optimize(
     const plan::QuerySpec& spec, Algorithm algorithm,
     obs::OptTrace* trace) const {
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) {
+    span.emplace("optimize", "optimize");
+    span->AddArg("algorithm", AlgorithmName(algorithm));
+  }
   PPP_ASSIGN_OR_RETURN(std::unique_ptr<OptimizerContext> ctx,
                        OptimizerContext::Build(catalog_, spec, params_));
   ctx->set_trace(trace);

@@ -1,6 +1,7 @@
 #include "optimizer/optimizer_context.h"
 
 #include "common/string_util.h"
+#include "obs/profiler.h"
 
 namespace ppp::optimizer {
 
@@ -31,6 +32,9 @@ common::Result<std::unique_ptr<OptimizerContext>> OptimizerContext::Build(
                                                  params);
 
   expr::PredicateAnalyzer analyzer(catalog, ctx->binding_);
+  if (params.use_feedback) {
+    analyzer.set_feedback(&obs::PredicateFeedbackStore::Global());
+  }
   ctx->single_table_preds_.resize(spec.tables.size());
   for (const expr::ExprPtr& conjunct : spec.conjuncts) {
     PPP_ASSIGN_OR_RETURN(expr::PredicateInfo info,

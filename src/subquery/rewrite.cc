@@ -2,11 +2,13 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/span.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "parser/parser.h"
@@ -218,8 +220,14 @@ common::Status RewriteSubqueries(plan::QuerySpec* spec,
 
 common::Result<plan::QuerySpec> ParseBindRewrite(const std::string& sql,
                                                  catalog::Catalog* catalog) {
+  const bool traced = obs::SpanTracer::Global().enabled();
+  std::optional<obs::Span> span;
+  if (traced) span.emplace("frontend", "parse");
+  PPP_ASSIGN_OR_RETURN(parser::ParsedSelect parsed, parser::ParseSelect(sql));
+  if (traced) span.emplace("frontend", "bind");
   PPP_ASSIGN_OR_RETURN(plan::QuerySpec spec,
-                       parser::ParseAndBind(sql, *catalog));
+                       parser::BindSelect(parsed, *catalog));
+  if (traced) span.emplace("frontend", "rewrite");
   PPP_RETURN_IF_ERROR(RewriteSubqueries(&spec, catalog));
   return spec;
 }

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <optional>
 
 #include "common/string_util.h"
+#include "cost/cost_model.h"
 #include "exec/explain.h"
 #include "exec/operator.h"
+#include "obs/profiler.h"
+#include "obs/span.h"
 #include "optimizer/optimizer.h"
 
 namespace ppp::workload {
@@ -149,6 +153,14 @@ common::Result<Measurement> RunWithAlgorithm(
     optimizer::Algorithm algorithm, const cost::CostParams& cost_params,
     const exec::ExecParams& exec_params, bool execute, bool collect_explain,
     obs::OptTrace* trace) {
+  // Root lifecycle span: optimize and execute (with their own child spans)
+  // nest under it in the exported trace.
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) {
+    span.emplace("query", "query");
+    span->AddArg("algorithm", optimizer::AlgorithmName(algorithm));
+  }
+
   Measurement m;
   m.algorithm = optimizer::AlgorithmName(algorithm);
 
@@ -200,10 +212,91 @@ common::Result<Measurement> RunWithAlgorithm(
   m.charged_time = ChargedTime(stats, db->catalog().functions(), cost_params,
                                &m.charged_io, &m.charged_udf);
   if (collect_explain && root != nullptr) {
-    m.explain_text = exec::RenderExplainAnalyze(*result.plan, *root);
+    m.explain_text = exec::RenderExplainAnalyze(*result.plan, *root,
+                                                &db->catalog().functions());
   }
   (void)rows;
   return m;
+}
+
+std::string CalibrationReport::Summary() const {
+  return common::StringPrintf(
+      "calibrated %zu function(s); placement %s\n"
+      "  est cost (static model, before):   %.6g\n"
+      "  obs cost of uncalibrated plan:     %.6g\n"
+      "  obs cost of calibrated plan:       %.6g\n"
+      "  placement regret:                  %.6g",
+      functions_calibrated,
+      placement_changed ? "CHANGED" : "unchanged",
+      est_cost_before, obs_cost_before, obs_cost_after, regret);
+}
+
+namespace {
+
+/// Replaces every predicate annotation in `node`'s subtree with a fresh
+/// analysis of the same conjunct by `analyzer` (which consults the feedback
+/// store), so a subsequent Annotate costs the tree under observed numbers.
+common::Status ReanalyzePredicates(plan::PlanNode* node,
+                                   const expr::PredicateAnalyzer& analyzer) {
+  if (node->predicate.expr != nullptr) {
+    PPP_ASSIGN_OR_RETURN(node->predicate,
+                         analyzer.Analyze(node->predicate.expr));
+  }
+  for (std::unique_ptr<plan::PlanNode>& child : node->children) {
+    PPP_RETURN_IF_ERROR(ReanalyzePredicates(child.get(), analyzer));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace
+
+common::Result<CalibrationReport> Calibrate(
+    catalog::Catalog* catalog, const plan::QuerySpec& spec,
+    optimizer::Algorithm algorithm, const cost::CostParams& cost_params) {
+  CalibrationReport report;
+  report.functions_calibrated =
+      obs::PredicateFeedbackStore::Global().AbsorbProfiles(
+          obs::PredicateProfiler::Global());
+
+  // Placement as the static estimates choose it...
+  cost::CostParams static_params = cost_params;
+  static_params.use_feedback = false;
+  optimizer::Optimizer static_opt(catalog, static_params);
+  PPP_ASSIGN_OR_RETURN(optimizer::OptimizeResult before,
+                       static_opt.Optimize(spec, algorithm));
+
+  // ...and as the observed numbers choose it.
+  cost::CostParams feedback_params = cost_params;
+  feedback_params.use_feedback = true;
+  optimizer::Optimizer feedback_opt(catalog, feedback_params);
+  PPP_ASSIGN_OR_RETURN(optimizer::OptimizeResult after,
+                       feedback_opt.Optimize(spec, algorithm));
+
+  report.est_cost_before = before.est_cost;
+  report.obs_cost_after = after.est_cost;
+  report.plan_before = before.plan->ToString();
+  report.plan_after = after.plan->ToString();
+  report.placement_changed =
+      before.plan->Signature() != after.plan->Signature();
+
+  // Cost the static placement under the observed model: re-analyze its
+  // predicates through the feedback store, then re-annotate. The gap to
+  // the calibrated plan is the regret the static estimates cause.
+  expr::TableBinding binding;
+  for (const plan::TableRef& ref : spec.tables) {
+    PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                         catalog->GetTable(ref.table_name));
+    binding[ref.alias] = table;
+  }
+  expr::PredicateAnalyzer analyzer(catalog, binding);
+  analyzer.set_feedback(&obs::PredicateFeedbackStore::Global());
+  std::unique_ptr<plan::PlanNode> before_obs = before.plan->Clone();
+  PPP_RETURN_IF_ERROR(ReanalyzePredicates(before_obs.get(), analyzer));
+  cost::CostModel obs_model(catalog, binding, feedback_params);
+  PPP_RETURN_IF_ERROR(obs_model.Annotate(before_obs.get()));
+  report.obs_cost_before = before_obs->est_cost;
+  report.regret = report.obs_cost_before - report.obs_cost_after;
+  return report;
 }
 
 std::vector<std::string> CanonicalResults(

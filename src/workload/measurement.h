@@ -77,6 +77,40 @@ common::Result<Measurement> RunWithAlgorithm(
     const exec::ExecParams& exec_params, bool execute = true,
     bool collect_explain = false, obs::OptTrace* trace = nullptr);
 
+/// Result of re-running predicate placement with observed (profiled)
+/// costs and selectivities in place of the catalog's static guesses.
+struct CalibrationReport {
+  /// Functions whose profiles were absorbed into the feedback store.
+  size_t functions_calibrated = 0;
+  /// Whether the calibrated plan differs from the uncalibrated one.
+  bool placement_changed = false;
+  /// The uncalibrated plan's cost under the *static* model (the number the
+  /// optimizer originally believed).
+  double est_cost_before = 0.0;
+  /// The uncalibrated plan's cost re-annotated under the observed model:
+  /// what that placement actually costs per the profile data.
+  double obs_cost_before = 0.0;
+  /// The calibrated plan's cost under the observed model.
+  double obs_cost_after = 0.0;
+  /// Placement regret: obs_cost_before - obs_cost_after. How much the
+  /// static estimates were costing us, in random-I/O units.
+  double regret = 0.0;
+  std::string plan_before;
+  std::string plan_after;
+
+  std::string Summary() const;
+};
+
+/// Re-runs placement of `spec` with observed costs/selectivities: absorbs
+/// the global PredicateProfiler's data into the PredicateFeedbackStore,
+/// optimizes once without and once with feedback, and re-costs the
+/// uncalibrated plan under the observed model to quantify the regret.
+/// The feedback store retains the absorbed profiles afterwards, so
+/// subsequent optimizations with CostParams::use_feedback see them.
+common::Result<CalibrationReport> Calibrate(
+    catalog::Catalog* catalog, const plan::QuerySpec& spec,
+    optimizer::Algorithm algorithm, const cost::CostParams& cost_params);
+
 /// Canonical form of a result set (sorted serialized tuples), for
 /// cross-algorithm equivalence checks.
 std::vector<std::string> CanonicalResults(

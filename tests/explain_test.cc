@@ -1,8 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "exec/executor.h"
+#include "obs/profiler.h"
+#include "optimizer/optimizer.h"
+#include "parser/binder.h"
 #include "parser/parser.h"
 #include "workload/database.h"
 #include "workload/measurement.h"
@@ -100,6 +107,181 @@ TEST_F(ExplainTest, AnalyzeDoesNotChangeChargedResults) {
   ASSERT_TRUE(bare.ok());
   EXPECT_EQ(plain.output_rows, bare->output_rows);
   EXPECT_DOUBLE_EQ(plain.charged_time, bare->charged_time);
+}
+
+// ---- Rank-drift annotation (runtime profiler feedback) -------------------
+
+class RankDriftTest : public ExplainTest {
+ protected:
+  RankDriftTest() {
+    obs::PredicateProfiler::Global().Reset();
+    obs::PredicateProfiler::Global().set_enabled(true);
+    obs::PredicateProfiler::Global().set_seconds_per_io(1e-4);
+    obs::PredicateProfiler::Global().set_drift_threshold(0.5);
+  }
+  ~RankDriftTest() override {
+    obs::PredicateProfiler::Global().Reset();
+    obs::PredicateProfiler::Global().set_seconds_per_io(1e-4);
+    obs::PredicateProfiler::Global().set_drift_threshold(0.5);
+  }
+
+  workload::Measurement RunSql(const std::string& sql) {
+    auto spec = parser::ParseAndBind(sql, db_.catalog());
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    auto m = workload::RunWithAlgorithm(
+        &db_, *spec, optimizer::Algorithm::kMigration, {}, {},
+        /*execute=*/true, /*collect_explain=*/true);
+    EXPECT_TRUE(m.ok()) << m.status();
+    return *m;
+  }
+};
+
+TEST_F(RankDriftTest, MisdeclaredCostFlagsDrift) {
+  // Declared 100 I/Os per call, actually ~1 (a 100us sleep at the default
+  // 100us-per-I/O conversion): the observed rank is ~100x steeper than the
+  // estimate, far beyond any scheduler overshoot.
+  catalog::FunctionDef def;
+  def.name = "drifty";
+  def.cost_per_call = 100.0;
+  def.selectivity = 0.5;
+  def.impl = [](const std::vector<types::Value>& args) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return types::Value(args[0].AsInt64() % 2 == 0);
+  };
+  ASSERT_TRUE(db_.catalog().functions().Register(def).ok());
+
+  const workload::Measurement m =
+      RunSql("SELECT * FROM t3 WHERE drifty(t3.ua)");
+  EXPECT_NE(m.explain_text.find("rank est="), std::string::npos)
+      << m.explain_text;
+  EXPECT_NE(m.explain_text.find("obs="), std::string::npos);
+  EXPECT_NE(m.explain_text.find("DRIFT"), std::string::npos)
+      << m.explain_text;
+}
+
+TEST_F(RankDriftTest, AccurateDeclarationStaysClean) {
+  // Declared 10 I/Os and 0.5 selectivity; the impl sleeps 1ms (10 I/Os at
+  // 100us each) and passes half its inputs. A wide threshold absorbs
+  // sleep_for overshoot — the point is that agreeing numbers don't flag.
+  obs::PredicateProfiler::Global().set_drift_threshold(0.9);
+  catalog::FunctionDef def;
+  def.name = "honest";
+  def.cost_per_call = 10.0;
+  def.selectivity = 0.5;
+  def.impl = [](const std::vector<types::Value>& args) {
+    std::this_thread::sleep_for(std::chrono::microseconds(1000));
+    return types::Value(args[0].AsInt64() % 2 == 0);
+  };
+  ASSERT_TRUE(db_.catalog().functions().Register(def).ok());
+
+  const workload::Measurement m =
+      RunSql("SELECT * FROM t6 WHERE honest(t6.ua)");
+  EXPECT_NE(m.explain_text.find("rank est="), std::string::npos)
+      << m.explain_text;
+  EXPECT_EQ(m.explain_text.find("DRIFT"), std::string::npos)
+      << m.explain_text;
+}
+
+TEST_F(RankDriftTest, NoProfileDataKeepsExplainClean) {
+  obs::PredicateProfiler::Global().set_enabled(false);
+  obs::PredicateProfiler::Global().Reset();
+  const workload::Measurement m =
+      Run("Q4", optimizer::Algorithm::kMigration, /*execute=*/true);
+  EXPECT_EQ(m.explain_text.find("rank est="), std::string::npos)
+      << m.explain_text;
+  obs::PredicateProfiler::Global().set_enabled(true);
+}
+
+// ---- OperatorStats inclusive accounting (satellite audit) ----------------
+
+class StatsAuditTest : public ::testing::Test {
+ protected:
+  StatsAuditTest() {
+    config_.scale = 200;
+    config_.table_numbers = {1, 3, 6, 7, 9, 10};
+    EXPECT_TRUE(workload::LoadBenchmarkDatabase(&db_, config_).ok());
+    EXPECT_TRUE(workload::RegisterBenchmarkFunctions(&db_).ok());
+  }
+
+  double InclusiveSeconds(const exec::Operator& op) {
+    return op.stats().open_seconds + op.stats().next_seconds;
+  }
+
+  /// Self time = inclusive minus children's inclusive. Child wrapper calls
+  /// nest inside the parent's timed interval, so self must be >= -epsilon
+  /// and the self times must sum to at most the root's inclusive time.
+  double SumPositiveSelf(const exec::Operator& op, double* min_self) {
+    double children = 0.0;
+    double sum = 0.0;
+    for (const exec::Operator* child : op.Children()) {
+      children += InclusiveSeconds(*child);
+      sum += SumPositiveSelf(*child, min_self);
+    }
+    const double self = InclusiveSeconds(op) - children;
+    *min_self = std::min(*min_self, self);
+    return sum + std::max(0.0, self);
+  }
+
+  /// Parent inclusive I/O must cover the children's (monotone pool
+  /// counters read around nested calls).
+  void CheckIoNesting(const exec::Operator& op) {
+    uint64_t seq = 0, rand = 0, hit = 0;
+    for (const exec::Operator* child : op.Children()) {
+      seq += child->stats().io.sequential_reads;
+      rand += child->stats().io.random_reads;
+      hit += child->stats().io.buffer_hits;
+      CheckIoNesting(*child);
+    }
+    EXPECT_GE(op.stats().io.sequential_reads, seq);
+    EXPECT_GE(op.stats().io.random_reads, rand);
+    EXPECT_GE(op.stats().io.buffer_hits, hit);
+  }
+
+  void RunAndAudit(const std::string& id, size_t batch_size) {
+    auto spec = workload::GetBenchmarkQuery(db_, config_, id);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    optimizer::Optimizer opt(&db_.catalog(), {});
+    auto result = opt.Optimize(*spec, optimizer::Algorithm::kMigration);
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    exec::ExecContext ctx;
+    ctx.catalog = &db_.catalog();
+    ctx.params.batch_size = batch_size;
+    for (const plan::TableRef& ref : spec->tables) {
+      auto table = db_.catalog().GetTable(ref.table_name);
+      ASSERT_TRUE(table.ok());
+      ctx.binding[ref.alias] = *table;
+    }
+    std::unique_ptr<exec::Operator> root;
+    auto rows = exec::ExecutePlan(*result->plan, &ctx, nullptr, nullptr,
+                                  &root);
+    ASSERT_TRUE(rows.ok()) << rows.status();
+    ASSERT_NE(root, nullptr);
+
+    constexpr double kEps = 1e-3;  // Clock-read jitter, seconds.
+    double min_self = 0.0;
+    const double self_sum = SumPositiveSelf(*root, &min_self);
+    EXPECT_GE(min_self, -kEps) << id << " batch=" << batch_size;
+    EXPECT_LE(self_sum, InclusiveSeconds(*root) + kEps)
+        << id << " batch=" << batch_size;
+    CheckIoNesting(*root);
+  }
+
+  workload::Database db_;
+  workload::BenchmarkConfig config_;
+};
+
+TEST_F(StatsAuditTest, SelfTimesNestUnderBatchDrain) {
+  for (const char* id : {"Q1", "Q2", "Q3", "Q4", "Q5"}) {
+    RunAndAudit(id, exec::ExecParams{}.batch_size);
+  }
+}
+
+TEST_F(StatsAuditTest, SelfTimesNestUnderTupleShim) {
+  // batch_size=1 forces the Next()-shim drain shape everywhere.
+  for (const char* id : {"Q1", "Q4"}) {
+    RunAndAudit(id, 1);
+  }
 }
 
 TEST(StripExplainTest, RecognizesPrefixes) {

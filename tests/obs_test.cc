@@ -53,6 +53,78 @@ TEST(HistogramTest, EmptyAndSingleSample) {
   EXPECT_DOUBLE_EQ(h.Percentile(99), 7.0);
 }
 
+TEST(HistogramTest, BelowCapKeepsEverySample) {
+  Histogram h;
+  const size_t n = Histogram::kSampleCap;
+  for (size_t i = 1; i <= n; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), n);
+  EXPECT_FALSE(h.samples_capped());
+  // With every sample retained, percentiles are exact nearest-rank.
+  EXPECT_DOUBLE_EQ(h.Percentile(50), static_cast<double>(n / 2));
+  EXPECT_DOUBLE_EQ(h.Percentile(100), static_cast<double>(n));
+}
+
+TEST(HistogramTest, PastCapScalarsStayExact) {
+  Histogram h;
+  const size_t n = 3 * Histogram::kSampleCap;
+  double sum = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    h.Observe(static_cast<double>(i));
+    sum += static_cast<double>(i);
+  }
+  // count/sum/min/max come from exact scalars, not the reservoir.
+  EXPECT_EQ(h.count(), n);
+  EXPECT_TRUE(h.samples_capped());
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(n));
+}
+
+TEST(HistogramTest, ReservoirPercentilesApproximatePastCap) {
+  Histogram h;
+  // Uniform 1..N with N = 8 * cap: the reservoir is a uniform sample, so
+  // nearest-rank percentiles over it should land near the true values.
+  // The xorshift stream is seeded deterministically, so this is stable.
+  const size_t n = 8 * Histogram::kSampleCap;
+  for (size_t i = 1; i <= n; ++i) h.Observe(static_cast<double>(i));
+  const double p50 = h.Percentile(50);
+  const double p90 = h.Percentile(90);
+  EXPECT_NEAR(p50 / static_cast<double>(n), 0.5, 0.05);
+  EXPECT_NEAR(p90 / static_cast<double>(n), 0.9, 0.05);
+  EXPECT_GE(h.Percentile(0), 1.0);
+  EXPECT_LE(h.Percentile(100), static_cast<double>(n));
+}
+
+TEST(HistogramTest, CappedFlagSurfacesInSnapshotTextAndJson) {
+  MetricsRegistry registry;
+  Histogram* small = registry.GetHistogram("test.small");
+  small->Observe(1.0);
+  Histogram* big = registry.GetHistogram("test.big");
+  for (size_t i = 0; i < Histogram::kSampleCap + 1; ++i) big->Observe(1.0);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_FALSE(snap.histograms.at("test.small").samples_capped);
+  EXPECT_TRUE(snap.histograms.at("test.big").samples_capped);
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("test.big"), std::string::npos);
+  EXPECT_NE(text.find("samples_capped=1"), std::string::npos);
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"samples_capped\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"samples_capped\": false"), std::string::npos);
+}
+
+TEST(HistogramTest, ResetClearsCapState) {
+  Histogram h;
+  for (size_t i = 0; i < Histogram::kSampleCap + 10; ++i) h.Observe(2.0);
+  ASSERT_TRUE(h.samples_capped());
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_FALSE(h.samples_capped());
+  h.Observe(5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+}
+
 TEST(MetricsRegistryTest, StablePointersAndSnapshot) {
   MetricsRegistry registry;
   Counter* hits = registry.GetCounter("test.hits");
