@@ -24,9 +24,15 @@
 //                      keep feedback on for later queries ('off' reverts)
 //   \set workers N     parallel workers for expensive predicates (1 = off)
 //   \set batch N       rows per executor batch
+//   \set transfer on|off
+//                      Bloom-filter predicate transfer: hash joins publish
+//                      a filter over the build-side join key and the
+//                      probe-side scan prunes doomed tuples before any
+//                      expensive predicate runs
 //   \quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -230,16 +236,24 @@ int main() {
       }
       if (word == "set") {
         std::string knob;
-        long long value = 0;
-        cmd >> knob >> value;
-        if (knob == "workers" && value >= 1) {
+        std::string value_word;
+        cmd >> knob >> value_word;
+        const long long value = std::atoll(value_word.c_str());
+        if (knob == "transfer" &&
+            (value_word == "on" || value_word == "off")) {
+          // Both the cost model (plan choice) and the executor follow:
+          // ExecParamsFor copies the flag into ExecParams.
+          cost_params.predicate_transfer = (value_word == "on");
+          std::printf("transfer %s\n", value_word.c_str());
+        } else if (knob == "workers" && value >= 1) {
           cost_params.parallel_workers = static_cast<double>(value);
           std::printf("workers %lld\n", value);
         } else if (knob == "batch" && value >= 1) {
           batch_size = static_cast<size_t>(value);
           std::printf("batch %lld\n", value);
         } else {
-          std::printf("usage: \\set workers N | \\set batch N  (N >= 1)\n");
+          std::printf("usage: \\set workers N | \\set batch N  (N >= 1) | "
+                      "\\set transfer on|off\n");
         }
         continue;
       }

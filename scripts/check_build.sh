@@ -8,11 +8,18 @@
 # when available) — the span tracer must emit loadable traces, not just
 # pass its unit tests.
 #
+# The Bloom-filter transfer bench then runs in smoke mode (small
+# PPP_SCALE) and its BENCH_transfer.json is validated: the ≥2× UDF
+# reduction and result-identity invariants are asserted by the bench's own
+# exit code.
+#
 # A second pass rebuilds under ThreadSanitizer (-DPPP_SANITIZE=thread) and
 # reruns the suite with span tracing forced on (PPP_TRACE_SPANS=1) — the
 # parallel predicate evaluator, thread pool, sharded caches, and the span
-# ring buffer must be race-free, not just correct-by-luck. Skip it with
-# SKIP_TSAN=1 when iterating.
+# ring buffer must be race-free, not just correct-by-luck. The transfer
+# bench repeats under TSan (transfer enabled, 4 workers) so concurrent
+# Bloom probes against the publish/kill transitions are race-checked end
+# to end. Skip both with SKIP_TSAN=1 when iterating.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +38,7 @@ rm -f "$TRACE_FILE"
 "$BUILD_DIR/examples/sql_shell" >/dev/null <<EOF
 \\spans on
 \\set workers 4
+\\set transfer on
 SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
 \\spans dump $TRACE_FILE
 \\quit
@@ -52,9 +60,32 @@ else
   echo "python3 not found; skipped trace JSON validation"
 fi
 
+# Transfer bench smoke: the bench itself asserts ≥2× UDF reduction, lower
+# wall time, and identical results across {transfer off,on} × {1,4}
+# workers, exiting non-zero otherwise.
+rm -f BENCH_transfer.json
+PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_transfer"
+[[ -s BENCH_transfer.json ]] || {
+  echo "missing BENCH_transfer.json" >&2; exit 1;
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_transfer.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+configs = [m["algorithm"] for m in bench["measurements"]]
+for expected in ("off-w1", "off-w4", "on-w1", "on-w4"):
+    assert expected in configs, f"missing config {expected}: {configs}"
+print(f"BENCH_transfer.json ok: {configs}")
+PYEOF
+fi
+
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DPPP_SANITIZE=thread
   cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
   PPP_TRACE_SPANS=1 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
     -j "$(nproc)"
+  # Transfer enabled + parallel workers under TSan: concurrent Bloom
+  # probes, the filter publish, and the kill-switch CAS all race-checked.
+  PPP_SCALE=40 PPP_BENCH_JSON=0 "$TSAN_BUILD_DIR/bench/bench_transfer"
 fi

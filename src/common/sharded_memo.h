@@ -4,8 +4,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -28,25 +28,38 @@ namespace ppp::common {
 /// variable instead of recomputing. With one worker this degrades to
 /// exactly the serial probe/compute/insert sequence.
 ///
-/// Replacement is FIFO per shard (the paper: "function or predicate caches
-/// can be limited in size, using any of a variety of replacement
-/// schemes"). The adaptive self-disable ("planned for Montage but not
-/// implemented", §5.1) is detected online: zero hits in the first
-/// `probe_window` probes disables the memo and frees its entries. Both
-/// follow the serial semantics exactly when single-threaded; under
-/// concurrency, bounded caches may evict in a run-dependent order (the
-/// unbounded default stays exact).
+/// Replacement is FIFO per shard by default (the paper: "function or
+/// predicate caches can be limited in size, using any of a variety of
+/// replacement schemes"); `lru` recency-orders entries instead, so hot
+/// bindings survive a bound. Bounds come in two flavours that compose:
+/// `max_entries` (count) and `max_bytes` (approximate memory — key bytes
+/// plus a fixed per-entry overhead). The adaptive self-disable ("planned
+/// for Montage but not implemented", §5.1) is detected online: zero hits
+/// in the first `probe_window` probes disables the memo and frees its
+/// entries. All follow the serial semantics exactly when single-threaded;
+/// under concurrency, bounded caches may evict in a run-dependent order
+/// (the unbounded default stays exact).
 template <typename V>
 class ShardedMemo {
  public:
   struct Options {
     /// Total entry bound across all shards; 0 = unbounded.
     size_t max_entries = 0;
+    /// Total (approximate) byte bound across all shards; 0 = unbounded.
+    /// Each entry is charged its key size plus kEntryOverhead.
+    size_t max_bytes = 0;
+    /// Replacement order for bounded memos: FIFO by default, LRU when set
+    /// (hits move the entry to the back of the eviction queue).
+    bool lru = false;
     size_t shards = 1;
     /// Online self-disable when the first `probe_window` probes all miss.
     bool adaptive = false;
     uint64_t probe_window = 512;
   };
+
+  /// Fixed per-entry charge against max_bytes, approximating the Entry,
+  /// the hash-map node, and the eviction-list node.
+  static constexpr size_t kEntryOverhead = 64;
 
   /// Event callbacks, fired outside any per-key wait but possibly under a
   /// shard lock; must be cheap and non-blocking (atomic metric bumps).
@@ -73,6 +86,10 @@ class ShardedMemo {
         options_.max_entries == 0
             ? 0
             : (options_.max_entries + options_.shards - 1) / options_.shards;
+    shard_max_bytes_ =
+        options_.max_bytes == 0
+            ? 0
+            : (options_.max_bytes + options_.shards - 1) / options_.shards;
     probes_.store(0, std::memory_order_relaxed);
     hits_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
@@ -101,6 +118,10 @@ class ShardedMemo {
       std::shared_ptr<Entry> entry = it->second;
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (listener_.on_hit) listener_.on_hit();
+      if (options_.lru && entry->in_order) {
+        // Recency-order: a hit moves the entry to the back of the queue.
+        shard.order.splice(shard.order.end(), shard.order, entry->order_it);
+      }
       // Pending entry: another worker is computing this key right now.
       // Waiting (instead of recomputing) is what keeps invocation counts
       // exact under parallelism.
@@ -122,19 +143,30 @@ class ShardedMemo {
       return compute();
     }
 
-    if (shard_max_ > 0 && shard.map.size() >= shard_max_) {
-      // FIFO front may itself be pending; evicting it is safe (waiters and
-      // the computing worker hold the entry via shared_ptr) but a
-      // concurrent re-probe of that key recomputes — bounded caches trade
-      // exactness for memory, exactly like the serial FIFO thrash.
-      shard.map.erase(shard.fifo.front());
-      shard.fifo.pop_front();
+    // Evict from the front (FIFO order, or least-recent under lru) until
+    // both bounds admit the new entry. The victim may itself be pending;
+    // evicting it is safe (waiters and the computing worker hold the entry
+    // via shared_ptr) but a concurrent re-probe of that key recomputes —
+    // bounded caches trade exactness for memory, exactly like the serial
+    // FIFO thrash.
+    const size_t new_bytes = key.size() + kEntryOverhead;
+    while (!shard.order.empty() &&
+           ((shard_max_ > 0 && shard.map.size() >= shard_max_) ||
+            (shard_max_bytes_ > 0 &&
+             shard.bytes + new_bytes > shard_max_bytes_))) {
+      const std::string& victim = shard.order.front();
+      shard.bytes -= victim.size() + kEntryOverhead;
+      shard.map.erase(victim);
+      shard.order.pop_front();
       evictions_.fetch_add(1, std::memory_order_relaxed);
       if (listener_.on_eviction) listener_.on_eviction();
     }
     auto entry = std::make_shared<Entry>();
     shard.map.emplace(key, entry);
-    shard.fifo.push_back(key);
+    shard.order.push_back(key);
+    entry->order_it = std::prev(shard.order.end());
+    entry->in_order = true;
+    shard.bytes += new_bytes;
     lock.unlock();
 
     V value = compute();
@@ -152,7 +184,8 @@ class ShardedMemo {
     for (Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.map.clear();
-      shard.fifo.clear();
+      shard.order.clear();
+      shard.bytes = 0;
     }
   }
 
@@ -161,6 +194,16 @@ class ShardedMemo {
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Approximate bytes currently charged against max_bytes.
+  size_t approx_bytes() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.bytes;
     }
     return total;
   }
@@ -180,13 +223,22 @@ class ShardedMemo {
   struct Entry {
     V value{};
     bool ready = false;  // Guarded by the owning shard's mutex.
+    /// Position in the shard's eviction queue, valid while in_order (both
+    /// guarded by the shard's mutex; an evicted entry is unreachable via
+    /// the map, so its stale iterator is never dereferenced).
+    typename std::list<std::string>::iterator order_it;
+    bool in_order = false;
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable cv;
     std::unordered_map<std::string, std::shared_ptr<Entry>> map;
-    std::deque<std::string> fifo;
+    /// Eviction queue, front = next victim (insertion order, refreshed on
+    /// hit under lru).
+    std::list<std::string> order;
+    /// Approximate bytes charged for the current entries.
+    size_t bytes = 0;
   };
 
   size_t ShardOf(const std::string& key) const {
@@ -207,6 +259,7 @@ class ShardedMemo {
 
   Options options_;
   size_t shard_max_ = 0;
+  size_t shard_max_bytes_ = 0;
   std::vector<Shard> shards_;
   Listener listener_;
   std::atomic<uint64_t> probes_{0};

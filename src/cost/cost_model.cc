@@ -163,26 +163,27 @@ double CostModel::JoinExtraCost(const plan::PlanNode& join, double outer_rows,
   return io + udf;
 }
 
-JoinStreamInfo CostModel::JoinStream(const plan::PlanNode& join,
-                                     int side) const {
-  PPP_CHECK(join.kind == plan::PlanKind::kJoin && join.children.size() == 2);
-  const plan::PlanNode& self = *join.children[static_cast<size_t>(side)];
+bool CostModel::TransferApplies(const plan::PlanNode& join) const {
+  return params_.predicate_transfer && join.kind == plan::PlanKind::kJoin &&
+         join.join_method == plan::JoinMethod::kHash &&
+         join.predicate.is_simple_equijoin && !join.predicate.is_expensive();
+}
+
+double CostModel::StreamSelectivity(const plan::PlanNode& join,
+                                    int side) const {
   const plan::PlanNode& other = *join.children[static_cast<size_t>(1 - side)];
   const expr::PredicateInfo& pred = join.predicate;
   const double s = pred.expr != nullptr ? pred.selectivity : 1.0;
-
   const bool current = params_.current_cardinality_estimate;
-  const double self_rows = current ? self.est_rows : self.est_rows_noexp;
   const double other_rows = current ? other.est_rows : other.est_rows_noexp;
-
-  JoinStreamInfo info;
 
   // Per-input selectivity (§3.2): sel over R = s * {S}. Under predicate
   // caching (§5.1) it is computed on values and bounded by 1. The "global"
   // model of [HS93a] uses the raw cross-product selectivity for both sides.
   if (!params_.per_input_selectivity) {
-    info.selectivity = s;
-  } else if (params_.predicate_caching && pred.is_simple_equijoin) {
+    return s;
+  }
+  if (params_.predicate_caching && pred.is_simple_equijoin) {
     std::string other_alias;
     const int64_t other_distinct =
         JoinDistinctOnSide(join, 1 - side, &other_alias);
@@ -199,9 +200,30 @@ JoinStreamInfo CostModel::JoinStream(const plan::PlanNode& join,
                         DistinctInStream(static_cast<double>(other_distinct),
                                          other_rows, base_rows));
     }
-    info.selectivity = std::min(1.0, s * values);
-  } else {
-    info.selectivity = s * other_rows;
+    return std::min(1.0, s * values);
+  }
+  return s * other_rows;
+}
+
+JoinStreamInfo CostModel::JoinStream(const plan::PlanNode& join,
+                                     int side) const {
+  PPP_CHECK(join.kind == plan::PlanKind::kJoin && join.children.size() == 2);
+  const plan::PlanNode& self = *join.children[static_cast<size_t>(side)];
+
+  const bool current = params_.current_cardinality_estimate;
+  const double self_rows = current ? self.est_rows : self.est_rows_noexp;
+
+  JoinStreamInfo info;
+  info.selectivity = StreamSelectivity(join, side);
+
+  // Under predicate transfer the probe (outer) input reaches the join
+  // already pre-filtered by the build side's Bloom filter: the join's
+  // probe-stream selectivity was spent at the scan, so the join itself is
+  // selectivity-neutral for that stream. Its rank becomes >= 0, and no
+  // expensive predicate (rank < 0) can profitably hoist above it —
+  // post-transfer cardinalities keep UDFs below the transferring join.
+  if (side == 0 && TransferApplies(join)) {
+    info.selectivity = 1.0;
   }
 
   // Differential cost per tuple of this input, computed numerically from
@@ -331,14 +353,26 @@ common::Status CostModel::Annotate(plan::PlanNode* node) const {
 
       const bool charges_inner =
           node->join_method != plan::JoinMethod::kIndexNestLoop;
+
+      // Predicate transfer: the build side's Bloom filter prunes the probe
+      // (outer) stream down at its scan, so expensive predicates sitting
+      // between that scan and this join only ever see the surviving
+      // fraction. Credit back the doomed share of the outer subtree's UDF
+      // charge (its I/O is unchanged — the scan still reads every page).
+      double transfer_credit = 0.0;
+      if (TransferApplies(*node) && outer.est_udf_cost > 0.0) {
+        const double tsel = StreamSelectivity(*node, 0);
+        transfer_credit = outer.est_udf_cost * (1.0 - tsel);
+      }
+
       node->est_rows = outer.est_rows * inner.est_rows * s;
       node->est_rows_noexp = outer.est_rows_noexp * inner.est_rows_noexp * s;
       node->est_width = outer.est_width + inner.est_width;
-      node->est_cost =
-          outer.est_cost + (charges_inner ? inner.est_cost : 0.0) + extra;
+      node->est_cost = outer.est_cost + (charges_inner ? inner.est_cost : 0.0) +
+                       extra - transfer_credit;
       node->est_udf_cost = outer.est_udf_cost +
                            (charges_inner ? inner.est_udf_cost : 0.0) +
-                           udf_extra;
+                           udf_extra - transfer_credit;
       if (node->join_method == plan::JoinMethod::kMerge) {
         node->est_order = JoinColumnOnSide(*node, 0);
       } else {

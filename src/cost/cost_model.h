@@ -74,9 +74,20 @@ class CostModel {
   const CostParams& params() const { return params_; }
   const expr::TableBinding& binding() const { return binding_; }
 
+  /// True when `join`, as planned, runs a Bloom-filter predicate transfer
+  /// at execution time: transfer is enabled, the join is a hash join, and
+  /// its primary is a cheap simple equi-join (mirrors the executor's
+  /// BuildExecutor gate; whether a probe-side scan claims the filter is a
+  /// runtime detail the model ignores).
+  bool TransferApplies(const plan::PlanNode& join) const;
+
  private:
   common::Result<const catalog::Table*> ResolveTable(
       const std::string& alias) const;
+
+  /// Per-input selectivity of annotated `join` with respect to input
+  /// `side`, before any transfer adjustment (the §3.2 "sel over R" term).
+  double StreamSelectivity(const plan::PlanNode& join, int side) const;
 
   /// Cost of re-executing a (pipelined) inner subtree once more: its I/O
   /// cost, plus its UDF cost again unless predicate caching absorbs the

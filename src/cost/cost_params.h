@@ -54,6 +54,16 @@ struct CostParams {
   /// observed UDF cost/selectivity, overriding the static catalog numbers
   /// for any function that has been profiled (the \calibrate path).
   bool use_feedback = false;
+
+  /// When true, the model assumes the executor runs predicate transfer
+  /// (ExecParams::predicate_transfer — workload::ExecParamsFor keeps the
+  /// pair consistent): every hash join on a cheap simple equi-join key
+  /// pushes a build-side Bloom filter into its probe-side scan, so the
+  /// join's probe-input selectivity is modeled as already applied at the
+  /// scan. Expensive predicates on the probe side are then ranked against
+  /// post-transfer cardinalities, which keeps them below the join (a
+  /// near-free filter has rank ≈ -1/0 — nothing beats it).
+  bool predicate_transfer = false;
 };
 
 }  // namespace ppp::cost

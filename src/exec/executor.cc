@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "exec/filter_op.h"
 #include "exec/join_ops.h"
@@ -55,6 +57,22 @@ common::Result<std::pair<std::string, std::string>> JoinKeyFor(
       " resolves in [" + schema.ToString() + "]");
 }
 
+/// Probe-side half of the transfer handoff: attaches every pending
+/// transfer whose probe column resolves in this scan's schema. Template
+/// because AttachTransfer is a concrete (non-virtual) scan method.
+template <typename ScanOpT>
+void ClaimTransfers(ExecContext* ctx, const std::string& alias,
+                    ScanOpT* scan) {
+  for (const auto& transfer : ctx->pending_transfers) {
+    if (transfer->claimed() || transfer->probe_alias() != alias) continue;
+    const std::optional<size_t> index =
+        scan->schema().FindColumn(alias, transfer->probe_column());
+    if (!index.has_value()) continue;
+    transfer->set_claimed();
+    scan->AttachTransfer(transfer, *index);
+  }
+}
+
 types::TypeId InferType(const expr::Expr& e,
                         const types::RowSchema& schema,
                         const catalog::Catalog& catalog) {
@@ -89,23 +107,29 @@ common::Result<std::unique_ptr<Operator>> BuildExecutor(
     case plan::PlanKind::kSeqScan: {
       PPP_ASSIGN_OR_RETURN(const catalog::Table* table,
                            TableFor(*ctx, plan.alias));
-      return std::unique_ptr<Operator>(
-          std::make_unique<SeqScanOp>(table, plan.alias));
+      auto scan = std::make_unique<SeqScanOp>(table, plan.alias);
+      ClaimTransfers(ctx, plan.alias, scan.get());
+      return std::unique_ptr<Operator>(std::move(scan));
     }
     case plan::PlanKind::kIndexScan: {
       PPP_ASSIGN_OR_RETURN(const catalog::Table* table,
                            TableFor(*ctx, plan.alias));
+      std::unique_ptr<IndexScanOp> scan;
       if (plan.index_is_range) {
-        return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
-            table, plan.alias, plan.index_column, plan.index_lo,
-            plan.index_hi));
+        scan = std::make_unique<IndexScanOp>(table, plan.alias,
+                                             plan.index_column, plan.index_lo,
+                                             plan.index_hi);
+      } else {
+        if (plan.index_key.type() != types::TypeId::kInt64) {
+          return common::Status::InvalidArgument(
+              "index scan key must be INT64");
+        }
+        scan = std::make_unique<IndexScanOp>(table, plan.alias,
+                                             plan.index_column,
+                                             plan.index_key.AsInt64());
       }
-      if (plan.index_key.type() != types::TypeId::kInt64) {
-        return common::Status::InvalidArgument(
-            "index scan key must be INT64");
-      }
-      return std::unique_ptr<Operator>(std::make_unique<IndexScanOp>(
-          table, plan.alias, plan.index_column, plan.index_key.AsInt64()));
+      ClaimTransfers(ctx, plan.alias, scan.get());
+      return std::unique_ptr<Operator>(std::move(scan));
     }
     case plan::PlanKind::kFilter: {
       PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child,
@@ -118,9 +142,42 @@ common::Result<std::unique_ptr<Operator>> BuildExecutor(
           std::move(child), std::move(pred), ctx));
     }
     case plan::PlanKind::kJoin: {
+      const plan::PlanNode& inner_plan = *plan.children[1];
+      // Predicate transfer: a hash join on a cheap simple equi-join key
+      // offers its build side as a Bloom filter to the probe (outer) side.
+      // The slot goes onto pending_transfers *before* the outer subtree is
+      // built so the scan that owns the probe column can claim it.
+      std::shared_ptr<BloomTransfer> transfer;
+      if (plan.join_method == plan::JoinMethod::kHash &&
+          ctx->params.predicate_transfer && plan.predicate.is_simple_equijoin &&
+          !plan.predicate.is_expensive()) {
+        const std::vector<std::string> outer_aliases =
+            plan.children[0]->CollectAliases();
+        const expr::PredicateInfo& pred = plan.predicate;
+        const bool left_is_outer =
+            std::find(outer_aliases.begin(), outer_aliases.end(),
+                      pred.left_table) != outer_aliases.end();
+        transfer = std::make_shared<BloomTransfer>(
+            left_is_outer ? pred.left_table : pred.right_table,
+            left_is_outer ? pred.left_column : pred.right_column,
+            left_is_outer ? pred.right_table : pred.left_table,
+            left_is_outer ? pred.right_column : pred.left_column);
+        transfer->min_probes = ctx->params.transfer_min_probes;
+        transfer->kill_pass_rate = ctx->params.transfer_kill_pass_rate;
+        ctx->pending_transfers.push_back(transfer);
+      }
       PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> outer,
                            BuildExecutor(*plan.children[0], ctx));
-      const plan::PlanNode& inner_plan = *plan.children[1];
+      if (transfer != nullptr) {
+        ctx->pending_transfers.pop_back();
+        if (transfer->claimed()) {
+          ctx->all_transfers.push_back(transfer);
+        } else {
+          // No probe-side scan could take it (key column projected away or
+          // hidden behind a pipeline breaker): skip the build-side work.
+          transfer = nullptr;
+        }
+      }
       switch (plan.join_method) {
         case plan::JoinMethod::kNestLoop: {
           PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> inner,
@@ -188,7 +245,8 @@ common::Result<std::unique_ptr<Operator>> BuildExecutor(
                 std::move(outer), std::move(inner), outer_key, inner_key));
           }
           return std::unique_ptr<Operator>(std::make_unique<HashJoinOp>(
-              std::move(outer), std::move(inner), outer_key, inner_key));
+              std::move(outer), std::move(inner), outer_key, inner_key,
+              std::move(transfer)));
         }
       }
       return common::Status::Internal("unknown join method");
@@ -305,6 +363,8 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   storage::BufferPool* pool = ctx->catalog->buffer_pool();
   const storage::IoStats before = pool->stats();
   ctx->eval.invocation_counts.clear();
+  ctx->pending_transfers.clear();
+  ctx->all_transfers.clear();
 
   std::optional<obs::Span> span;
   if (obs::SpanTracer::Global().enabled()) span.emplace("exec", "execute");
@@ -351,6 +411,26 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   }
 
   if (span.has_value()) span->AddArg("rows", std::to_string(out.size()));
+
+  // End-of-query transfer accounting: per-site aggregates go to the
+  // profiler (the same collector the rank-drift feedback reads), totals to
+  // the global counters.
+  if (!ctx->all_transfers.empty()) {
+    obs::Counter* probed_counter =
+        obs::MetricsRegistry::Global().GetCounter("exec.transfer.probed");
+    obs::Counter* pruned_counter =
+        obs::MetricsRegistry::Global().GetCounter("exec.transfer.pruned");
+    obs::Counter* killed_counter =
+        obs::MetricsRegistry::Global().GetCounter("exec.transfer.killed");
+    for (const auto& transfer : ctx->all_transfers) {
+      obs::PredicateProfiler::Global().RecordTransfer(
+          transfer->Site(), transfer->probed(), transfer->passed(),
+          transfer->killed(), transfer->MeasuredFpr());
+      probed_counter->Increment(transfer->probed());
+      pruned_counter->Increment(transfer->pruned());
+      if (transfer->killed()) killed_counter->Increment();
+    }
+  }
 
   if (stats != nullptr) {
     const storage::IoStats after = pool->stats();

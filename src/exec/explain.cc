@@ -46,6 +46,17 @@ void AppendActuals(const Operator& op, std::string* out) {
         static_cast<unsigned long long>(stats.cache_entries),
         static_cast<unsigned long long>(stats.cache_evictions)));
   }
+  if (stats.has_transfer) {
+    std::string fpr = "-";
+    if (stats.transfer_fpr >= 0.0) {
+      fpr = common::StringPrintf("%.4f", stats.transfer_fpr);
+    }
+    out->append(common::StringPrintf(
+        " [bloom probed=%llu passed=%llu fpr=%s%s]",
+        static_cast<unsigned long long>(stats.transfer_probed),
+        static_cast<unsigned long long>(stats.transfer_passed), fpr.c_str(),
+        stats.transfer_killed ? " KILLED" : ""));
+  }
 }
 
 /// Estimated vs observed rank for the node's predicate, when at least one

@@ -1,6 +1,9 @@
 #include "exec/join_ops.h"
 
 #include <algorithm>
+#include <optional>
+
+#include "obs/span.h"
 
 namespace ppp::exec {
 
@@ -239,22 +242,49 @@ std::string MergeJoinOp::Describe() const { return "MergeJoin"; }
 
 HashJoinOp::HashJoinOp(std::unique_ptr<Operator> outer,
                        std::unique_ptr<Operator> inner,
-                       size_t outer_key_index, size_t inner_key_index)
+                       size_t outer_key_index, size_t inner_key_index,
+                       std::shared_ptr<BloomTransfer> transfer)
     : outer_(std::move(outer)),
       inner_(std::move(inner)),
       outer_key_(outer_key_index),
-      inner_key_(inner_key_index) {
+      inner_key_(inner_key_index),
+      transfer_(std::move(transfer)) {
   schema_ = types::RowSchema::Concat(outer_->schema(), inner_->schema());
 }
 
 common::Status HashJoinOp::OpenImpl() {
   table_.clear();
-  std::vector<types::Tuple> build_rows;
-  PPP_RETURN_IF_ERROR(Drain(inner_.get(), batch_size_, &build_rows));
-  for (types::Tuple& row : build_rows) {
-    const types::Value& key = row.Get(inner_key_);
-    if (key.is_null()) continue;
-    table_[key].push_back(std::move(row));
+  // Per-batch build loop: each key is hashed exactly once; the hash lands
+  // in the table entry and (below) in the transferred Bloom filter.
+  PPP_RETURN_IF_ERROR(inner_->Open());
+  TupleBatch batch;
+  bool eof = false;
+  while (!eof) {
+    batch.clear();
+    PPP_RETURN_IF_ERROR(inner_->NextBatch(batch_size_, &batch, &eof));
+    for (types::Tuple& row : batch.tuples) {
+      const types::Value& key = row.Get(inner_key_);
+      if (key.is_null()) continue;
+      const uint64_t hash = static_cast<uint64_t>(key.Hash());
+      table_[HashedKey{key, hash}].push_back(std::move(row));
+    }
+  }
+  if (transfer_ != nullptr && !transfer_->published()) {
+    // Build the sideways filter over the distinct build keys (their hashes
+    // were computed above) and publish it before the probe side opens, so
+    // the consuming scan prunes from its very first batch.
+    std::optional<obs::Span> span;
+    if (obs::SpanTracer::Global().enabled()) {
+      span.emplace("exec", "bloom.build");
+      span->AddArg("site", transfer_->Site());
+    }
+    auto filter = std::make_unique<BloomFilter>(table_.size());
+    for (const auto& [key, rows] : table_) filter->InsertHash(key.hash);
+    if (span.has_value()) {
+      span->AddArg("keys", std::to_string(table_.size()));
+      span->AddArg("bits_set", std::to_string(filter->BitsSet()));
+    }
+    transfer_->Publish(std::move(filter));
   }
   have_outer_ = false;
   current_matches_ = nullptr;
@@ -283,11 +313,21 @@ common::Status HashJoinOp::NextImpl(types::Tuple* tuple, bool* eof) {
     current_matches_ = nullptr;
     const types::Value& key = outer_tuple_.Get(outer_key_);
     if (key.is_null()) continue;
-    auto it = table_.find(key);
-    if (it != table_.end()) current_matches_ = &it->second;
+    auto it = table_.find(
+        HashedKey{key, static_cast<uint64_t>(key.Hash())});
+    if (it != table_.end()) {
+      current_matches_ = &it->second;
+    } else if (transfer_ != nullptr &&
+               transfer_->ActiveFilter() != nullptr) {
+      // This row survived the transferred filter but has no join partner:
+      // a measured false positive.
+      transfer_->RecordJoinMiss();
+    }
   }
 }
 
-std::string HashJoinOp::Describe() const { return "HashJoin"; }
+std::string HashJoinOp::Describe() const {
+  return transfer_ != nullptr ? "HashJoin(bloom)" : "HashJoin";
+}
 
 }  // namespace ppp::exec

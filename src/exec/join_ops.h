@@ -104,11 +104,19 @@ class MergeJoinOp : public Operator {
 };
 
 /// In-memory hash join: builds on the inner input, streams the outer.
+///
+/// The build path hashes each join key exactly once per tuple: the hash is
+/// stored alongside the key in the table (HashedKey) and, when a
+/// BloomTransfer is attached, the same hash feeds the transferred Bloom
+/// filter — never a second Value::Hash() call. The probe side reuses the
+/// one hash per outer tuple the same way, and feeds join misses back to
+/// the transfer as measured false positives.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(std::unique_ptr<Operator> outer,
              std::unique_ptr<Operator> inner, size_t outer_key_index,
-             size_t inner_key_index);
+             size_t inner_key_index,
+             std::shared_ptr<BloomTransfer> transfer = nullptr);
 
   std::string Describe() const override;
   std::vector<Operator*> Children() override {
@@ -120,13 +128,28 @@ class HashJoinOp : public Operator {
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
 
  private:
+  /// Join key plus its precomputed hash, so the unordered_map never
+  /// re-hashes the Value.
+  struct HashedKey {
+    types::Value value;
+    uint64_t hash;
+    bool operator==(const HashedKey& other) const {
+      return value == other.value;
+    }
+  };
+  struct HashedKeyHasher {
+    size_t operator()(const HashedKey& key) const {
+      return static_cast<size_t>(key.hash);
+    }
+  };
+
   std::unique_ptr<Operator> outer_;
   std::unique_ptr<Operator> inner_;
   size_t outer_key_;
   size_t inner_key_;
-  std::unordered_map<types::Value, std::vector<types::Tuple>,
-                     types::ValueHasher>
+  std::unordered_map<HashedKey, std::vector<types::Tuple>, HashedKeyHasher>
       table_;
+  std::shared_ptr<BloomTransfer> transfer_;
   types::Tuple outer_tuple_;
   const std::vector<types::Tuple>* current_matches_ = nullptr;
   size_t match_pos_ = 0;

@@ -154,6 +154,8 @@ common::Result<CachedPredicate> CachedPredicate::Bind(
   if (try_cache && pred.is_expensive() && cacheable && !calls.empty()) {
     out.cache_enabled_ = true;
     options.max_entries = params.cache_max_entries;
+    options.max_bytes = params.cache_max_bytes;
+    options.lru = params.cache_lru;
     options.shards =
         ShardedPredicateCache::ShardsFor(params.parallel_workers);
     options.adaptive = params.adaptive_caching;

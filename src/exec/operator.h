@@ -8,6 +8,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "exec/bloom_filter.h"
 #include "exec/pred_cache.h"
 #include "expr/evaluator.h"
 #include "expr/predicate.h"
@@ -46,6 +47,16 @@ struct ExecParams {
   /// variety of replacement schemes."
   size_t cache_max_entries = 0;
 
+  /// Per-cache memory bound in bytes (approximate: key bytes + fixed
+  /// per-entry overhead); 0 = unbounded. Evictions count into the
+  /// exec.pred_cache.evictions counter.
+  size_t cache_max_bytes = 0;
+
+  /// Replacement scheme for bounded caches: false keeps the historical
+  /// FIFO order, true recency-orders entries (LRU) so hot bindings survive
+  /// the memory bound.
+  bool cache_lru = false;
+
   /// The optimization "planned for Montage but not implemented" (§5.1):
   /// stop caching a predicate whose inputs never repeat. Implemented
   /// online: a cache observing zero hits in its first
@@ -64,6 +75,19 @@ struct ExecParams {
   /// bit-identical to the tuple-at-a-time engine. Counters stay exact at
   /// any setting; see ParallelPredicateEvaluator.
   size_t parallel_workers = 1;
+
+  /// Predicate transfer: hash-join builds emit a Bloom filter over the
+  /// build-side join key, and probe-side scans pre-filter their rows
+  /// against it before any (expensive) predicate above them runs. Should
+  /// match cost::CostParams::predicate_transfer (ExecParamsFor copies it).
+  bool predicate_transfer = false;
+
+  /// Probes a transferred filter must see before the kill switch may fire.
+  uint64_t transfer_min_probes = 512;
+
+  /// Observed pass rate above which a transferred filter is killed
+  /// mid-query: it prunes too little to pay for its probes.
+  double transfer_kill_pass_rate = 0.95;
 };
 
 /// A batch of tuples flowing between operators (batch-at-a-time execution;
@@ -92,6 +116,13 @@ struct ExecContext {
   /// ExecutePlan when params.parallel_workers > 1 and reused across
   /// executions on the same context.
   std::shared_ptr<common::ThreadPool> thread_pool;
+  /// Transfers awaiting a probe-side consumer during plan construction:
+  /// a hash join pushes its slot before its outer subtree is built, the
+  /// matching scan claims it, and the join pops it afterwards.
+  std::vector<std::shared_ptr<BloomTransfer>> pending_transfers;
+  /// Every transfer created for this execution, for end-of-query stats
+  /// (profiler + metrics). Cleared by ExecutePlan on entry.
+  std::vector<std::shared_ptr<BloomTransfer>> all_transfers;
 };
 
 /// Per-operator runtime telemetry, accumulated by the Open()/Next()/
@@ -118,6 +149,15 @@ struct OperatorStats {
   uint64_t cache_hits = 0;
   uint64_t cache_entries = 0;
   uint64_t cache_evictions = 0;
+
+  /// Transferred-Bloom-filter view (probe-side scans only; counters summed
+  /// over every filter attached to the scan).
+  bool has_transfer = false;
+  uint64_t transfer_probed = 0;
+  uint64_t transfer_passed = 0;
+  bool transfer_killed = false;
+  /// Measured false-positive rate (join-miss feedback); < 0 when unknown.
+  double transfer_fpr = -1.0;
 };
 
 /// Volcano-style iterator, extended with batch-at-a-time pulls. Open() may

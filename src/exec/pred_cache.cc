@@ -12,6 +12,8 @@ common::ShardedMemo<bool>::Options MemoOptions(
     const ShardedPredicateCache::Options& options) {
   common::ShardedMemo<bool>::Options memo;
   memo.max_entries = options.max_entries;
+  memo.max_bytes = options.max_bytes;
+  memo.lru = options.lru;
   memo.shards = options.shards;
   memo.adaptive = options.adaptive;
   memo.probe_window = options.probe_window;
@@ -33,8 +35,11 @@ ShardedPredicateCache::ShardedPredicateCache(const Options& options)
     counter->Increment();
   };
   listener.on_eviction = [counter = registry.GetCounter(
-                              "exec.predicate_cache.evictions")] {
+                              "exec.predicate_cache.evictions"),
+                          bounded = registry.GetCounter(
+                              "exec.pred_cache.evictions")] {
     counter->Increment();
+    bounded->Increment();
   };
   listener.on_disable = [counter = registry.GetCounter(
                              "exec.predicate_cache.disables")] {

@@ -18,8 +18,15 @@ namespace ppp::exec {
 class ShardedPredicateCache {
  public:
   struct Options {
-    /// Total entry bound (FIFO replacement); 0 = unbounded.
+    /// Total entry bound; 0 = unbounded.
     size_t max_entries = 0;
+    /// Total approximate byte bound (key bytes + fixed per-entry overhead);
+    /// 0 = unbounded. Evictions under either bound also count into the
+    /// exec.pred_cache.evictions metric.
+    size_t max_bytes = 0;
+    /// Replacement order for bounded caches: FIFO (false, the historical
+    /// default) or LRU (true).
+    bool lru = false;
     size_t shards = 1;
     /// §5.1 adaptive self-disable: give up after `probe_window` probes with
     /// zero hits.
@@ -43,6 +50,7 @@ class ShardedPredicateCache {
 
   bool disabled() const { return memo_.disabled(); }
   size_t entries() const { return memo_.entries(); }
+  size_t approx_bytes() const { return memo_.approx_bytes(); }
   uint64_t probes() const { return memo_.probes(); }
   uint64_t hits() const { return memo_.hits(); }
   uint64_t evictions() const { return memo_.evictions(); }

@@ -1,8 +1,75 @@
 #include "exec/scan_ops.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/string_util.h"
+#include "obs/span.h"
 
 namespace ppp::exec {
+
+void TransferProbe::FilterBatch(TupleBatch* batch) const {
+  for (const Slot& slot : slots_) {
+    const BloomFilter* filter = slot.transfer->ActiveFilter();
+    if (filter == nullptr || batch->empty()) continue;
+    std::optional<obs::Span> span;
+    if (obs::SpanTracer::Global().enabled()) {
+      span.emplace("exec", "bloom.probe");
+      span->AddArg("site", slot.transfer->Site());
+    }
+    const size_t probed = batch->size();
+    std::vector<uint64_t> hashes;
+    hashes.reserve(probed);
+    for (const types::Tuple& tuple : batch->tuples) {
+      hashes.push_back(
+          static_cast<uint64_t>(tuple.Get(slot.key_index).Hash()));
+    }
+    std::vector<char> keep;
+    const size_t kept = filter->ProbeBatch(hashes.data(), probed, &keep);
+    if (kept < probed) {
+      size_t out = 0;
+      for (size_t i = 0; i < probed; ++i) {
+        if (keep[i]) batch->tuples[out++] = std::move(batch->tuples[i]);
+      }
+      batch->tuples.resize(out);
+    }
+    slot.transfer->RecordProbes(probed, kept);
+    if (span.has_value()) {
+      span->AddArg("probed", std::to_string(probed));
+      span->AddArg("passed", std::to_string(kept));
+    }
+  }
+}
+
+bool TransferProbe::Passes(const types::Tuple& tuple) const {
+  for (const Slot& slot : slots_) {
+    const BloomFilter* filter = slot.transfer->ActiveFilter();
+    if (filter == nullptr) continue;
+    const bool pass = filter->MightContainHash(
+        static_cast<uint64_t>(tuple.Get(slot.key_index).Hash()));
+    slot.transfer->RecordProbes(1, pass ? 1 : 0);
+    if (!pass) return false;
+  }
+  return true;
+}
+
+void TransferProbe::FoldStats(OperatorStats* stats) const {
+  if (slots_.empty()) return;
+  stats->has_transfer = true;
+  stats->transfer_probed = 0;
+  stats->transfer_passed = 0;
+  stats->transfer_killed = false;
+  stats->transfer_fpr = -1.0;
+  for (const Slot& slot : slots_) {
+    stats->transfer_probed += slot.transfer->probed();
+    stats->transfer_passed += slot.transfer->passed();
+    stats->transfer_killed = stats->transfer_killed || slot.transfer->killed();
+    const double fpr = slot.transfer->MeasuredFpr();
+    if (fpr >= 0.0) {
+      stats->transfer_fpr = std::max(stats->transfer_fpr, fpr);
+    }
+  }
+}
 
 SeqScanOp::SeqScanOp(const catalog::Table* table, const std::string& alias)
     : table_(table), alias_(alias), it_(table->heap().Scan()) {
@@ -17,11 +84,14 @@ common::Status SeqScanOp::OpenImpl() {
 common::Status SeqScanOp::NextImpl(types::Tuple* tuple, bool* eof) {
   storage::RecordId rid;
   std::string bytes;
-  if (!it_.Next(&rid, &bytes)) {
-    *eof = true;
-    return common::Status::OK();
+  while (true) {
+    if (!it_.Next(&rid, &bytes)) {
+      *eof = true;
+      return common::Status::OK();
+    }
+    PPP_ASSIGN_OR_RETURN(*tuple, types::Tuple::Deserialize(bytes));
+    if (transfers_.empty() || transfers_.Passes(*tuple)) break;
   }
-  PPP_ASSIGN_OR_RETURN(*tuple, types::Tuple::Deserialize(bytes));
   *eof = false;
   return common::Status::OK();
 }
@@ -40,6 +110,7 @@ common::Status SeqScanOp::NextBatchImpl(size_t max_rows, TupleBatch* batch,
                          types::Tuple::Deserialize(bytes));
     batch->tuples.push_back(std::move(tuple));
   }
+  if (!transfers_.empty()) transfers_.FilterBatch(batch);
   return common::Status::OK();
 }
 
@@ -74,12 +145,15 @@ common::Status IndexScanOp::OpenImpl() {
 }
 
 common::Status IndexScanOp::NextImpl(types::Tuple* tuple, bool* eof) {
-  if (pos_ >= rids_.size()) {
-    *eof = true;
-    return common::Status::OK();
+  while (true) {
+    if (pos_ >= rids_.size()) {
+      *eof = true;
+      return common::Status::OK();
+    }
+    PPP_ASSIGN_OR_RETURN(*tuple, table_->Read(rids_[pos_]));
+    ++pos_;
+    if (transfers_.empty() || transfers_.Passes(*tuple)) break;
   }
-  PPP_ASSIGN_OR_RETURN(*tuple, table_->Read(rids_[pos_]));
-  ++pos_;
   *eof = false;
   return common::Status::OK();
 }
@@ -96,6 +170,7 @@ common::Status IndexScanOp::NextBatchImpl(size_t max_rows,
     ++pos_;
     batch->tuples.push_back(std::move(tuple));
   }
+  if (!transfers_.empty()) transfers_.FilterBatch(batch);
   return common::Status::OK();
 }
 

@@ -1,7 +1,9 @@
 #ifndef PPP_EXEC_SCAN_OPS_H_
 #define PPP_EXEC_SCAN_OPS_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/table.h"
@@ -10,23 +12,62 @@
 
 namespace ppp::exec {
 
+/// Probe-side half of predicate transfer, shared by the scan operators: a
+/// set of transferred Bloom filters, each probed batch-at-a-time against
+/// one of the scan's columns *before* any predicate above the scan runs.
+/// Filters that are unpublished (the join build has not run yet) or killed
+/// pass everything through — pruning is strictly best-effort, correctness
+/// comes from the joins above.
+class TransferProbe {
+ public:
+  void Attach(std::shared_ptr<BloomTransfer> transfer, size_t key_index) {
+    slots_.push_back({std::move(transfer), key_index});
+  }
+
+  bool empty() const { return slots_.empty(); }
+
+  /// Filters `batch` in place against every active transferred filter,
+  /// recording probe/pass counts (which may trip a kill switch).
+  void FilterBatch(TupleBatch* batch) const;
+
+  /// Tuple-at-a-time equivalent: true when `tuple` survives every active
+  /// filter.
+  bool Passes(const types::Tuple& tuple) const;
+
+  /// Folds the attached transfers' counters into `stats` (EXPLAIN ANALYZE).
+  void FoldStats(OperatorStats* stats) const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<BloomTransfer> transfer;
+    size_t key_index;
+  };
+  std::vector<Slot> slots_;
+};
+
 /// Full scan of a base table in physical order.
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(const catalog::Table* table, const std::string& alias);
 
   std::string Describe() const override;
+  void AttachTransfer(std::shared_ptr<BloomTransfer> transfer,
+                      size_t key_index) {
+    transfers_.Attach(std::move(transfer), key_index);
+  }
 
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
   common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
                                bool* eof) override;
+  void RefreshLocalStats() const override { transfers_.FoldStats(&stats_); }
 
  private:
   const catalog::Table* table_;
   std::string alias_;
   storage::HeapFile::Iterator it_;
+  TransferProbe transfers_;
 };
 
 /// B-tree probe: fetches all tuples with `column == key`, or with
@@ -44,12 +85,17 @@ class IndexScanOp : public Operator {
               std::string column, int64_t lo, int64_t hi);
 
   std::string Describe() const override;
+  void AttachTransfer(std::shared_ptr<BloomTransfer> transfer,
+                      size_t key_index) {
+    transfers_.Attach(std::move(transfer), key_index);
+  }
 
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
   common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
                                bool* eof) override;
+  void RefreshLocalStats() const override { transfers_.FoldStats(&stats_); }
 
  private:
   const catalog::Table* table_;
@@ -59,6 +105,7 @@ class IndexScanOp : public Operator {
   int64_t hi_;
   std::vector<storage::RecordId> rids_;
   size_t pos_ = 0;
+  TransferProbe transfers_;
 };
 
 }  // namespace ppp::exec

@@ -88,6 +88,29 @@ std::vector<PredicateProfile> PredicateProfiler::Snapshot() const {
   return out;
 }
 
+void PredicateProfiler::RecordTransfer(const std::string& site,
+                                       uint64_t probed, uint64_t passed,
+                                       bool killed, double measured_fpr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TransferProfile& t = transfers_[site];
+  t.site = site;
+  t.queries += 1;
+  t.probed += probed;
+  t.passed += passed;
+  if (killed) t.kills += 1;
+  if (measured_fpr >= 0.0) t.last_fpr = measured_fpr;
+}
+
+std::vector<TransferProfile> PredicateProfiler::TransferSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TransferProfile> out;
+  out.reserve(transfers_.size());
+  for (const auto& [site, profile] : transfers_) {
+    out.push_back(profile);
+  }
+  return out;
+}
+
 std::string PredicateProfiler::ReportText() const {
   const std::vector<PredicateProfile> profiles = Snapshot();
   const double spio = seconds_per_io();
@@ -109,12 +132,30 @@ std::string PredicateProfiler::ReportText() const {
   }
   out += common::StringPrintf("(cost_ios assumes %.0fus per random I/O)\n",
                               spio * 1e6);
+  const std::vector<TransferProfile> transfers = TransferSnapshot();
+  if (!transfers.empty()) {
+    out += common::StringPrintf("%-32s %8s %12s %10s %8s %10s\n", "transfer",
+                                "queries", "probed", "pass_rate", "kills",
+                                "fpr");
+    for (const TransferProfile& t : transfers) {
+      std::string fpr = "-";
+      if (t.last_fpr >= 0.0) {
+        fpr = common::StringPrintf("%.4f", t.last_fpr);
+      }
+      out += common::StringPrintf(
+          "%-32s %8llu %12llu %10.4f %8llu %10s\n", t.site.c_str(),
+          static_cast<unsigned long long>(t.queries),
+          static_cast<unsigned long long>(t.probed), t.PassRate(),
+          static_cast<unsigned long long>(t.kills), fpr.c_str());
+    }
+  }
   return out;
 }
 
 void PredicateProfiler::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  transfers_.clear();
 }
 
 PredicateFeedbackStore& PredicateFeedbackStore::Global() {

@@ -52,6 +52,26 @@ struct PredicateProfile {
   }
 };
 
+/// Aggregated observations for one predicate-transfer site (a transferred
+/// Bloom filter identified by its "probe.col <- build.col" label),
+/// accumulated across every query that ran the transfer.
+struct TransferProfile {
+  std::string site;
+  uint64_t queries = 0;
+  uint64_t probed = 0;
+  uint64_t passed = 0;
+  /// Queries in which the runtime kill switch disabled the filter.
+  uint64_t kills = 0;
+  /// Most recent measured false-positive rate; < 0 when never observed.
+  double last_fpr = -1.0;
+
+  double PassRate() const {
+    return probed > 0
+               ? static_cast<double>(passed) / static_cast<double>(probed)
+               : 1.0;
+  }
+};
+
 /// True when the observed rank disagrees with the estimated rank by more
 /// than `threshold`, measured as relative difference |obs - est| over the
 /// larger magnitude (ranks are negative; a sign flip always exceeds any
@@ -93,6 +113,13 @@ class PredicateProfiler {
   std::optional<PredicateProfile> Get(const std::string& function) const;
   std::vector<PredicateProfile> Snapshot() const;
 
+  /// Records one query's worth of counters for a transfer site (called by
+  /// ExecutePlan at end of query, so the cross-query aggregates here stay
+  /// in step with the per-function profiles above).
+  void RecordTransfer(const std::string& site, uint64_t probed,
+                      uint64_t passed, bool killed, double measured_fpr);
+  std::vector<TransferProfile> TransferSnapshot() const;
+
   /// Human-readable table of every profiled function (the shell's \profile).
   std::string ReportText() const;
 
@@ -118,6 +145,7 @@ class PredicateProfiler {
   double seconds_per_io_ = 1e-4;
   double drift_threshold_ = 0.5;
   std::map<std::string, Entry> entries_;
+  std::map<std::string, TransferProfile> transfers_;
 
   /// Cap on distinct input keys remembered per function (memory bound).
   static constexpr size_t kMaxDistinctInputs = 65536;

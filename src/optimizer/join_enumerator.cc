@@ -431,6 +431,13 @@ common::Status JoinEnumerator::CombineWithTable(
       plan::PlanPtr join = plan::MakeJoin(variant.method, std::move(outer),
                                           std::move(inner), primary);
       PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(join.get()));
+      if (ctx_->trace() != nullptr && ctx_->cost().TransferApplies(*join)) {
+        // The executor will push this hash join's build side into the probe
+        // side as a Bloom filter; the model prices the probe stream as
+        // pre-filtered (JoinStream side-0 selectivity = 1).
+        ctx_->trace()->Add("transfer.plan", primary.expr->ToString(),
+                           {join->est_cost});
+      }
 
       bool unpruneable = left.unpruneable;
       if (opts_.placement == EnumOptions::Placement::kRanked) {
@@ -529,6 +536,9 @@ common::Status JoinEnumerator::CombineBushy(
     plan::PlanPtr join =
         plan::MakeJoin(variant.method, outer.plan->Clone(),
                        inner.plan->Clone(), primary);
+    if (ctx_->trace() != nullptr && ctx_->cost().TransferApplies(*join)) {
+      ctx_->trace()->Add("transfer.plan", primary.expr->ToString() + " (bushy)");
+    }
     plan::PlanPtr full = AttachFilters(std::move(join), std::move(floating));
     PPP_RETURN_IF_ERROR(ctx_->cost().Annotate(full.get()));
     local.push_back({std::move(full), outer.unpruneable || inner.unpruneable});

@@ -124,6 +124,7 @@ exec::ExecParams ExecParamsFor(const cost::CostParams& cost_params) {
   exec_params.predicate_caching = cost_params.predicate_caching;
   exec_params.parallel_workers = static_cast<size_t>(
       std::max(1.0, cost_params.parallel_workers));
+  exec_params.predicate_transfer = cost_params.predicate_transfer;
   return exec_params;
 }
 

@@ -54,9 +54,10 @@ common::Result<std::string> WriteBenchJson(
     const std::string& name, const std::vector<Measurement>& measurements);
 
 /// Execution parameters consistent with `cost_params`: the knobs shared by
-/// optimizer and executor (predicate_caching, parallel_workers) are copied
-/// from the cost side, so the optimizer always models what the executor
-/// does. Use this instead of setting the two flags independently.
+/// optimizer and executor (predicate_caching, parallel_workers,
+/// predicate_transfer) are copied from the cost side, so the optimizer
+/// always models what the executor does. Use this instead of setting the
+/// two flags independently.
 exec::ExecParams ExecParamsFor(const cost::CostParams& cost_params);
 
 /// Converts executor stats into charged relative time under `params`.

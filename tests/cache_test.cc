@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sharded_memo.h"
 #include "exec/executor.h"
 #include "expr/predicate.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
@@ -254,6 +256,70 @@ TEST_F(CacheTest, CachedPredicateAccessors) {
   EXPECT_EQ(pred->cache_entries(), 1u);
   EXPECT_EQ(pred->cache_hits(), 1u);
   EXPECT_EQ(eval.InvocationsOf("f"), 1u);
+}
+
+TEST_F(CacheTest, LruKeepsHotKeysWhereFifoEvictsThem) {
+  // Probe pattern: one hot key touched between every pair of cold keys.
+  // FIFO evicts by insertion order, so the hot key ages out and recomputes;
+  // LRU refreshes it on every hit, so it is computed exactly once.
+  const auto run = [](bool lru) {
+    common::ShardedMemo<bool>::Options options;
+    options.max_entries = 4;
+    options.lru = lru;
+    common::ShardedMemo<bool> memo(options);
+    size_t hot_computes = 0;
+    for (int i = 0; i < 64; ++i) {
+      memo.GetOrCompute("hot", [&] {
+        ++hot_computes;
+        return true;
+      });
+      memo.GetOrCompute("cold" + std::to_string(i), [] { return false; });
+    }
+    return hot_computes;
+  };
+  EXPECT_EQ(run(/*lru=*/true), 1u);
+  EXPECT_GT(run(/*lru=*/false), 1u);
+}
+
+TEST_F(CacheTest, ByteBoundTriggersEvictions) {
+  common::ShardedMemo<bool>::Options options;
+  // Room for roughly four entries of ~(key + overhead) bytes.
+  options.max_bytes =
+      4 * (8 + common::ShardedMemo<bool>::kEntryOverhead);
+  common::ShardedMemo<bool> memo(options);
+  for (int i = 0; i < 100; ++i) {
+    memo.GetOrCompute("key" + std::to_string(i), [] { return true; });
+    EXPECT_LE(memo.approx_bytes(), options.max_bytes);
+  }
+  EXPECT_GT(memo.evictions(), 0u);
+  EXPECT_LT(memo.entries(), 100u);
+}
+
+TEST_F(CacheTest, ByteBoundedPredicateCacheEndToEnd) {
+  obs::Counter* evictions =
+      obs::MetricsRegistry::Global().GetCounter("exec.pred_cache.evictions");
+  const uint64_t before = evictions->value();
+  ExecParams params;
+  params.cache_mode = CacheMode::kPredicate;
+  // Far below the 20 distinct 9-byte serialized bindings: must evict.
+  params.cache_max_bytes = 300;
+  const ExecStats bounded = RunFilter("grp", params);
+  EXPECT_EQ(bounded.output_rows, RunFilter("grp", ExecParams{}).output_rows);
+  EXPECT_GT(evictions->value(), before);
+}
+
+TEST_F(CacheTest, LruPredicateCacheEndToEnd) {
+  // LRU with a bound below the distinct-binding count stays correct; with
+  // a bound above it, LRU and FIFO behave identically (no evictions).
+  ExecParams lru;
+  lru.cache_mode = CacheMode::kPredicate;
+  lru.cache_max_entries = 8;
+  lru.cache_lru = true;
+  const ExecStats bounded = RunFilter("grp", lru);
+  EXPECT_EQ(bounded.output_rows, RunFilter("grp", ExecParams{}).output_rows);
+
+  lru.cache_max_entries = 64;
+  EXPECT_EQ(RunFilter("grp", lru).invocations.at("f"), 20u);
 }
 
 TEST_F(CacheTest, CheapPredicateNotCached) {
