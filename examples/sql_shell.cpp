@@ -6,8 +6,11 @@
 //   EXPLAIN SELECT ...         show the optimized plan, don't run
 //   EXPLAIN ANALYZE SELECT ... run and show the plan with per-operator
 //                              actual rows, timings, I/O, and cache stats
+//   ANALYZE [t1 [, t2]...]     collect sampled statistics (histograms,
+//                              MCVs, NDV sketches); no list = all tables
 // Meta-commands:
 //   \tables            list tables
+//   \analyze [t...]    same as the ANALYZE statement
 //   \functions         list registered functions
 //   \algorithm NAME    switch placement algorithm (pushdown, pullup,
 //                      pullrank, migration, ldl, exhaustive)
@@ -29,8 +32,11 @@
 //                      a filter over the build-side join key and the
 //                      probe-side scan prunes doomed tuples before any
 //                      expensive predicate runs
+//   \set stats on|off  use collected ANALYZE statistics in planning
+//                      (provenance ladder: feedback > stats > declared)
 //   \quit
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -48,6 +54,7 @@
 #include "optimizer/optimizer.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
+#include "stats/collector.h"
 #include "subquery/rewrite.h"
 #include "workload/database.h"
 #include "workload/measurement.h"
@@ -56,6 +63,37 @@
 using namespace ppp;
 
 namespace {
+
+/// True when the first whole word of `sql` is `word` (case-insensitive).
+bool FirstWordIs(const std::string& sql, const std::string& word) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() &&
+         (std::isalnum(static_cast<unsigned char>(sql[j])) || sql[j] == '_')) {
+    ++j;
+  }
+  return common::ToLower(sql.substr(i, j - i)) == common::ToLower(word);
+}
+
+/// ANALYZE the named tables (all tables when empty) and print a summary
+/// of each collected distribution.
+common::Status RunAnalyze(workload::Database* db,
+                          const std::vector<std::string>& tables) {
+  const stats::AnalyzeOptions options = stats::AnalyzeOptions::Default();
+  const std::vector<std::string> names =
+      tables.empty() ? db->catalog().TableNames() : tables;
+  for (const std::string& name : names) {
+    PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                         db->catalog().GetTable(name));
+    PPP_RETURN_IF_ERROR(stats::AnalyzeTable(table, options));
+    std::printf("analyzed %s: %s", name.c_str(),
+                table->collected_stats()->ToString().c_str());
+  }
+  return common::Status::OK();
+}
 
 bool ParseAlgorithm(const std::string& name, optimizer::Algorithm* out) {
   const std::string lower = common::ToLower(name);
@@ -114,6 +152,16 @@ int main() {
           std::printf("  %-6s %8lld tuples, %lld pages\n", name.c_str(),
                       static_cast<long long>((*table)->NumTuples()),
                       static_cast<long long>((*table)->NumPages()));
+        }
+        continue;
+      }
+      if (word == "analyze") {
+        std::vector<std::string> tables;
+        std::string t;
+        while (cmd >> t) tables.push_back(t);
+        const common::Status status = RunAnalyze(&db, tables);
+        if (!status.ok()) {
+          std::printf("error: %s\n", status.ToString().c_str());
         }
         continue;
       }
@@ -245,6 +293,10 @@ int main() {
           // ExecParamsFor copies the flag into ExecParams.
           cost_params.predicate_transfer = (value_word == "on");
           std::printf("transfer %s\n", value_word.c_str());
+        } else if (knob == "stats" &&
+                   (value_word == "on" || value_word == "off")) {
+          cost_params.use_collected_stats = (value_word == "on");
+          std::printf("stats %s\n", value_word.c_str());
         } else if (knob == "workers" && value >= 1) {
           cost_params.parallel_workers = static_cast<double>(value);
           std::printf("workers %lld\n", value);
@@ -253,7 +305,7 @@ int main() {
           std::printf("batch %lld\n", value);
         } else {
           std::printf("usage: \\set workers N | \\set batch N  (N >= 1) | "
-                      "\\set transfer on|off\n");
+                      "\\set transfer on|off | \\set stats on|off\n");
         }
         continue;
       }
@@ -268,6 +320,19 @@ int main() {
     }
     const std::string sql = statement;
     statement.clear();
+
+    // ANALYZE statements have their own tiny grammar; everything else is a
+    // SELECT pipeline.
+    if (FirstWordIs(sql, "ANALYZE")) {
+      auto stmt = parser::ParseStatement(sql);
+      if (!stmt.ok()) {
+        std::printf("error: %s\n", stmt.status().ToString().c_str());
+        continue;
+      }
+      const common::Status status = RunAnalyze(&db, stmt->analyze_tables);
+      if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+      continue;
+    }
 
     // Peel off a leading EXPLAIN [ANALYZE] lexically so the remaining
     // statement still goes through the full parse/bind/rewrite pipeline.

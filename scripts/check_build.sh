@@ -13,13 +13,22 @@
 # reduction and result-identity invariants are asserted by the bench's own
 # exit code.
 #
+# The statistics subsystem is smoke-tested through the shell: ANALYZE a
+# table, EXPLAIN a query against it, and grep the provenance tag (~stats)
+# the plan must now carry. bench_stats then demonstrates the ANALYZE-only
+# placement flip (8x fewer expensive invocations, feedback store empty)
+# and every BENCH_*.json produced by the smoke runs is aggregated into
+# BENCH_summary.json.
+#
 # A second pass rebuilds under ThreadSanitizer (-DPPP_SANITIZE=thread) and
 # reruns the suite with span tracing forced on (PPP_TRACE_SPANS=1) — the
-# parallel predicate evaluator, thread pool, sharded caches, and the span
-# ring buffer must be race-free, not just correct-by-luck. The transfer
-# bench repeats under TSan (transfer enabled, 4 workers) so concurrent
-# Bloom probes against the publish/kill transitions are race-checked end
-# to end. Skip both with SKIP_TSAN=1 when iterating.
+# parallel predicate evaluator, thread pool, sharded caches, the span
+# ring buffer, and ANALYZE's snapshot swap against running queries
+# (stats_test's concurrency case) must be race-free, not just
+# correct-by-luck. The transfer bench repeats under TSan (transfer
+# enabled, 4 workers) so concurrent Bloom probes against the publish/kill
+# transitions are race-checked end to end. Skip both with SKIP_TSAN=1
+# when iterating.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -78,6 +87,64 @@ for expected in ("off-w1", "off-w4", "on-w1", "on-w4"):
     assert expected in configs, f"missing config {expected}: {configs}"
 print(f"BENCH_transfer.json ok: {configs}")
 PYEOF
+fi
+
+# Statistics smoke test: ANALYZE through the shell, then EXPLAIN a query
+# whose selectivity must now come from collected statistics — the plan
+# line has to carry the ~stats provenance tag (and ~decl after stats are
+# switched back off).
+STATS_OUT="$BUILD_DIR/check_stats.out"
+"$BUILD_DIR/examples/sql_shell" >"$STATS_OUT" <<EOF
+ANALYZE t3;
+EXPLAIN SELECT * FROM t3 WHERE t3.a10 = 5 AND costly100(t3.ua);
+\\set stats off
+EXPLAIN SELECT * FROM t3 WHERE t3.a10 = 5 AND costly100(t3.ua);
+\\quit
+EOF
+grep -q "analyzed t3" "$STATS_OUT" || {
+  echo "shell ANALYZE produced no summary" >&2; exit 1;
+}
+grep -q -- "~stats" "$STATS_OUT" || {
+  echo "EXPLAIN after ANALYZE lacks ~stats provenance tag" >&2
+  cat "$STATS_OUT" >&2; exit 1;
+}
+grep -q -- "~decl" "$STATS_OUT" || {
+  echo "EXPLAIN with stats off lacks ~decl provenance tag" >&2
+  cat "$STATS_OUT" >&2; exit 1;
+}
+echo "stats smoke ok: ANALYZE + provenance tags present"
+
+# Stats bench smoke: bench_stats asserts the ANALYZE-only placement flip
+# (invocations drop by the join fan-out, wall time improves, identical
+# results, feedback store empty), exiting non-zero otherwise.
+rm -f BENCH_stats.json
+PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_stats"
+[[ -s BENCH_stats.json ]] || {
+  echo "missing BENCH_stats.json" >&2; exit 1;
+}
+
+# Aggregate every BENCH_*.json the smoke runs produced into one
+# BENCH_summary.json keyed by bench name.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'PYEOF'
+import glob, json
+summary = {}
+for path in sorted(glob.glob("BENCH_*.json")):
+    if path == "BENCH_summary.json":
+        continue
+    with open(path) as f:
+        bench = json.load(f)
+    name = bench.get("bench", path[len("BENCH_"):-len(".json")])
+    configs = [m["algorithm"] for m in bench["measurements"]]
+    summary[name] = bench
+    print(f"  {path}: {configs}")
+assert "stats" in summary, f"BENCH_stats.json missing from {sorted(summary)}"
+with open("BENCH_summary.json", "w") as f:
+    json.dump(summary, f, indent=1)
+print(f"BENCH_summary.json ok: {sorted(summary)}")
+PYEOF
+else
+  echo "python3 not found; skipped BENCH_summary.json aggregation"
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then

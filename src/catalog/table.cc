@@ -114,6 +114,32 @@ const ColumnStats& Table::GetColumnStats(const std::string& column) const {
   return stats_[*col];
 }
 
+common::Status Table::SetDeclaredStats(const std::string& column,
+                                       const ColumnStats& stats) {
+  const std::optional<size_t> col = FindColumn(column);
+  if (!col.has_value()) {
+    return common::Status::NotFound("no column " + column + " in table " +
+                                    name_);
+  }
+  stats_[*col] = stats;
+  return common::Status::OK();
+}
+
+int64_t Table::EffectiveDistinct(const std::string& column,
+                                 bool use_collected) const {
+  if (use_collected) {
+    const std::shared_ptr<const stats::TableStatistics> collected =
+        collected_stats();
+    if (collected != nullptr) {
+      const stats::ColumnDistribution* d = collected->Find(column);
+      if (d != nullptr && d->ndv > 0.0) {
+        return static_cast<int64_t>(d->ndv + 0.5);
+      }
+    }
+  }
+  return GetColumnStats(column).num_distinct;
+}
+
 types::RowSchema Table::RowSchemaForAlias(const std::string& alias) const {
   std::vector<types::ColumnInfo> cols;
   cols.reserve(columns_.size());

@@ -2,6 +2,7 @@
 #define PPP_CATALOG_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 
 #include "catalog/column_stats.h"
 #include "common/status.h"
+#include "stats/table_stats.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
@@ -61,6 +63,29 @@ class Table {
   /// Statistics for `column` (zeroes if Analyze was never run).
   const ColumnStats& GetColumnStats(const std::string& column) const;
 
+  /// Overrides the declared statistics of one column. Bench/test hook for
+  /// planting stale or misleading declarations that ANALYZE then corrects.
+  common::Status SetDeclaredStats(const std::string& column,
+                                  const ColumnStats& stats);
+
+  /// Collected (`ANALYZE <table>`) statistics, or nullptr before the
+  /// first ANALYZE. The snapshot is immutable; a concurrent ANALYZE swaps
+  /// the pointer, so readers keep a consistent view for as long as they
+  /// hold the shared_ptr.
+  std::shared_ptr<const stats::TableStatistics> collected_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return collected_;
+  }
+  void SetCollectedStats(std::shared_ptr<const stats::TableStatistics> s) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    collected_ = std::move(s);
+  }
+
+  /// Distinct count of `column` through the provenance ladder: collected
+  /// NDV when ANALYZE has run (and `use_collected`), declared otherwise.
+  int64_t EffectiveDistinct(const std::string& column,
+                            bool use_collected = true) const;
+
   int64_t NumTuples() const {
     return static_cast<int64_t>(heap_.NumRecords());
   }
@@ -78,6 +103,10 @@ class Table {
   storage::HeapFile heap_;
   std::unordered_map<size_t, std::unique_ptr<storage::BTree>> indexes_;
   std::vector<ColumnStats> stats_;
+  /// Guards collected_ only; declared stats_ are written single-threaded
+  /// at load time.
+  mutable std::mutex stats_mu_;
+  std::shared_ptr<const stats::TableStatistics> collected_;
 };
 
 }  // namespace ppp::catalog

@@ -423,8 +423,8 @@ common::Status CostModel::Annotate(plan::PlanNode* node) const {
         if (dot == std::string::npos) continue;
         auto table = ResolveTable(qualified.substr(0, dot));
         if (!table.ok()) continue;
-        const int64_t d =
-            (*table)->GetColumnStats(qualified.substr(dot + 1)).num_distinct;
+        const int64_t d = (*table)->EffectiveDistinct(
+            qualified.substr(dot + 1), params_.use_collected_stats);
         groups *= static_cast<double>(std::max<int64_t>(1, d));
       }
       node->est_rows = node->group_columns.empty()

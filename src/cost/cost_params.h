@@ -55,6 +55,13 @@ struct CostParams {
   /// for any function that has been profiled (the \calibrate path).
   bool use_feedback = false;
 
+  /// When true, predicate analysis consults collected ANALYZE statistics
+  /// (histograms, MCVs, NDV sketches) for column selectivities and join
+  /// distinct counts, overriding the declared catalog numbers for any
+  /// table that has been analyzed. Sits between feedback and declared in
+  /// the provenance ladder: feedback > stats > declared.
+  bool use_collected_stats = true;
+
   /// When true, the model assumes the executor runs predicate transfer
   /// (ExecParams::predicate_transfer — workload::ExecParamsFor keeps the
   /// pair consistent): every hash join on a cheap simple equi-join key

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "obs/profiler.h"
 
 namespace ppp::exec {
@@ -104,8 +105,11 @@ void AppendRankDrift(const plan::PlanNode& plan,
       obs_cost > 0.0 ? (obs_sel - 1.0) / obs_cost : est_rank;
   const bool drift =
       obs::RankDriftExceeds(est_rank, obs_rank, profiler.drift_threshold());
-  out->append(common::StringPrintf(" [rank est=%.4g obs=%.4g%s]", est_rank,
-                                   obs_rank, drift ? " DRIFT" : ""));
+  out->append(common::StringPrintf(
+      " [rank est=%.4g sel~%s cost~%s obs=%.4g%s]", est_rank,
+      expr::StatSourceName(pred.selectivity_source),
+      expr::StatSourceName(pred.cost_source), obs_rank,
+      drift ? " DRIFT" : ""));
 }
 
 /// Renders `plan` at `indent`, pairing it with `op` when the operator tree
@@ -119,6 +123,17 @@ void AppendNode(const plan::PlanNode& plan, const Operator* op, int indent,
   if (op != nullptr) AppendActuals(*op, out);
   if (op != nullptr && functions != nullptr) {
     AppendRankDrift(plan, *functions, out);
+  }
+  if (op != nullptr && plan.est_rows > 0.0) {
+    // Cardinality q-error of this node: max(est/actual, actual/est),
+    // 1.0 = perfect. Aggregated across EXPLAIN ANALYZE runs so the
+    // estimation-error distribution is visible in a metrics snapshot.
+    static obs::Histogram* qerror =
+        obs::MetricsRegistry::Global().GetHistogram("stats.estimation.qerror");
+    const double actual =
+        std::max(1.0, static_cast<double>(op->stats().rows_out));
+    const double est = std::max(1.0, plan.est_rows);
+    qerror->Observe(std::max(est / actual, actual / est));
   }
   out->append("\n");
 

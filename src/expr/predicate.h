@@ -19,6 +19,18 @@ namespace ppp::expr {
 /// Maps range-variable names (FROM-clause aliases) to their base tables.
 using TableBinding = std::map<std::string, const catalog::Table*>;
 
+/// Where an estimate came from, ordered by trust: runtime feedback beats
+/// collected ANALYZE statistics beats declared catalog defaults. A
+/// composite predicate reports the strongest tier any part of it used.
+enum class StatSource : uint8_t {
+  kDeclared = 0,
+  kStats = 1,
+  kFeedback = 2,
+};
+
+/// "decl" | "stats" | "feedback" — the tags EXPLAIN prints.
+const char* StatSourceName(StatSource source);
+
 /// Optimizer-facing summary of one WHERE-clause conjunct: which tables it
 /// touches, what it costs per tuple, how selective it is, and — for simple
 /// equi-joins — the join-column statistics the per-input selectivity model
@@ -34,6 +46,10 @@ struct PredicateInfo {
 
   /// Estimated fraction of input (cross-product for joins) tuples passing.
   double selectivity = 1.0;
+
+  /// Provenance of selectivity / cost_per_tuple (see StatSource).
+  StatSource selectivity_source = StatSource::kDeclared;
+  StatSource cost_source = StatSource::kDeclared;
 
   /// Set when the conjunct has the exact form `a.c1 = b.c2` with a != b.
   bool is_simple_equijoin = false;
@@ -99,17 +115,40 @@ class PredicateAnalyzer {
     feedback_ = feedback;
   }
 
+  /// When false, collected ANALYZE statistics are ignored and column
+  /// selectivities come from declared catalog stats only (the pre-stats
+  /// behaviour; CostParams::use_collected_stats wires this).
+  void set_use_stats(bool on) { use_stats_ = on; }
+
  private:
-  common::Result<double> EstimateSelectivity(const Expr& expr) const;
-  common::Result<double> EstimateCost(const Expr& expr) const;
+  /// An estimate plus the provenance tier it came from.
+  struct Estimate {
+    double value = 0.0;
+    StatSource source = StatSource::kDeclared;
+  };
+
+  common::Result<Estimate> EstimateSelectivity(const Expr& expr) const;
+  common::Result<Estimate> EstimateCost(const Expr& expr) const;
+  Estimate ComparisonSelectivity(const Expr& expr) const;
 
   /// Statistics of a column reference; zeros if unknown.
   catalog::ColumnStats StatsOf(const Expr& column_ref) const;
+  /// Collected distribution of a column reference, or nullptr before
+  /// ANALYZE (or when stats are disabled). The returned pointer lives as
+  /// long as `hold`.
+  const stats::ColumnDistribution* DistributionOf(
+      const Expr& column_ref,
+      std::shared_ptr<const stats::TableStatistics>* hold) const;
+  /// Distinct count through the provenance ladder; sets *source to kStats
+  /// when a collected NDV answered.
+  int64_t EffectiveDistinctOf(const Expr& column_ref,
+                              StatSource* source) const;
   int64_t CardinalityOf(const std::string& alias) const;
 
   const catalog::Catalog* catalog_;
   TableBinding binding_;
   const obs::PredicateFeedbackStore* feedback_ = nullptr;
+  bool use_stats_ = true;
 };
 
 }  // namespace ppp::expr

@@ -35,6 +35,7 @@ common::Result<std::unique_ptr<OptimizerContext>> OptimizerContext::Build(
   if (params.use_feedback) {
     analyzer.set_feedback(&obs::PredicateFeedbackStore::Global());
   }
+  analyzer.set_use_stats(params.use_collected_stats);
   ctx->single_table_preds_.resize(spec.tables.size());
   for (const expr::ExprPtr& conjunct : spec.conjuncts) {
     PPP_ASSIGN_OR_RETURN(expr::PredicateInfo info,

@@ -490,8 +490,71 @@ StatementKind StripExplain(const std::string& sql, std::string* rest) {
   return kind;
 }
 
+namespace {
+
+void SkipSpace(const std::string& sql, size_t* pos) {
+  while (*pos < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[*pos]))) {
+    ++*pos;
+  }
+}
+
+/// Reads an identifier ([A-Za-z_][A-Za-z0-9_]*) at *pos; empty if none.
+std::string ReadIdentifier(const std::string& sql, size_t* pos) {
+  SkipSpace(sql, pos);
+  size_t start = *pos;
+  if (start < sql.size() &&
+      (std::isalpha(static_cast<unsigned char>(sql[start])) ||
+       sql[start] == '_')) {
+    size_t end = start + 1;
+    while (end < sql.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql[end])) ||
+            sql[end] == '_')) {
+      ++end;
+    }
+    *pos = end;
+    return sql.substr(start, end - start);
+  }
+  return "";
+}
+
+}  // namespace
+
 common::Result<ParsedStatement> ParseStatement(const std::string& sql) {
   ParsedStatement out;
+  size_t pos = 0;
+  if (ConsumeWord(sql, &pos, "ANALYZE")) {
+    // ANALYZE [table [, table]...] [;] — no table list means all tables.
+    out.kind = StatementKind::kAnalyze;
+    SkipSpace(sql, &pos);
+    if (pos < sql.size() && sql[pos] != ';') {
+      // A comma commits to another name, so a dangling comma is an error.
+      while (true) {
+        const std::string table = ReadIdentifier(sql, &pos);
+        if (table.empty()) {
+          return common::Status::InvalidArgument(
+              "expected table name in ANALYZE at '" + sql.substr(pos) + "'");
+        }
+        out.analyze_tables.push_back(table);
+        SkipSpace(sql, &pos);
+        if (pos < sql.size() && sql[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        break;
+      }
+    }
+    SkipSpace(sql, &pos);
+    if (pos < sql.size() && sql[pos] == ';') {
+      ++pos;
+      SkipSpace(sql, &pos);
+    }
+    if (pos != sql.size()) {
+      return common::Status::InvalidArgument(
+          "unexpected trailing input in ANALYZE: '" + sql.substr(pos) + "'");
+    }
+    return out;
+  }
   std::string rest;
   out.kind = StripExplain(sql, &rest);
   PPP_ASSIGN_OR_RETURN(out.select, ParseSelect(rest));

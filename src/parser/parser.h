@@ -35,17 +35,21 @@ struct ParsedSelect {
 /// unqualified column references, and function calls.
 common::Result<ParsedSelect> ParseSelect(const std::string& sql);
 
-/// What the statement asks for: run the query, show its plan, or run it
-/// and show the plan annotated with actuals.
+/// What the statement asks for: run the query, show its plan, run it and
+/// show the plan annotated with actuals, or collect table statistics.
 enum class StatementKind {
   kSelect,
   kExplain,         // EXPLAIN SELECT ...
   kExplainAnalyze,  // EXPLAIN ANALYZE SELECT ...
+  kAnalyze,         // ANALYZE [table [, table]...]
 };
 
 struct ParsedStatement {
   StatementKind kind = StatementKind::kSelect;
   ParsedSelect select;
+  /// For kAnalyze: the tables to collect statistics for; empty means every
+  /// table in the catalog.
+  std::vector<std::string> analyze_tables;
 };
 
 /// Strips a leading `EXPLAIN [ANALYZE]` prefix (case-insensitive) from

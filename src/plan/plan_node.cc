@@ -152,6 +152,17 @@ std::string PlanNode::LineString() const {
     if (est_order.has_value()) out->append(" order=" + *est_order);
     out->append("}");
   }
+  // Provenance of the node's predicate estimates: which tier of the
+  // feedback > stats > declared ladder produced them.
+  if (predicate.expr != nullptr &&
+      (kind == PlanKind::kFilter || kind == PlanKind::kJoin ||
+       kind == PlanKind::kIndexScan)) {
+    out->append(common::StringPrintf(
+        "  [sel=%.4g~%s cost=%.3g~%s]", predicate.selectivity,
+        expr::StatSourceName(predicate.selectivity_source),
+        predicate.cost_per_tuple,
+        expr::StatSourceName(predicate.cost_source)));
+  }
   return line;
 }
 

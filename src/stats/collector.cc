@@ -1,0 +1,185 @@
+#include "stats/collector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/table.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "stats/histogram.h"
+#include "stats/hyperloglog.h"
+
+namespace ppp::stats {
+
+namespace {
+
+/// Per-column accumulator for the single-pass scan.
+struct ColumnAccumulator {
+  uint64_t null_count = 0;
+  uint64_t non_null_count = 0;
+  bool has_range = false;
+  types::Value min_value;
+  types::Value max_value;
+  HyperLogLog hll;
+  std::vector<types::Value> reservoir;
+  common::Random rng;
+
+  ColumnAccumulator(int hll_bits, uint64_t seed) : hll(hll_bits), rng(seed) {}
+
+  void Observe(const types::Value& v, size_t reservoir_capacity) {
+    if (v.is_null()) {
+      ++null_count;
+      return;
+    }
+    ++non_null_count;
+    if (!has_range) {
+      min_value = v;
+      max_value = v;
+      has_range = true;
+    } else {
+      if (v < min_value) min_value = v;
+      if (max_value < v) max_value = v;
+    }
+    hll.AddValue(v);
+    // Algorithm R: the first `capacity` values fill the reservoir; value
+    // number k > capacity replaces a random slot with probability
+    // capacity/k, leaving every value equally likely to be retained.
+    if (reservoir.size() < reservoir_capacity) {
+      reservoir.push_back(v);
+    } else {
+      const uint64_t slot = rng.NextUint64(non_null_count);
+      if (slot < reservoir_capacity) reservoir[slot] = v;
+    }
+  }
+};
+
+ColumnDistribution Finalize(ColumnAccumulator* acc, const std::string& name,
+                            types::TypeId type, uint64_t row_count,
+                            const AnalyzeOptions& options) {
+  ColumnDistribution d;
+  d.column = name;
+  d.type = type;
+  d.row_count = row_count;
+  d.null_count = acc->null_count;
+  d.has_range = acc->has_range;
+  d.min_value = acc->min_value;
+  d.max_value = acc->max_value;
+  d.sample_rows = acc->reservoir.size();
+  d.ndv = std::min(acc->hll.Estimate(),
+                   static_cast<double>(acc->non_null_count));
+
+  const double sample_n = static_cast<double>(acc->reservoir.size());
+  if (sample_n == 0.0) return d;
+  const double non_null_fraction = 1.0 - d.null_fraction();
+
+  // MCV list: values appearing at least twice in the sample, top-K by
+  // sample count. Ties broken by value order so the list is deterministic.
+  std::unordered_map<types::Value, uint64_t, types::ValueHasher> counts;
+  for (const types::Value& v : acc->reservoir) ++counts[v];
+  std::vector<std::pair<types::Value, uint64_t>> ranked(counts.begin(),
+                                                        counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::unordered_map<types::Value, bool, types::ValueHasher> is_mcv;
+  for (const auto& [value, count] : ranked) {
+    if (d.mcvs.size() >= options.mcv_entries || count < 2) break;
+    MostCommonValue mcv;
+    mcv.value = value;
+    mcv.frequency =
+        static_cast<double>(count) / sample_n * non_null_fraction;
+    d.mcv_total_frequency += mcv.frequency;
+    is_mcv[value] = true;
+    d.mcvs.push_back(std::move(mcv));
+  }
+
+  // Histogram over the sampled values the MCV list doesn't already cover.
+  std::vector<types::Value> rest;
+  rest.reserve(acc->reservoir.size());
+  for (types::Value& v : acc->reservoir) {
+    if (is_mcv.count(v) == 0) rest.push_back(std::move(v));
+  }
+  d.histogram = EquiDepthHistogram::Build(std::move(rest),
+                                          options.histogram_buckets);
+  return d;
+}
+
+}  // namespace
+
+AnalyzeOptions AnalyzeOptions::Default() {
+  AnalyzeOptions options;
+  if (const char* env = std::getenv("PPP_STATS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env) options.seed = parsed;
+  }
+  return options;
+}
+
+common::Result<std::shared_ptr<const TableStatistics>> BuildTableStatistics(
+    const catalog::Table& table, const AnalyzeOptions& options) {
+  obs::Span span("stats", "stats.build");
+  span.AddArg("table", table.name());
+
+  auto result = std::make_shared<TableStatistics>();
+  result->seed = options.seed;
+
+  const std::vector<catalog::ColumnDef>& columns = table.columns();
+  std::vector<ColumnAccumulator> accs;
+  accs.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    // Distinct per-column seed streams so adding a column never perturbs
+    // another column's sample.
+    accs.emplace_back(options.hll_register_bits, options.seed + i * 1000003);
+  }
+
+  uint64_t rows = 0;
+  storage::HeapFile::Iterator it = table.heap().Scan();
+  storage::RecordId rid;
+  std::string bytes;
+  while (it.Next(&rid, &bytes)) {
+    PPP_ASSIGN_OR_RETURN(types::Tuple tuple, types::Tuple::Deserialize(bytes));
+    ++rows;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      accs[i].Observe(tuple.Get(i), options.reservoir_capacity);
+    }
+  }
+
+  result->row_count = rows;
+  result->columns.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    result->columns.push_back(Finalize(&accs[i], columns[i].name,
+                                       columns[i].type, rows, options));
+    result->sample_rows =
+        std::max(result->sample_rows, result->columns.back().sample_rows);
+  }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("stats.analyze.tables")->Increment();
+  metrics.GetCounter("stats.analyze.rows")->Increment(rows);
+  return std::shared_ptr<const TableStatistics>(std::move(result));
+}
+
+common::Status AnalyzeTable(catalog::Table* table,
+                            const AnalyzeOptions& options) {
+  PPP_ASSIGN_OR_RETURN(std::shared_ptr<const TableStatistics> stats,
+                       BuildTableStatistics(*table, options));
+  table->SetCollectedStats(std::move(stats));
+  return common::Status::OK();
+}
+
+common::Status AnalyzeAll(catalog::Catalog* catalog,
+                          const AnalyzeOptions& options) {
+  for (const std::string& name : catalog->TableNames()) {
+    PPP_ASSIGN_OR_RETURN(catalog::Table * table, catalog->GetTable(name));
+    PPP_RETURN_IF_ERROR(AnalyzeTable(table, options));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace ppp::stats

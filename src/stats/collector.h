@@ -1,0 +1,54 @@
+#ifndef PPP_STATS_COLLECTOR_H_
+#define PPP_STATS_COLLECTOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "stats/table_stats.h"
+
+namespace ppp::catalog {
+class Catalog;
+class Table;
+}  // namespace ppp::catalog
+
+namespace ppp::stats {
+
+/// Tuning knobs of one ANALYZE pass. The defaults are sized for this
+/// repo's benchmark tables (thousands to hundreds of thousands of rows):
+/// a 16 Ki reservoir covers small tables exactly and keeps the histogram
+/// build O(capacity log capacity) on big ones.
+struct AnalyzeOptions {
+  size_t reservoir_capacity = 16384;
+  size_t histogram_buckets = 64;
+  size_t mcv_entries = 16;
+  int hll_register_bits = 14;
+  /// Sampling seed; every run with the same seed and table contents
+  /// produces bit-identical statistics.
+  uint64_t seed = 0x5EEDB00C;
+
+  /// Defaults above, with `seed` overridden by the PPP_STATS_SEED
+  /// environment variable when set (parsed as decimal).
+  static AnalyzeOptions Default();
+};
+
+/// Scans `table` once and builds its TableStatistics: exact row/null
+/// counts and min/max, HyperLogLog NDV per column, and an MCV list plus
+/// equi-depth histogram from a per-column reservoir sample (Algorithm R,
+/// seeded through common::Random). Emits a stats.build span and bumps
+/// stats.analyze.* counters.
+common::Result<std::shared_ptr<const TableStatistics>> BuildTableStatistics(
+    const catalog::Table& table, const AnalyzeOptions& options);
+
+/// BuildTableStatistics + installs the result on the table (atomically —
+/// concurrent readers keep the old snapshot until the swap).
+common::Status AnalyzeTable(catalog::Table* table,
+                            const AnalyzeOptions& options);
+
+/// ANALYZE every table in the catalog.
+common::Status AnalyzeAll(catalog::Catalog* catalog,
+                          const AnalyzeOptions& options);
+
+}  // namespace ppp::stats
+
+#endif  // PPP_STATS_COLLECTOR_H_

@@ -1,0 +1,134 @@
+#include "stats/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace ppp::stats {
+
+namespace {
+
+obs::Counter* HitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("stats.estimator.hit");
+  return c;
+}
+
+obs::Counter* MissCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("stats.estimator.miss");
+  return c;
+}
+
+std::optional<double> Miss() {
+  MissCounter()->Increment();
+  return std::nullopt;
+}
+
+double Hit(double sel) {
+  HitCounter()->Increment();
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+bool Satisfies(const types::Value& x, RangeOp op, const types::Value& v) {
+  const int c = x.Compare(v);
+  switch (op) {
+    case RangeOp::kLt: return c < 0;
+    case RangeOp::kLe: return c <= 0;
+    case RangeOp::kGt: return c > 0;
+    case RangeOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<double> EstimateEquals(const ColumnDistribution& d,
+                                     const types::Value& v) {
+  if (d.row_count == 0) return Hit(0.0);
+  if (v.is_null()) return Hit(0.0);  // `= NULL` never matches.
+  if (d.has_range && (v < d.min_value || d.max_value < v)) return Hit(0.0);
+  for (const MostCommonValue& mcv : d.mcvs) {
+    if (mcv.value == v) return Hit(mcv.frequency);
+  }
+  // Not a heavy hitter: spread the leftover mass. Prefer the histogram's
+  // per-bucket distinct accounting; fall back to NDV when the sample
+  // missed the region entirely.
+  if (!d.histogram.empty()) {
+    const double f = d.histogram.FractionEqual(v);
+    if (f > 0.0) return Hit(f * d.histogram_fraction());
+  }
+  const double remaining_ndv =
+      std::max(1.0, d.ndv - static_cast<double>(d.mcvs.size()));
+  if (d.ndv <= 0.0) return Miss();
+  return Hit(d.histogram_fraction() / remaining_ndv);
+}
+
+std::optional<double> EstimateRange(const ColumnDistribution& d, RangeOp op,
+                                    const types::Value& v) {
+  if (d.row_count == 0) return Hit(0.0);
+  if (v.is_null()) return Miss();  // Comparison with NULL: unknown.
+  // Constant outside the observed domain decides the predicate outright
+  // (modulo nulls, which never pass).
+  if (d.has_range) {
+    if (Satisfies(d.min_value, op, v) && Satisfies(d.max_value, op, v)) {
+      return Hit(1.0 - d.null_fraction());
+    }
+    if (!Satisfies(d.min_value, op, v) && !Satisfies(d.max_value, op, v)) {
+      return Hit(0.0);
+    }
+  }
+
+  double passing = 0.0;  // Fraction of all rows satisfying the predicate.
+  bool informed = false;
+  for (const MostCommonValue& mcv : d.mcvs) {
+    if (Satisfies(mcv.value, op, v)) passing += mcv.frequency;
+    informed = true;
+  }
+  if (!d.histogram.empty()) {
+    const bool less = op == RangeOp::kLt || op == RangeOp::kLe;
+    // < / <= read FractionBelow directly; > / >= take the complement of
+    // the opposite-inclusiveness bound.
+    const double below =
+        d.histogram.FractionBelow(v, /*inclusive=*/op == RangeOp::kLe ||
+                                         op == RangeOp::kGt);
+    const double hist_frac = less ? below : 1.0 - below;
+    passing += hist_frac * d.histogram_fraction();
+    informed = true;
+  } else if (d.has_range && d.min_value.type() != types::TypeId::kString &&
+             d.max_value.type() != types::TypeId::kString &&
+             !d.min_value.is_null() && d.min_value < d.max_value &&
+             (v.type() == types::TypeId::kInt64 ||
+              v.type() == types::TypeId::kDouble)) {
+    // No histogram (tiny sample): uniform interpolation over the exact
+    // collected [min, max], still better than the declared default.
+    const double lo = d.min_value.AsNumeric();
+    const double hi = d.max_value.AsNumeric();
+    double frac = std::clamp((v.AsNumeric() - lo) / (hi - lo), 0.0, 1.0);
+    const bool less = op == RangeOp::kLt || op == RangeOp::kLe;
+    if (!less) frac = 1.0 - frac;
+    passing += frac * d.histogram_fraction();
+    informed = true;
+  }
+  if (!informed) return Miss();
+  return Hit(passing);
+}
+
+JoinSelectivity EstimateJoinSelectivity(double left_rows, double left_ndv,
+                                        double right_rows, double right_ndv) {
+  JoinSelectivity s;
+  const double d = std::max({left_ndv, right_ndv, 1.0});
+  left_rows = std::max(left_rows, 1.0);
+  right_rows = std::max(right_rows, 1.0);
+  const double join_rows = left_rows * right_rows / d;
+  s.over_cross = 1.0 / d;
+  // Fan-out per input row; the paper's "selectivity over R" can exceed 1
+  // when the other side has duplicates, which is exactly what makes a
+  // "free" join non-free (rank flips from -inf to +inf).
+  s.over_left = join_rows / left_rows;
+  s.over_right = join_rows / right_rows;
+  return s;
+}
+
+}  // namespace ppp::stats

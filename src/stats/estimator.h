@@ -1,0 +1,42 @@
+#ifndef PPP_STATS_ESTIMATOR_H_
+#define PPP_STATS_ESTIMATOR_H_
+
+#include <optional>
+
+#include "stats/table_stats.h"
+#include "types/value.h"
+
+namespace ppp::stats {
+
+/// Direction of a range comparison `column <op> constant`.
+enum class RangeOp { kLt, kLe, kGt, kGe };
+
+/// Selectivity of `column = v` over all rows of the table: MCV frequency
+/// when v is a known heavy hitter, otherwise the non-MCV mass spread over
+/// the remaining distinct values (with the histogram refining the
+/// containing bucket). nullopt when the distribution is too thin to say
+/// anything (then the caller falls through to declared defaults).
+/// Every call bumps the stats.estimator.hit / .miss counters.
+std::optional<double> EstimateEquals(const ColumnDistribution& d,
+                                     const types::Value& v);
+
+/// Selectivity of `column <op> v` over all rows: MCVs are tested exactly,
+/// the histogram contributes interpolated bucket mass, nulls never pass.
+/// nullopt when no ordering information was collected.
+std::optional<double> EstimateRange(const ColumnDistribution& d, RangeOp op,
+                                    const types::Value& v);
+
+/// The paper's §4 per-input join selectivities for R.a = S.b under the
+/// containment assumption: |R ⋈ S| = |R||S| / max(ndv_R, ndv_S), reported
+/// as fractions of each input.
+struct JoinSelectivity {
+  double over_left = 1.0;   ///< |R ⋈ S| / |R|, clamped to [0, right_rows].
+  double over_right = 1.0;  ///< |R ⋈ S| / |S|, clamped to [0, left_rows].
+  double over_cross = 1.0;  ///< |R ⋈ S| / (|R||S|): the flat selectivity.
+};
+JoinSelectivity EstimateJoinSelectivity(double left_rows, double left_ndv,
+                                        double right_rows, double right_ndv);
+
+}  // namespace ppp::stats
+
+#endif  // PPP_STATS_ESTIMATOR_H_

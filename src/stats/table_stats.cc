@@ -1,0 +1,32 @@
+#include "stats/table_stats.h"
+
+#include <cstdio>
+
+namespace ppp::stats {
+
+std::string TableStatistics::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "rows=%llu sampled=%llu seed=%llu columns=%zu\n",
+                static_cast<unsigned long long>(row_count),
+                static_cast<unsigned long long>(sample_rows),
+                static_cast<unsigned long long>(seed), columns.size());
+  std::string out = buf;
+  for (const ColumnDistribution& c : columns) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %s: ndv=%.0f nulls=%llu mcvs=%zu (%.1f%%) buckets=%zu",
+                  c.column.c_str(), c.ndv,
+                  static_cast<unsigned long long>(c.null_count),
+                  c.mcvs.size(), 100.0 * c.mcv_total_frequency,
+                  c.histogram.buckets().size());
+    out += buf;
+    if (c.has_range) {
+      out += " range=[" + c.min_value.ToString() + ", " +
+             c.max_value.ToString() + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ppp::stats

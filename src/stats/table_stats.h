@@ -1,0 +1,81 @@
+#ifndef PPP_STATS_TABLE_STATS_H_
+#define PPP_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace ppp::stats {
+
+/// One most-common-value entry: a heavy hitter and the estimated fraction
+/// of all (non-null) rows carrying it.
+struct MostCommonValue {
+  types::Value value;
+  double frequency = 0.0;  ///< Fraction of all rows (not of the sample).
+};
+
+/// Collected distribution of one column, built by ANALYZE. The pieces
+/// follow the PostgreSQL decomposition: exact scalars from the full scan
+/// (row/null counts, min/max), an NDV sketch estimate, an MCV list of
+/// heavy hitters, and an equi-depth histogram over the sample *excluding*
+/// the MCVs (so skew lives in the MCV list and the histogram stays
+/// equi-depth over the remainder).
+struct ColumnDistribution {
+  std::string column;
+  types::TypeId type = types::TypeId::kNull;
+
+  // Exact, from the full scan.
+  uint64_t row_count = 0;
+  uint64_t null_count = 0;
+  bool has_range = false;  ///< min/max valid (some non-null value seen).
+  types::Value min_value;
+  types::Value max_value;
+
+  // Estimated.
+  double ndv = 0.0;  ///< HyperLogLog distinct estimate (non-null values).
+  std::vector<MostCommonValue> mcvs;
+  double mcv_total_frequency = 0.0;  ///< Sum of mcvs[i].frequency.
+  EquiDepthHistogram histogram;      ///< Over sampled non-MCV values.
+  uint64_t sample_rows = 0;          ///< Reservoir size this was built from.
+
+  double null_fraction() const {
+    return row_count == 0 ? 0.0
+                          : static_cast<double>(null_count) /
+                                static_cast<double>(row_count);
+  }
+  /// Fraction of all rows not covered by nulls or the MCV list — the mass
+  /// the histogram describes.
+  double histogram_fraction() const {
+    double f = 1.0 - null_fraction() - mcv_total_frequency;
+    return f < 0.0 ? 0.0 : f;
+  }
+};
+
+/// All collected statistics of one table: per-column distributions plus
+/// the scan-wide scalars. Immutable after construction — the catalog
+/// stores it behind shared_ptr<const TableStatistics> and ANALYZE swaps
+/// the whole pointer, so readers never see a half-built state.
+struct TableStatistics {
+  uint64_t row_count = 0;
+  uint64_t sample_rows = 0;  ///< Reservoir capacity actually filled.
+  uint64_t seed = 0;         ///< Sampling seed (reproducibility audit).
+  std::vector<ColumnDistribution> columns;
+
+  const ColumnDistribution* Find(const std::string& column) const {
+    for (const ColumnDistribution& c : columns) {
+      if (c.column == column) return &c;
+    }
+    return nullptr;
+  }
+
+  /// Human-readable multi-line summary (shell `\analyze` output).
+  std::string ToString() const;
+};
+
+}  // namespace ppp::stats
+
+#endif  // PPP_STATS_TABLE_STATS_H_

@@ -40,6 +40,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
 BufferPool::~BufferPool() { FlushAll(); }
 
 Page* BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
@@ -63,6 +64,7 @@ Page* BufferPool::FetchPage(PageId page_id) {
 }
 
 void BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   PPP_CHECK(it != page_table_.end()) << "unpin of unmapped page " << page_id;
   Frame& frame = frames_[it->second];
@@ -72,6 +74,7 @@ void BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 PageId BufferPool::NewPage(Page** out) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   const PageId page_id = disk_->AllocatePage();
   const size_t idx = FindVictim();
@@ -88,6 +91,7 @@ PageId BufferPool::NewPage(Page** out) {
 }
 
 void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {
       disk_->WritePage(frame.page_id, frame.page);
@@ -99,6 +103,7 @@ void BufferPool::FlushAll() {
 }
 
 void BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.page_id == kInvalidPageId || frame.pin_count > 0) continue;
     if (frame.dirty) {

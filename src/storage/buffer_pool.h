@@ -2,6 +2,7 @@
 #define PPP_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,12 @@ namespace ppp::storage {
 /// pool's IoStats are a complete record of physical page traffic. Misses
 /// are classified sequential vs random by adjacency to the previous missed
 /// page, mirroring how a disk arm would behave for a table scan.
+///
+/// Thread-safe: a single mutex guards the page table, frames, and stats,
+/// so a background ANALYZE can scan a table while queries run. Pinned
+/// page *contents* are not further synchronized — the engine only writes
+/// pages single-threaded (loads, index builds), and concurrent readers of
+/// immutable heap pages need no coordination.
 class BufferPool {
  public:
   /// `capacity` is the number of page frames. The Montage experiments used
@@ -49,8 +56,16 @@ class BufferPool {
   /// single-query measurements would.
   void EvictAll();
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Snapshot of the I/O counters (copied under the pool mutex so a
+  /// concurrent fetch can't tear it).
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.Reset();
+  }
 
   size_t capacity() const { return frames_.size(); }
 
@@ -64,11 +79,13 @@ class BufferPool {
   };
 
   /// Returns the index of a free or evictable frame; flushes the victim if
-  /// dirty. Aborts when all frames are pinned.
+  /// dirty. Aborts when all frames are pinned. Caller holds mu_.
   size_t FindVictim();
 
+  /// Caller holds mu_.
   void RecordMissRead(PageId page_id);
 
+  mutable std::mutex mu_;
   DiskManager* disk_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;

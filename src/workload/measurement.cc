@@ -259,7 +259,11 @@ common::Result<CalibrationReport> Calibrate(
       obs::PredicateFeedbackStore::Global().AbsorbProfiles(
           obs::PredicateProfiler::Global());
 
-  // Placement as the static estimates choose it...
+  // Placement as the static estimates choose it. "Static" only disables
+  // feedback: use_collected_stats is inherited from the caller, so after
+  // ANALYZE the regret baseline is the stats-informed plan — comparing
+  // against a declared-only plan would overstate the regret feedback
+  // actually removes.
   cost::CostParams static_params = cost_params;
   static_params.use_feedback = false;
   optimizer::Optimizer static_opt(catalog, static_params);
@@ -291,6 +295,7 @@ common::Result<CalibrationReport> Calibrate(
   }
   expr::PredicateAnalyzer analyzer(catalog, binding);
   analyzer.set_feedback(&obs::PredicateFeedbackStore::Global());
+  analyzer.set_use_stats(feedback_params.use_collected_stats);
   std::unique_ptr<plan::PlanNode> before_obs = before.plan->Clone();
   PPP_RETURN_IF_ERROR(ReanalyzePredicates(before_obs.get(), analyzer));
   cost::CostModel obs_model(catalog, binding, feedback_params);

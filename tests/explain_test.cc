@@ -11,6 +11,7 @@
 #include "optimizer/optimizer.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
+#include "stats/collector.h"
 #include "workload/database.h"
 #include "workload/measurement.h"
 #include "workload/queries.h"
@@ -190,6 +191,74 @@ TEST_F(RankDriftTest, NoProfileDataKeepsExplainClean) {
   EXPECT_EQ(m.explain_text.find("rank est="), std::string::npos)
       << m.explain_text;
   obs::PredicateProfiler::Global().set_enabled(true);
+}
+
+// ---- Provenance tags: feedback > stats > declared ------------------------
+
+class ProvenanceTest : public ExplainTest {
+ protected:
+  ProvenanceTest() { obs::PredicateFeedbackStore::Global().Clear(); }
+  ~ProvenanceTest() override {
+    obs::PredicateFeedbackStore::Global().Clear();
+  }
+
+  std::string Explain(const std::string& sql,
+                      const cost::CostParams& cost_params) {
+    auto spec = parser::ParseAndBind(sql, db_.catalog());
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    auto m = workload::RunWithAlgorithm(
+        &db_, *spec, optimizer::Algorithm::kMigration, cost_params,
+        workload::ExecParamsFor(cost_params),
+        /*execute=*/false, /*collect_explain=*/true);
+    EXPECT_TRUE(m.ok()) << m.status();
+    return m->explain_text;
+  }
+};
+
+TEST_F(ProvenanceTest, DeclaredTierBeforeAnalyze) {
+  // No ANALYZE has run and no feedback exists: every annotated predicate
+  // reports the declared tier.
+  const std::string text = Explain(
+      "SELECT * FROM t3 WHERE t3.a10 = 5 AND costly100(t3.ua)", {});
+  EXPECT_NE(text.find("~decl"), std::string::npos) << text;
+  EXPECT_EQ(text.find("~stats"), std::string::npos) << text;
+  EXPECT_EQ(text.find("~feedback"), std::string::npos) << text;
+}
+
+TEST_F(ProvenanceTest, StatsTierAfterAnalyze) {
+  auto table = db_.catalog().GetTable("t3");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(
+      stats::AnalyzeTable(*table, stats::AnalyzeOptions::Default()).ok());
+  const std::string text =
+      Explain("SELECT * FROM t3 WHERE t3.a10 = 5", {});
+  EXPECT_NE(text.find("sel=") , std::string::npos) << text;
+  EXPECT_NE(text.find("~stats"), std::string::npos) << text;
+
+  // Disabling the stats tier drops the tag back to declared.
+  cost::CostParams no_stats;
+  no_stats.use_collected_stats = false;
+  const std::string declared =
+      Explain("SELECT * FROM t3 WHERE t3.a10 = 5", no_stats);
+  EXPECT_EQ(declared.find("~stats"), std::string::npos) << declared;
+  EXPECT_NE(declared.find("~decl"), std::string::npos) << declared;
+}
+
+TEST_F(ProvenanceTest, FeedbackTierOutranksStats) {
+  obs::FeedbackEntry entry;
+  entry.cost_per_call = 42.0;
+  entry.selectivity = 0.125;
+  entry.has_selectivity = true;
+  entry.samples = 100;
+  obs::PredicateFeedbackStore::Global().Update("costly100", entry);
+
+  cost::CostParams params;
+  params.use_feedback = true;
+  const std::string text =
+      Explain("SELECT * FROM t3 WHERE costly100(t3.ua)", params);
+  EXPECT_NE(text.find("~feedback"), std::string::npos) << text;
+  EXPECT_NE(text.find("sel=0.125~feedback"), std::string::npos) << text;
+  EXPECT_NE(text.find("cost=42~feedback"), std::string::npos) << text;
 }
 
 // ---- OperatorStats inclusive accounting (satellite audit) ----------------

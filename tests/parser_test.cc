@@ -123,6 +123,36 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a @ 1").ok());
 }
 
+TEST(ParserTest, AnalyzeStatement) {
+  // Bare ANALYZE: all tables (empty list).
+  auto all = ParseStatement("ANALYZE");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(all->kind, StatementKind::kAnalyze);
+  EXPECT_TRUE(all->analyze_tables.empty());
+
+  auto one = ParseStatement("analyze t3;");
+  ASSERT_TRUE(one.ok()) << one.status();
+  EXPECT_EQ(one->kind, StatementKind::kAnalyze);
+  ASSERT_EQ(one->analyze_tables.size(), 1u);
+  EXPECT_EQ(one->analyze_tables[0], "t3");
+
+  auto many = ParseStatement("ANALYZE t3, t6 ,t10");
+  ASSERT_TRUE(many.ok()) << many.status();
+  ASSERT_EQ(many->analyze_tables.size(), 3u);
+  EXPECT_EQ(many->analyze_tables[0], "t3");
+  EXPECT_EQ(many->analyze_tables[1], "t6");
+  EXPECT_EQ(many->analyze_tables[2], "t10");
+}
+
+TEST(ParserTest, AnalyzeErrors) {
+  // Dangling comma, non-identifier operand, trailing junk.
+  EXPECT_FALSE(ParseStatement("ANALYZE t3,").ok());
+  EXPECT_FALSE(ParseStatement("ANALYZE 42").ok());
+  EXPECT_FALSE(ParseStatement("ANALYZE t3 t6").ok());
+  // "ANALYZER" is an identifier, not the keyword: parses as a (bad) SELECT.
+  EXPECT_FALSE(ParseStatement("ANALYZER").ok());
+}
+
 class BinderTest : public ::testing::Test {
  protected:
   BinderTest() : pool_(&disk_, 64), catalog_(&pool_) {
