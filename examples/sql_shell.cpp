@@ -20,6 +20,9 @@
 //   \spans on|off|clear|dump [FILE]
 //                      lifecycle span tracing; dump writes Chrome
 //                      trace-event JSON (default trace.json) for Perfetto
+//   \log [N|on|off|clear]
+//                      tail of the query log (default 10 rows; also
+//                      SQL-queryable as ppp_query_log — see \tables)
 //   \profile [reset]   per-function runtime profile (observed cost and
 //                      distinct-value selectivity)
 //   \calibrate [off]   re-run placement of the last query with observed
@@ -48,6 +51,7 @@
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/query_log.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -153,6 +157,12 @@ int main() {
                       static_cast<long long>((*table)->NumTuples()),
                       static_cast<long long>((*table)->NumPages()));
         }
+        for (const std::string& name : db.catalog().SystemTableNames()) {
+          auto table = db.catalog().GetTable(name);
+          std::printf("  %-18s %8lld rows (system, read-only)\n",
+                      name.c_str(),
+                      static_cast<long long>((*table)->NumTuples()));
+        }
         continue;
       }
       if (word == "analyze") {
@@ -225,8 +235,8 @@ int main() {
           std::string file;
           cmd >> file;
           if (file.empty()) file = "trace.json";
-          const common::Status status =
-              obs::WriteChromeTrace(file, tracer.Snapshot());
+          const common::Status status = obs::WriteChromeTrace(
+              file, tracer.Snapshot(), tracer.dropped());
           if (!status.ok()) {
             std::printf("error: %s\n", status.ToString().c_str());
           } else {
@@ -237,6 +247,51 @@ int main() {
         } else {
           tracer.set_enabled(true);
           std::printf("spans on\n");
+        }
+        continue;
+      }
+      if (word == "log") {
+        std::string mode;
+        cmd >> mode;
+        obs::QueryLog& log = obs::QueryLog::Global();
+        if (mode == "on") {
+          log.set_enabled(true);
+          std::printf("query log on\n");
+        } else if (mode == "off") {
+          log.set_enabled(false);
+          std::printf("query log off (%zu retained)\n", log.size());
+        } else if (mode == "clear") {
+          log.Clear();
+          std::printf("query log cleared\n");
+        } else {
+          size_t n = 10;
+          if (!mode.empty()) {
+            const long long parsed = std::atoll(mode.c_str());
+            if (parsed <= 0) {
+              std::printf("usage: \\log [N|on|off|clear]\n");
+              continue;
+            }
+            n = static_cast<size_t>(parsed);
+          }
+          std::printf("  %5s %-10s %10s %9s %8s %6s %5s %5s %-8s\n", "id",
+                      "algorithm", "wall_ms", "rows_out", "udf", "cache",
+                      "prune", "drift", "tier");
+          for (const obs::QueryLogRecord& r : log.Tail(n)) {
+            std::printf("  %5llu %-10s %10.3f %9llu %8llu %6llu %5llu "
+                        "%5llu %-8s\n",
+                        static_cast<unsigned long long>(r.query_id),
+                        r.algorithm.c_str(), r.wall_seconds * 1e3,
+                        static_cast<unsigned long long>(r.rows_out),
+                        static_cast<unsigned long long>(r.udf_invocations),
+                        static_cast<unsigned long long>(r.cache_hits),
+                        static_cast<unsigned long long>(r.transfer_pruned),
+                        static_cast<unsigned long long>(r.drift_flags),
+                        obs::StatsTierName(r.stats_tier));
+          }
+          std::printf("  %llu logged, %llu evicted; \"SELECT ... FROM "
+                      "ppp_query_log\" for the full view\n",
+                      static_cast<unsigned long long>(log.total()),
+                      static_cast<unsigned long long>(log.evicted()));
         }
         continue;
       }

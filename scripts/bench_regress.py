@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh BENCH_*.json vs checked-in baselines.
+
+Usage: bench_regress.py [--fresh DIR] [--baselines DIR] [--update]
+
+Compares every baseline in bench/baselines/ against the BENCH_<name>.json
+of the same name in the fresh directory (default: the current directory,
+where the check_build.sh smoke runs drop them). Two failure classes:
+
+  * wall regression: a measurement's wall_seconds grew more than 25% over
+    baseline. Walls under the 0.05 s floor are skipped — at smoke scales
+    scheduler jitter dominates and a relative gate would only flake.
+  * invocation drift: any change in any measurement's per-function
+    invocation counts. These are exact and deterministic (the paper's
+    measurement currency), so any delta is a real behavior change —
+    a placement flip, a caching bug, a transfer regression — never noise.
+
+Run with --update to rewrite the baselines from the fresh files (after a
+deliberate, explained behavior change).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+WALL_REGRESSION_LIMIT = 0.25
+WALL_FLOOR_SECONDS = 0.05
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def by_algorithm(bench):
+    out = {}
+    for m in bench.get("measurements", []):
+        out[m["algorithm"]] = m
+    return out
+
+
+def compare(name, baseline, fresh):
+    """Returns a list of failure strings for one bench."""
+    failures = []
+    base_bars = by_algorithm(baseline)
+    fresh_bars = by_algorithm(fresh)
+
+    missing = sorted(set(base_bars) - set(fresh_bars))
+    if missing:
+        failures.append(f"{name}: measurements vanished: {missing}")
+    for algo in sorted(set(fresh_bars) - set(base_bars)):
+        print(f"  {name}/{algo}: new measurement (no baseline yet)")
+
+    for algo in sorted(set(base_bars) & set(fresh_bars)):
+        base, new = base_bars[algo], fresh_bars[algo]
+
+        base_inv = base.get("invocations", {})
+        new_inv = new.get("invocations", {})
+        if base_inv != new_inv:
+            drift = {
+                fn: (base_inv.get(fn), new_inv.get(fn))
+                for fn in sorted(set(base_inv) | set(new_inv))
+                if base_inv.get(fn) != new_inv.get(fn)
+            }
+            failures.append(
+                f"{name}/{algo}: invocation counts changed "
+                f"(baseline, fresh): {drift}")
+
+        base_wall = base.get("wall_seconds", 0.0)
+        new_wall = new.get("wall_seconds", 0.0)
+        if base_wall < WALL_FLOOR_SECONDS:
+            continue  # Too fast to gate: jitter would dominate.
+        if new_wall > base_wall * (1.0 + WALL_REGRESSION_LIMIT):
+            failures.append(
+                f"{name}/{algo}: wall regression {base_wall:.3f}s -> "
+                f"{new_wall:.3f}s "
+                f"(+{(new_wall / base_wall - 1.0) * 100.0:.0f}%, "
+                f"limit +{WALL_REGRESSION_LIMIT * 100.0:.0f}%)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", default=".",
+                        help="directory holding fresh BENCH_*.json")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory holding checked-in baselines")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the fresh files")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.baselines):
+        print(f"no baseline directory {args.baselines}; nothing to gate")
+        return 0
+
+    names = sorted(
+        f for f in os.listdir(args.baselines)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print(f"no baselines under {args.baselines}; nothing to gate")
+        return 0
+
+    failures = []
+    compared = 0
+    for fname in names:
+        fresh_path = os.path.join(args.fresh, fname)
+        base_path = os.path.join(args.baselines, fname)
+        if not os.path.exists(fresh_path):
+            failures.append(
+                f"{fname}: baseline exists but the smoke run produced no "
+                f"fresh file at {fresh_path}")
+            continue
+        if args.update:
+            with open(fresh_path) as src, open(base_path, "w") as dst:
+                dst.write(src.read())
+            print(f"  {fname}: baseline updated")
+            continue
+        failures.extend(compare(fname, load(base_path), load(fresh_path)))
+        compared += 1
+
+    if args.update:
+        print(f"updated {len(names)} baseline(s)")
+        return 0
+    if failures:
+        print(f"bench regression gate FAILED ({len(failures)} issue(s)):")
+        for f in failures:
+            print(f"  {f}")
+        print("intended change? re-baseline with: "
+              "scripts/bench_regress.py --update")
+        return 1
+    print(f"bench regression gate ok: {compared} bench(es) within limits")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -123,6 +123,42 @@ PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_stats"
   echo "missing BENCH_stats.json" >&2; exit 1;
 }
 
+# Introspection smoke: a query against a base table must leave a
+# ppp_query_log row SELECTable through the ordinary SQL path, and \log must
+# show it. Both SELECTs print "1 rows;" (the count aggregate row).
+INTRO_OUT="$BUILD_DIR/check_introspect.out"
+"$BUILD_DIR/examples/sql_shell" >"$INTRO_OUT" <<EOF
+SELECT count(*) FROM t3;
+SELECT count(*) FROM ppp_query_log;
+\\log
+\\quit
+EOF
+[[ "$(grep -c "^1 rows;" "$INTRO_OUT")" -ge 2 ]] || {
+  echo "system-table SELECT smoke failed" >&2; cat "$INTRO_OUT" >&2; exit 1;
+}
+grep -q " logged," "$INTRO_OUT" || {
+  echo "\\log printed no query-log summary" >&2
+  cat "$INTRO_OUT" >&2; exit 1;
+}
+echo "introspection smoke ok: ppp_query_log SELECTable, \\log reports"
+
+# Introspection bench: asserts <2% query-log overhead on the Q1-Q5 mix and
+# runs the analytical join over ppp_query_log x ppp_metrics_window.
+rm -f BENCH_introspect.json
+PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_introspect"
+[[ -s BENCH_introspect.json ]] || {
+  echo "missing BENCH_introspect.json" >&2; exit 1;
+}
+
+# Regression gate: fresh smoke BENCH_*.json vs the checked-in baselines.
+# Fails on >25% wall regressions (above the 0.05 s jitter floor) or any
+# invocation-count drift. Re-baseline deliberate changes with --update.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_regress.py
+else
+  echo "python3 not found; skipped bench regression gate"
+fi
+
 # Aggregate every BENCH_*.json the smoke runs produced into one
 # BENCH_summary.json keyed by bench name.
 if command -v python3 >/dev/null 2>&1; then

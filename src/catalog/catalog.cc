@@ -2,12 +2,24 @@
 
 #include <algorithm>
 
+#include "catalog/system_tables.h"
+#include "common/string_util.h"
+
 namespace ppp::catalog {
+
+Catalog::Catalog(storage::BufferPool* pool) : pool_(pool) {
+  RegisterBuiltinSystemTables(this);
+}
 
 common::Result<Table*> Catalog::CreateTable(const std::string& name,
                                             std::vector<ColumnDef> columns) {
   if (name.empty()) {
     return common::Status::InvalidArgument("table name must be non-empty");
+  }
+  if (common::StartsWith(name, kSystemPrefix)) {
+    return common::Status::InvalidArgument(
+        "the " + std::string(kSystemPrefix) +
+        " prefix is reserved for system tables");
   }
   if (tables_.count(name) > 0) {
     return common::Status::AlreadyExists("table " + name + " already exists");
@@ -32,10 +44,10 @@ common::Result<Table*> Catalog::CreateTable(const std::string& name,
 
 common::Result<Table*> Catalog::GetTable(const std::string& name) const {
   auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return common::Status::NotFound("no table named " + name);
-  }
-  return it->second.get();
+  if (it != tables_.end()) return it->second.get();
+  auto sys = system_tables_.find(name);
+  if (sys != system_tables_.end()) return sys->second.get();
+  return common::Status::NotFound("no table named " + name);
 }
 
 std::vector<std::string> Catalog::TableNames() const {
@@ -44,6 +56,35 @@ std::vector<std::string> Catalog::TableNames() const {
   for (const auto& [name, table] : tables_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+std::vector<std::string> Catalog::SystemTableNames() const {
+  std::vector<std::string> names;
+  names.reserve(system_tables_.size());
+  for (const auto& [name, table] : system_tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+common::Result<Table*> Catalog::RegisterSystemTable(
+    std::unique_ptr<Table> table) {
+  if (table == nullptr || !table->is_system()) {
+    return common::Status::InvalidArgument(
+        "RegisterSystemTable requires a table in system mode");
+  }
+  const std::string& name = table->name();
+  if (!common::StartsWith(name, kSystemPrefix)) {
+    return common::Status::InvalidArgument(
+        "system table " + name + " must carry the " +
+        std::string(kSystemPrefix) + " prefix");
+  }
+  if (system_tables_.count(name) > 0) {
+    return common::Status::AlreadyExists("system table " + name +
+                                         " already exists");
+  }
+  Table* ptr = table.get();
+  system_tables_.emplace(name, std::move(table));
+  return ptr;
 }
 
 }  // namespace ppp::catalog

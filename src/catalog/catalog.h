@@ -19,18 +19,38 @@ namespace ppp::catalog {
 /// is centrally counted.
 class Catalog {
  public:
-  explicit Catalog(storage::BufferPool* pool) : pool_(pool) {}
+  /// Reserved name prefix of the built-in system tables; CreateTable
+  /// rejects it so user tables can never shadow introspection.
+  static constexpr const char* kSystemPrefix = "ppp_";
+
+  /// Construction registers the built-in system tables (ppp_query_log,
+  /// ppp_metrics, ppp_metrics_window, ppp_spans, ppp_table_stats), so
+  /// every Database is introspectable from its first query.
+  explicit Catalog(storage::BufferPool* pool);
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  /// Creates an empty table; AlreadyExists if the name is taken.
+  /// Creates an empty table; AlreadyExists if the name is taken,
+  /// InvalidArgument for the reserved ppp_ prefix.
   common::Result<Table*> CreateTable(const std::string& name,
                                      std::vector<ColumnDef> columns);
 
+  /// Resolves base tables and system tables alike.
   common::Result<Table*> GetTable(const std::string& name) const;
 
+  /// Base-table names only, sorted. System tables are deliberately
+  /// excluded: ANALYZE-all, schema dumps, and equivalence harnesses
+  /// iterate this and must not see virtual state.
   std::vector<std::string> TableNames() const;
+
+  /// The registered system tables, sorted.
+  std::vector<std::string> SystemTableNames() const;
+
+  /// Registers a system table (name must carry kSystemPrefix and the
+  /// Table must be in system mode). The built-ins go through this from
+  /// the constructor; tests can add their own.
+  common::Result<Table*> RegisterSystemTable(std::unique_ptr<Table> table);
 
   FunctionRegistry& functions() { return functions_; }
   const FunctionRegistry& functions() const { return functions_; }
@@ -40,6 +60,7 @@ class Catalog {
  private:
   storage::BufferPool* pool_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> system_tables_;
   FunctionRegistry functions_;
 };
 

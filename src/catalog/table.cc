@@ -1,8 +1,10 @@
 #include "catalog/table.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/logging.h"
+#include "storage/page.h"
 
 namespace ppp::catalog {
 
@@ -14,6 +16,59 @@ Table::Table(std::string name, std::vector<ColumnDef> columns,
       heap_(pool),
       stats_(columns_.size()) {}
 
+Table::Table(std::string name, std::vector<ColumnDef> columns,
+             SystemRowProvider provider,
+             std::function<int64_t()> row_count_hint)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      pool_(nullptr),
+      heap_(nullptr),  // Never touched: system tables have no storage.
+      stats_(columns_.size()),
+      provider_(std::move(provider)),
+      row_count_hint_(std::move(row_count_hint)) {}
+
+common::Result<std::vector<types::Tuple>> Table::MaterializeSystemRows()
+    const {
+  if (provider_ == nullptr) {
+    return common::Status::InvalidArgument(
+        "table " + name_ + " is a base table, not a system table");
+  }
+  PPP_ASSIGN_OR_RETURN(std::vector<types::Tuple> rows, provider_());
+  for (const types::Tuple& row : rows) {
+    if (row.NumValues() != columns_.size()) {
+      return common::Status::Internal(
+          "system table " + name_ + " provider produced arity " +
+          std::to_string(row.NumValues()) + ", schema has " +
+          std::to_string(columns_.size()));
+    }
+  }
+  return rows;
+}
+
+int64_t Table::NumTuples() const {
+  if (provider_ != nullptr) {
+    return row_count_hint_ != nullptr ? row_count_hint_() : 0;
+  }
+  return static_cast<int64_t>(heap_.NumRecords());
+}
+
+int64_t Table::NumPages() const {
+  if (provider_ != nullptr) {
+    // No pages exist; synthesize a footprint from the row-count hint so
+    // scan costing stays proportional to volume. ~8 bytes per numeric
+    // column, ~24 per string is close enough for placement decisions.
+    size_t width = 0;
+    for (const ColumnDef& col : columns_) {
+      width += col.type == types::TypeId::kString ? 24 : 8;
+    }
+    const int64_t bytes = NumTuples() * static_cast<int64_t>(width);
+    return std::max<int64_t>(
+        1, (bytes + static_cast<int64_t>(storage::kPageSize) - 1) /
+               static_cast<int64_t>(storage::kPageSize));
+  }
+  return static_cast<int64_t>(heap_.NumPages());
+}
+
 std::optional<size_t> Table::FindColumn(const std::string& column) const {
   for (size_t i = 0; i < columns_.size(); ++i) {
     if (columns_[i].name == column) return i;
@@ -22,6 +77,10 @@ std::optional<size_t> Table::FindColumn(const std::string& column) const {
 }
 
 common::Status Table::Insert(const types::Tuple& tuple) {
+  if (is_system()) {
+    return common::Status::InvalidArgument("system table " + name_ +
+                                           " is read-only");
+  }
   if (tuple.NumValues() != columns_.size()) {
     return common::Status::InvalidArgument(
         "tuple arity " + std::to_string(tuple.NumValues()) +
@@ -43,6 +102,11 @@ common::Result<types::Tuple> Table::Read(storage::RecordId rid) const {
 }
 
 common::Status Table::CreateIndex(const std::string& column) {
+  if (is_system()) {
+    return common::Status::InvalidArgument(
+        "cannot index system table " + name_ +
+        ": rows are materialized per scan");
+  }
   const std::optional<size_t> col = FindColumn(column);
   if (!col.has_value()) {
     return common::Status::NotFound("no column " + column + " in table " +
@@ -79,6 +143,14 @@ const storage::BTree* Table::GetIndex(const std::string& column) const {
 }
 
 common::Status Table::Analyze() {
+  if (is_system()) {
+    // System-table contents churn with every query, so collected stats
+    // would be stale by the time they were used: their provenance is
+    // pinned to the declared tier.
+    return common::Status::InvalidArgument(
+        "cannot ANALYZE system table " + name_ +
+        ": statistics are pinned to the declared tier");
+  }
   std::vector<std::set<types::Value>> distinct(columns_.size());
   std::vector<ColumnStats> stats(columns_.size());
   std::vector<bool> bounded(columns_.size(), false);

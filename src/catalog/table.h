@@ -1,6 +1,7 @@
 #ifndef PPP_CATALOG_TABLE_H_
 #define PPP_CATALOG_TABLE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -28,10 +29,27 @@ struct ColumnDef {
 
 /// A stored base table: schema + heap file + secondary B-tree indexes +
 /// statistics. Owned by the Catalog.
+///
+/// A table may instead be a *system* (virtual) table: rows come from a
+/// provider function that snapshots in-memory engine state (query log,
+/// metrics, spans, table stats) at scan open, there is no heap file, and
+/// Insert/CreateIndex/Analyze are rejected. Everything downstream —
+/// binder, predicate analyzer, cost model, placement — sees the same
+/// Table interface, so introspection queries plan like ordinary ones.
 class Table {
  public:
+  /// Produces the current rows of a system table, each matching columns().
+  using SystemRowProvider =
+      std::function<common::Result<std::vector<types::Tuple>>()>;
+
   Table(std::string name, std::vector<ColumnDef> columns,
         storage::BufferPool* pool);
+
+  /// Constructs a system table. `row_count_hint` feeds NumTuples() for
+  /// costing without materializing (pass {} for a 0 hint — the cost model
+  /// substitutes its small-table floor).
+  Table(std::string name, std::vector<ColumnDef> columns,
+        SystemRowProvider provider, std::function<int64_t()> row_count_hint);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -86,10 +104,16 @@ class Table {
   int64_t EffectiveDistinct(const std::string& column,
                             bool use_collected = true) const;
 
-  int64_t NumTuples() const {
-    return static_cast<int64_t>(heap_.NumRecords());
-  }
-  int64_t NumPages() const { return static_cast<int64_t>(heap_.NumPages()); }
+  /// True for catalog-registered virtual tables (ppp_query_log & co).
+  bool is_system() const { return provider_ != nullptr; }
+
+  /// Snapshots the current rows of a system table (errors on base tables).
+  /// Each call re-reads the live engine state; SystemTableScan calls it
+  /// once per query so self-joins see one consistent snapshot.
+  common::Result<std::vector<types::Tuple>> MaterializeSystemRows() const;
+
+  int64_t NumTuples() const;
+  int64_t NumPages() const;
 
   const storage::HeapFile& heap() const { return heap_; }
 
@@ -107,6 +131,9 @@ class Table {
   /// at load time.
   mutable std::mutex stats_mu_;
   std::shared_ptr<const stats::TableStatistics> collected_;
+  /// Set only on system tables.
+  SystemRowProvider provider_;
+  std::function<int64_t()> row_count_hint_;
 };
 
 }  // namespace ppp::catalog

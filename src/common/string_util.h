@@ -1,6 +1,7 @@
 #ifndef PPP_COMMON_STRING_UTIL_H_
 #define PPP_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,18 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string StringPrintf(const char* format, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// FNV-1a 64-bit hash. Stable across runs and platforms — query-log text
+/// hashes and plan fingerprints persist in BENCH json and must compare
+/// across processes.
+uint64_t Fnv1aHash(std::string_view text);
+
+/// Escapes `text` for embedding inside a JSON string literal: quotes,
+/// backslashes, and every control character below 0x20 (\n \t \r \b \f get
+/// their short forms, the rest \u00xx). Every JSON emitter in the tree
+/// must go through this — a UDF or metric named `f"x` is legal in the
+/// catalog and must not corrupt BENCH_*.json or Chrome traces.
+std::string JsonEscape(std::string_view text);
 
 }  // namespace ppp::common
 

@@ -3,14 +3,22 @@
 #include <algorithm>
 #include <optional>
 
+#include <chrono>
+#include <functional>
+#include <map>
+
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/query_log.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
+#include "exec/explain.h"
 #include "exec/filter_op.h"
 #include "exec/join_ops.h"
 #include "exec/misc_ops.h"
 #include "exec/scan_ops.h"
+#include "exec/system_scan.h"
 
 namespace ppp::exec {
 
@@ -73,6 +81,49 @@ void ClaimTransfers(ExecContext* ctx, const std::string& alias,
   }
 }
 
+/// Tuples the leaf scans produced — the query's input volume after any
+/// Bloom pre-filtering, before predicates and joins.
+uint64_t SumLeafRows(const Operator& op) {
+  const std::vector<const Operator*> children = op.Children();
+  if (children.empty()) return op.stats().rows_out;
+  uint64_t total = 0;
+  for (const Operator* child : children) total += SumLeafRows(*child);
+  return total;
+}
+
+/// Predicate-cache hits across the operator tree (kPredicate mode keeps
+/// its memo tables inside the operators, not in the global registry).
+uint64_t SumCacheHits(const Operator& op) {
+  uint64_t total = op.stats().has_cache ? op.stats().cache_hits : 0;
+  for (const Operator* child : op.Children()) {
+    total += SumCacheHits(*child);
+  }
+  return total;
+}
+
+/// The weakest provenance any predicate estimate in the tree rests on
+/// (selectivity or cost): one declared-only guess taints the whole plan.
+/// Predicate-free plans report declared — nothing was estimated at all.
+obs::StatsTier WeakestStatsTier(const plan::PlanNode& plan) {
+  bool any = false;
+  auto tier = obs::StatsTier::kFeedback;
+  const std::function<void(const plan::PlanNode&)> walk =
+      [&](const plan::PlanNode& node) {
+        if (node.predicate.expr != nullptr) {
+          any = true;
+          const auto weakest = static_cast<obs::StatsTier>(
+              std::min(static_cast<int>(node.predicate.selectivity_source),
+                       static_cast<int>(node.predicate.cost_source)));
+          if (static_cast<int>(weakest) < static_cast<int>(tier)) {
+            tier = weakest;
+          }
+        }
+        for (const auto& child : node.children) walk(*child);
+      };
+  walk(plan);
+  return any ? tier : obs::StatsTier::kDeclared;
+}
+
 types::TypeId InferType(const expr::Expr& e,
                         const types::RowSchema& schema,
                         const catalog::Catalog& catalog) {
@@ -107,6 +158,14 @@ common::Result<std::unique_ptr<Operator>> BuildExecutor(
     case plan::PlanKind::kSeqScan: {
       PPP_ASSIGN_OR_RETURN(const catalog::Table* table,
                            TableFor(*ctx, plan.alias));
+      // System tables keep the kSeqScan plan shape (costing and placement
+      // are oblivious to the storage kind) but execute as a materialized
+      // snapshot scan.
+      if (table->is_system()) {
+        auto scan = std::make_unique<SystemTableScanOp>(table, plan.alias);
+        ClaimTransfers(ctx, plan.alias, scan.get());
+        return std::unique_ptr<Operator>(std::move(scan));
+      }
       auto scan = std::make_unique<SeqScanOp>(table, plan.alias);
       ClaimTransfers(ctx, plan.alias, scan.get());
       return std::unique_ptr<Operator>(std::move(scan));
@@ -366,6 +425,21 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   ctx->pending_transfers.clear();
   ctx->all_transfers.clear();
 
+  // Query-log bookkeeping: an id for span correlation (issued even when
+  // logging is off), a counters baseline for exact per-query deltas, and
+  // the execute-phase clock. The id scope outlives the spans below, so
+  // every span recorded during this execution carries the id.
+  obs::QueryLog& query_log = obs::QueryLog::Global();
+  const uint64_t query_id = query_log.NextQueryId();
+  obs::QueryIdScope query_scope(query_id);
+  const bool log_on = query_log.enabled();
+  std::map<std::string, uint64_t> counters_before;
+  if (log_on) {
+    counters_before = obs::MetricsRegistry::Global().SnapshotCounters();
+  }
+  const std::chrono::steady_clock::time_point exec_start =
+      std::chrono::steady_clock::now();
+
   std::optional<obs::Span> span;
   if (obs::SpanTracer::Global().enabled()) span.emplace("exec", "execute");
 
@@ -442,6 +516,52 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
     stats->io.buffer_hits = after.buffer_hits - before.buffer_hits;
     stats->invocations = ctx->eval.invocation_counts;
   }
+
+  // Close-time introspection: append this query's log record (after the
+  // transfer accounting above, so the counter deltas include it; after the
+  // scans closed, so the query never sees its own row) and roll the
+  // time-series forward one sample.
+  if (log_on) {
+    const auto delta = [&counters_before](
+                           const std::map<std::string, uint64_t>& now,
+                           const std::string& name) -> uint64_t {
+      const auto after_it = now.find(name);
+      if (after_it == now.end()) return 0;
+      const auto before_it = counters_before.find(name);
+      const uint64_t prior =
+          before_it == counters_before.end() ? 0 : before_it->second;
+      return after_it->second >= prior ? after_it->second - prior : 0;
+    };
+    const std::map<std::string, uint64_t> counters_after =
+        obs::MetricsRegistry::Global().SnapshotCounters();
+    obs::QueryLogRecord record;
+    record.query_id = query_id;
+    record.text_hash = ctx->log_hints.text_hash;
+    record.plan_fingerprint = plan.Fingerprint();
+    record.algorithm = ctx->log_hints.algorithm;
+    record.optimize_seconds = ctx->log_hints.optimize_seconds;
+    record.execute_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      exec_start)
+            .count();
+    record.wall_seconds =
+        record.optimize_seconds + record.execute_seconds;
+    record.rows_in = SumLeafRows(*root);
+    record.rows_out = out.size();
+    record.udf_invocations = delta(counters_after, "expr.udf.invocations");
+    // Both memoization layers: the function cache counts globally, the
+    // predicate-level memos live in the operators.
+    record.cache_hits = delta(counters_after, "expr.function_cache.hits") +
+                        SumCacheHits(*root);
+    record.transfer_pruned = delta(counters_after, "exec.transfer.pruned");
+    record.drift_flags =
+        CountDriftingPredicates(plan, ctx->catalog->functions());
+    record.stats_tier = WeakestStatsTier(plan);
+    record.bucket = obs::TimeSeries::Global().CurrentBucket();
+    query_log.Append(std::move(record));
+  }
+  obs::TimeSeries::Global().Sample();
+
   if (root_out != nullptr) *root_out = std::move(root);
   return out;
 }

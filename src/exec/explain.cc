@@ -61,55 +61,18 @@ void AppendActuals(const Operator& op, std::string* out) {
 }
 
 /// Estimated vs observed rank for the node's predicate, when at least one
-/// of its UDFs has a runtime profile. Observed cost replaces the declared
-/// cost of every profiled function; observed selectivity rescales the
-/// estimate by the profiled functions' pass-rate ratio (non-profiled
-/// factors keep their catalog estimates).
+/// of its UDFs has a runtime profile (see ComputeRankDrift).
 void AppendRankDrift(const plan::PlanNode& plan,
                      const catalog::FunctionRegistry& functions,
                      std::string* out) {
-  const expr::PredicateInfo& pred = plan.predicate;
-  if (pred.expr == nullptr || !pred.is_expensive()) return;
-
-  std::vector<const expr::Expr*> calls;
-  pred.expr->CollectFunctionCalls(&calls);
-  const obs::PredicateProfiler& profiler = obs::PredicateProfiler::Global();
-  const double spio = profiler.seconds_per_io();
-
-  bool any_profiled = false;
-  double obs_cost = 0.0;
-  double sel_ratio = 1.0;
-  for (const expr::Expr* call : calls) {
-    const auto def = functions.Lookup(call->function_name);
-    const double def_cost = def.ok() ? (*def)->cost_per_call : 0.0;
-    const std::optional<obs::PredicateProfile> profile =
-        profiler.Get(call->function_name);
-    if (!profile.has_value()) {
-      obs_cost += def_cost;
-      continue;
-    }
-    any_profiled = true;
-    obs_cost += profile->ObservedCostIos(spio);
-    if (def.ok() && profile->has_selectivity &&
-        (*def)->return_type == types::TypeId::kBool &&
-        (*def)->selectivity > 0.0) {
-      sel_ratio *= profile->ObservedSelectivity((*def)->selectivity) /
-                   (*def)->selectivity;
-    }
-  }
-  if (!any_profiled) return;  // No runtime data: the line stays clean.
-
-  const double est_rank = pred.rank();
-  const double obs_sel = std::clamp(pred.selectivity * sel_ratio, 0.0, 1.0);
-  const double obs_rank =
-      obs_cost > 0.0 ? (obs_sel - 1.0) / obs_cost : est_rank;
-  const bool drift =
-      obs::RankDriftExceeds(est_rank, obs_rank, profiler.drift_threshold());
+  const std::optional<RankDriftInfo> info =
+      ComputeRankDrift(plan, functions);
+  if (!info.has_value()) return;  // No runtime data: the line stays clean.
   out->append(common::StringPrintf(
-      " [rank est=%.4g sel~%s cost~%s obs=%.4g%s]", est_rank,
-      expr::StatSourceName(pred.selectivity_source),
-      expr::StatSourceName(pred.cost_source), obs_rank,
-      drift ? " DRIFT" : ""));
+      " [rank est=%.4g sel~%s cost~%s obs=%.4g%s]", info->est_rank,
+      expr::StatSourceName(plan.predicate.selectivity_source),
+      expr::StatSourceName(plan.predicate.cost_source), info->obs_rank,
+      info->drift ? " DRIFT" : ""));
 }
 
 /// Renders `plan` at `indent`, pairing it with `op` when the operator tree
@@ -150,6 +113,63 @@ void AppendNode(const plan::PlanNode& plan, const Operator* op, int indent,
 
 std::string RenderExplain(const plan::PlanNode& plan) {
   return plan.ToString();
+}
+
+std::optional<RankDriftInfo> ComputeRankDrift(
+    const plan::PlanNode& plan, const catalog::FunctionRegistry& functions) {
+  const expr::PredicateInfo& pred = plan.predicate;
+  if (pred.expr == nullptr || !pred.is_expensive()) return std::nullopt;
+
+  // Observed cost replaces the declared cost of every profiled function;
+  // observed selectivity rescales the estimate by the profiled functions'
+  // pass-rate ratio (non-profiled factors keep their catalog estimates).
+  std::vector<const expr::Expr*> calls;
+  pred.expr->CollectFunctionCalls(&calls);
+  const obs::PredicateProfiler& profiler = obs::PredicateProfiler::Global();
+  const double spio = profiler.seconds_per_io();
+
+  bool any_profiled = false;
+  double obs_cost = 0.0;
+  double sel_ratio = 1.0;
+  for (const expr::Expr* call : calls) {
+    const auto def = functions.Lookup(call->function_name);
+    const double def_cost = def.ok() ? (*def)->cost_per_call : 0.0;
+    const std::optional<obs::PredicateProfile> profile =
+        profiler.Get(call->function_name);
+    if (!profile.has_value()) {
+      obs_cost += def_cost;
+      continue;
+    }
+    any_profiled = true;
+    obs_cost += profile->ObservedCostIos(spio);
+    if (def.ok() && profile->has_selectivity &&
+        (*def)->return_type == types::TypeId::kBool &&
+        (*def)->selectivity > 0.0) {
+      sel_ratio *= profile->ObservedSelectivity((*def)->selectivity) /
+                   (*def)->selectivity;
+    }
+  }
+  if (!any_profiled) return std::nullopt;
+
+  RankDriftInfo info;
+  info.est_rank = pred.rank();
+  const double obs_sel = std::clamp(pred.selectivity * sel_ratio, 0.0, 1.0);
+  info.obs_rank =
+      obs_cost > 0.0 ? (obs_sel - 1.0) / obs_cost : info.est_rank;
+  info.drift = obs::RankDriftExceeds(info.est_rank, info.obs_rank,
+                                     profiler.drift_threshold());
+  return info;
+}
+
+uint64_t CountDriftingPredicates(
+    const plan::PlanNode& plan, const catalog::FunctionRegistry& functions) {
+  const std::optional<RankDriftInfo> info =
+      ComputeRankDrift(plan, functions);
+  uint64_t count = info.has_value() && info->drift ? 1 : 0;
+  for (const std::unique_ptr<plan::PlanNode>& child : plan.children) {
+    count += CountDriftingPredicates(*child, functions);
+  }
+  return count;
 }
 
 std::string RenderExplainAnalyze(const plan::PlanNode& plan,

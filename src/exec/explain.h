@@ -1,6 +1,7 @@
 #ifndef PPP_EXEC_EXPLAIN_H_
 #define PPP_EXEC_EXPLAIN_H_
 
+#include <optional>
 #include <string>
 
 #include "catalog/function_registry.h"
@@ -31,6 +32,22 @@ std::string RenderExplainAnalyze(const plan::PlanNode& plan,
                                  const Operator& root,
                                  const catalog::FunctionRegistry* functions =
                                      nullptr);
+
+/// Estimated vs observed rank of one node's predicate, computed from the
+/// PredicateProfiler the way EXPLAIN ANALYZE renders it. Empty when the
+/// node has no expensive predicate or none of its UDFs has a profile yet.
+struct RankDriftInfo {
+  double est_rank = 0.0;
+  double obs_rank = 0.0;
+  bool drift = false;  ///< Past the profiler's drift threshold.
+};
+std::optional<RankDriftInfo> ComputeRankDrift(
+    const plan::PlanNode& plan, const catalog::FunctionRegistry& functions);
+
+/// Number of predicates in the whole plan tree currently flagged DRIFT —
+/// the query log's drift_flags column.
+uint64_t CountDriftingPredicates(const plan::PlanNode& plan,
+                                 const catalog::FunctionRegistry& functions);
 
 }  // namespace ppp::exec
 

@@ -123,6 +123,16 @@ struct ExecContext {
   /// Every transfer created for this execution, for end-of-query stats
   /// (profiler + metrics). Cleared by ExecutePlan on entry.
   std::vector<std::shared_ptr<BloomTransfer>> all_transfers;
+
+  /// Optimizer-side facts for the ppp_query_log record ExecutePlan appends
+  /// at close. workload::RunWithAlgorithm fills these; direct ExecutePlan
+  /// callers leave the zeroes and the record simply lacks them.
+  struct QueryLogHints {
+    uint64_t text_hash = 0;       ///< Fnv1aHash of the bound spec's text.
+    std::string algorithm;        ///< Placement algorithm that planned it.
+    double optimize_seconds = 0.0;
+  };
+  QueryLogHints log_hints;
 };
 
 /// Per-operator runtime telemetry, accumulated by the Open()/Next()/

@@ -20,28 +20,9 @@ std::string NumberToString(double v) {
   return common::StringPrintf("%.17g", v);
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
 }  // namespace
+
+using common::JsonEscape;
 
 void Histogram::Observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -186,6 +167,13 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   return &histograms_[name];
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::SnapshotCounters() const {
+  std::map<std::string, uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out[name] = c.value();
+  return out;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

@@ -123,6 +123,11 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Counters only, skipping the per-histogram percentile sorts. Cheap
+  /// enough to take twice around every query: the query log's exact
+  /// per-query counts are deltas of two of these.
+  std::map<std::string, uint64_t> SnapshotCounters() const;
+
   /// Zeroes every metric (keeps registrations, so cached pointers stay
   /// valid). Benches call this between phases to get per-phase deltas.
   void ResetAll();

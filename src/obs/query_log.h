@@ -1,0 +1,122 @@
+#ifndef PPP_OBS_QUERY_LOG_H_
+#define PPP_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppp::obs {
+
+/// How much the optimizer trusted its selectivity/cost inputs for a plan:
+/// the *weakest* source among the plan's predicates (a single declared-only
+/// guess taints the whole plan's provenance). Ordered from weakest to
+/// strongest, matching the provenance ladder feedback > stats > declared.
+enum class StatsTier : int {
+  kDeclared = 0,  // Catalog declarations only.
+  kStats = 1,     // ANALYZE histograms/MCVs/NDV sketches.
+  kFeedback = 2,  // Profiled observed costs and selectivities.
+};
+
+/// Lowercase name ("declared", "stats", "feedback") for display and the
+/// ppp_query_log system table.
+const char* StatsTierName(StatsTier tier);
+
+/// One completed query, recorded at executor close time. Counter-valued
+/// fields are exact per-query deltas of the global MetricsRegistry taken
+/// around execution (see DESIGN §7), so concurrent instrumentation in the
+/// same process never bleeds across records within one single-query engine.
+struct QueryLogRecord {
+  uint64_t query_id = 0;
+  /// FNV-1a of the bound QuerySpec's canonical text — the normalized query,
+  /// stable across literal formatting but not across constants.
+  uint64_t text_hash = 0;
+  /// FNV-1a of the plan's structural signature (shape + placement), so
+  /// repeated runs of one query group by plan.
+  uint64_t plan_fingerprint = 0;
+  std::string algorithm;
+  double wall_seconds = 0.0;
+  double optimize_seconds = 0.0;
+  double execute_seconds = 0.0;
+  uint64_t rows_in = 0;   // Tuples produced by leaf scans.
+  uint64_t rows_out = 0;  // Tuples returned to the caller.
+  uint64_t udf_invocations = 0;    // expr.udf.invocations delta.
+  uint64_t cache_hits = 0;         // expr.function_cache.hits delta.
+  uint64_t transfer_pruned = 0;    // exec.transfer.pruned delta.
+  /// Predicates whose observed rank drifted past the profiler threshold.
+  uint64_t drift_flags = 0;
+  StatsTier stats_tier = StatsTier::kDeclared;
+  /// 1 s time-series bucket (TimeSeries clock) the query finished in;
+  /// equi-joins ppp_query_log against ppp_metrics_window.
+  int64_t bucket = 0;
+};
+
+/// Process-wide bounded ring of QueryLogRecords, the backing store of the
+/// ppp_query_log system table. On by default; PPP_QUERY_LOG=0 (or \log off
+/// in the shell) disables appends. Thread-safe: records are appended from
+/// whichever thread closes the executor, and snapshots are taken by
+/// concurrent introspection scans.
+class QueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// The log every executor records into. Standalone instances are legal
+  /// (tests build private rings); the engine only ever touches Global().
+  static QueryLog& Global();
+
+  QueryLog();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Issues the next query id (1, 2, ...). Ids are issued even while
+  /// disabled so spans stay correlatable across a \log off window.
+  uint64_t NextQueryId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Appends one record; past capacity the oldest record is overwritten
+  /// (counted in evicted()). No-op while disabled.
+  void Append(QueryLogRecord record);
+
+  /// All retained records, oldest first.
+  std::vector<QueryLogRecord> Snapshot() const;
+
+  /// The most recent `n` records, oldest first.
+  std::vector<QueryLogRecord> Tail(size_t n) const;
+
+  size_t size() const;
+  /// Records ever appended (including since-evicted ones).
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  /// Records overwritten by ring wraparound.
+  uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+  /// Shrinks or grows the ring; shrinking keeps the newest records.
+  void set_capacity(size_t n);
+  size_t capacity() const;
+
+  /// Drops all retained records and zeroes total/evicted. Query ids keep
+  /// increasing (they are identities, not positions).
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> evicted_{0};
+  mutable std::mutex mu_;
+  /// Ring storage: `ring_[(head_ + i) % ring_.size()]` for i in [0, size_)
+  /// walks oldest to newest.
+  std::vector<QueryLogRecord> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace ppp::obs
+
+#endif  // PPP_OBS_QUERY_LOG_H_

@@ -38,6 +38,11 @@ double SpanTracer::NowMicros() const {
 }
 
 void SpanTracer::Record(SpanEvent event) {
+  const uint64_t query_id =
+      current_query_id_.load(std::memory_order_relaxed);
+  if (query_id != 0) {
+    event.args.emplace_back("query_id", std::to_string(query_id));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= max_events_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);

@@ -59,6 +59,17 @@ class SpanTracer {
   /// at max_events().
   void Record(SpanEvent event);
 
+  /// Query id stamped onto every span recorded while nonzero (as a
+  /// "query_id" arg), correlating a trace with its ppp_query_log row. One
+  /// global slot, not thread-local: the engine runs one query at a time
+  /// and its parallel workers must inherit the id. Set via QueryIdScope.
+  uint64_t current_query_id() const {
+    return current_query_id_.load(std::memory_order_relaxed);
+  }
+  void set_current_query_id(uint64_t id) {
+    current_query_id_.store(id, std::memory_order_relaxed);
+  }
+
   std::vector<SpanEvent> Snapshot() const;
   size_t size() const;
   uint64_t dropped() const {
@@ -72,6 +83,7 @@ class SpanTracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> current_query_id_{0};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<SpanEvent> events_;
@@ -103,6 +115,25 @@ class Span {
   SpanTracer* tracer_ = nullptr;
   SpanEvent event_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII scope that stamps the global tracer with a query id for the
+/// duration of one query's lifecycle (optimize + execute), restoring the
+/// previous id on exit so nested scopes (introspection queries issued from
+/// inside a bench loop) unwind correctly.
+class QueryIdScope {
+ public:
+  explicit QueryIdScope(uint64_t query_id)
+      : previous_(SpanTracer::Global().current_query_id()) {
+    SpanTracer::Global().set_current_query_id(query_id);
+  }
+  ~QueryIdScope() { SpanTracer::Global().set_current_query_id(previous_); }
+
+  QueryIdScope(const QueryIdScope&) = delete;
+  QueryIdScope& operator=(const QueryIdScope&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 }  // namespace ppp::obs

@@ -1,0 +1,126 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace ppp::obs {
+
+TimeSeries::TimeSeries() : epoch_(std::chrono::steady_clock::now()) {}
+
+TimeSeries& TimeSeries::Global() {
+  static TimeSeries* store = new TimeSeries();
+  return *store;
+}
+
+int64_t TimeSeries::CurrentBucket() const {
+  return static_cast<int64_t>(std::floor(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    epoch_)
+          .count()));
+}
+
+void TimeSeries::Sample() {
+  SampleAt(MetricsRegistry::Global().SnapshotCounters(),
+           std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+               .count());
+}
+
+void TimeSeries::SampleAt(const std::map<std::string, uint64_t>& counters,
+                          double now_seconds) {
+  const int64_t bucket = static_cast<int64_t>(std::floor(now_seconds));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : counters) {
+    Series& series = series_[name];
+    if (!series.has_baseline) {
+      // First sighting: the counter's prior history predates the window,
+      // so it baselines without crediting a delta.
+      series.last_value = value;
+      series.has_baseline = true;
+      TrimLocked(&series, bucket);
+      continue;
+    }
+    // ResetAll() between bench phases moves counters backwards; rebaseline
+    // rather than crediting a bogus wrapped delta.
+    const double delta =
+        value >= series.last_value
+            ? static_cast<double>(value - series.last_value)
+            : 0.0;
+    series.last_value = value;
+    if (delta > 0.0) {
+      if (!series.buckets.empty() && series.buckets.back().first == bucket) {
+        series.buckets.back().second += delta;
+      } else {
+        series.buckets.emplace_back(bucket, delta);
+      }
+    }
+    TrimLocked(&series, bucket);
+  }
+}
+
+void TimeSeries::TrimLocked(Series* series, int64_t now_bucket) {
+  const int64_t oldest =
+      now_bucket - static_cast<int64_t>(window_buckets_) + 1;
+  while (!series->buckets.empty() && series->buckets.front().first < oldest) {
+    series->buckets.pop_front();
+  }
+}
+
+std::vector<TimeSeriesPoint> TimeSeries::Snapshot() const {
+  std::vector<TimeSeriesPoint> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, series] : series_) {
+    if (series.buckets.empty()) continue;
+    double total = 0.0;
+    for (const auto& [bucket, delta] : series.buckets) total += delta;
+    // Percentiles over the contiguous bucket range [first, last]: stored
+    // deltas plus implicit zeros for idle seconds in between.
+    const int64_t first = series.buckets.front().first;
+    const int64_t last = series.buckets.back().first;
+    const size_t span = static_cast<size_t>(last - first + 1);
+    std::vector<double> rates;
+    rates.reserve(span);
+    size_t i = 0;
+    for (int64_t b = first; b <= last; ++b) {
+      if (i < series.buckets.size() && series.buckets[i].first == b) {
+        rates.push_back(series.buckets[i].second);
+        ++i;
+      } else {
+        rates.push_back(0.0);
+      }
+    }
+    std::sort(rates.begin(), rates.end());
+    const auto nearest_rank = [&rates](double p) {
+      const size_t rank = static_cast<size_t>(
+          std::ceil(p / 100.0 * static_cast<double>(rates.size())));
+      return rates[rank == 0 ? 0 : rank - 1];
+    };
+    const double p50 = nearest_rank(50.0);
+    const double p99 = nearest_rank(99.0);
+    for (const auto& [bucket, delta] : series.buckets) {
+      TimeSeriesPoint point;
+      point.name = name;
+      point.bucket = bucket;
+      point.delta = delta;
+      point.window_total = total;
+      point.rate_p50 = p50;
+      point.rate_p99 = p99;
+      out.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+void TimeSeries::set_window_buckets(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  window_buckets_ = std::max<size_t>(n, 1);
+}
+
+void TimeSeries::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+}  // namespace ppp::obs

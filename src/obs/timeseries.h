@@ -1,0 +1,87 @@
+#ifndef PPP_OBS_TIMESERIES_H_
+#define PPP_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppp::obs {
+
+/// One (counter, 1 s bucket) cell of the sliding window, with the rollups
+/// the ppp_metrics_window system table exposes per row. `delta` is the
+/// counter's increase attributed to `bucket`; the rollup columns repeat the
+/// series-wide aggregates over the window (denormalized so a plain SELECT
+/// reads them without window functions, which the engine does not have).
+struct TimeSeriesPoint {
+  std::string name;
+  int64_t bucket = 0;        // Seconds since the store's epoch.
+  double delta = 0.0;        // Counter increase in this bucket.
+  double window_total = 0.0; // Sum of deltas across the window.
+  double rate_p50 = 0.0;     // Median per-second delta over the window.
+  double rate_p99 = 0.0;     // 99th-percentile per-second delta.
+};
+
+/// Sliding-window aggregation of MetricsRegistry counters into fixed 1 s
+/// buckets. There is no background thread: Sample() is called at query
+/// close (and by \metrics in the shell), diffing each counter against its
+/// last sampled value and crediting the delta to the current bucket.
+/// Buckets older than the window fall off the front. Percentiles are
+/// nearest-rank over every bucket between the oldest retained and the
+/// newest (gaps count as zero-rate seconds — an idle engine's p50 is 0).
+class TimeSeries {
+ public:
+  static constexpr size_t kDefaultWindowBuckets = 120;
+
+  /// The store Sample() and the ppp_metrics_window table share.
+  /// Standalone instances are legal (tests exercise SampleAt in
+  /// isolation); the engine only ever touches Global().
+  static TimeSeries& Global();
+
+  TimeSeries();
+
+  /// Diffs the global registry's counters against the previous sample and
+  /// credits the deltas to the current bucket.
+  void Sample();
+
+  /// Test seam: samples an explicit counter map at an explicit time
+  /// (seconds since epoch). `Sample()` is this with the real registry and
+  /// the real clock.
+  void SampleAt(const std::map<std::string, uint64_t>& counters,
+                double now_seconds);
+
+  /// Every (counter, bucket) cell currently in the window, with rollups.
+  /// Ordered by name then bucket.
+  std::vector<TimeSeriesPoint> Snapshot() const;
+
+  /// The bucket a sample taken now would land in.
+  int64_t CurrentBucket() const;
+
+  void set_window_buckets(size_t n);
+
+  /// Forgets all buckets and baselines; the next Sample() restarts deltas
+  /// from the counters' current values rather than re-crediting history.
+  void Clear();
+
+ private:
+  struct Series {
+    uint64_t last_value = 0;
+    bool has_baseline = false;
+    /// (bucket, delta), ascending by bucket; only touched buckets stored.
+    std::deque<std::pair<int64_t, double>> buckets;
+  };
+
+  void TrimLocked(Series* series, int64_t now_bucket);
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;
+  size_t window_buckets_ = kDefaultWindowBuckets;
+};
+
+}  // namespace ppp::obs
+
+#endif  // PPP_OBS_TIMESERIES_H_

@@ -11,36 +11,7 @@ namespace ppp::obs {
 
 namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += common::StringPrintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using common::JsonEscape;
 
 std::string NumberToJson(double v) {
   if (!std::isfinite(v)) return "0";
@@ -283,8 +254,14 @@ common::Result<std::string> StringField(const JsonValue& event,
 
 }  // namespace
 
-std::string ToChromeTraceJson(const std::vector<SpanEvent>& events) {
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+std::string ToChromeTraceJson(const std::vector<SpanEvent>& events,
+                              uint64_t dropped_events) {
+  // `otherData` is Chrome's free-form metadata object; the dropped count
+  // rides there so a capped trace still records how much it lost.
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"otherData\": "
+                    "{\"droppedEvents\": \"" +
+                    std::to_string(dropped_events) +
+                    "\"}, \"traceEvents\": [\n";
   for (size_t i = 0; i < events.size(); ++i) {
     const SpanEvent& e = events[i];
     out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
@@ -309,23 +286,36 @@ std::string ToChromeTraceJson(const std::vector<SpanEvent>& events) {
 }
 
 common::Status WriteChromeTrace(const std::string& path,
-                                const std::vector<SpanEvent>& events) {
+                                const std::vector<SpanEvent>& events,
+                                uint64_t dropped_events) {
   std::ofstream out(path);
   if (!out.is_open()) {
     return common::Status::Internal("cannot open " + path + " for writing");
   }
-  out << ToChromeTraceJson(events);
+  out << ToChromeTraceJson(events, dropped_events);
   out.close();
   if (out.fail()) return common::Status::Internal("failed writing " + path);
   return common::Status::OK();
 }
 
-common::Result<std::vector<SpanEvent>> ParseChromeTrace(
-    const std::string& json) {
+common::Result<ParsedTrace> ParseChromeTraceFull(const std::string& json) {
   JsonReader reader(json);
   PPP_ASSIGN_OR_RETURN(JsonValue root, reader.Parse());
   if (root.kind != JsonValue::Kind::kObject) {
     return common::Status::InvalidArgument("trace root must be an object");
+  }
+  ParsedTrace parsed;
+  const JsonValue* other = root.Find("otherData");
+  if (other != nullptr && other->kind == JsonValue::Kind::kObject) {
+    const JsonValue* dropped = other->Find("droppedEvents");
+    if (dropped != nullptr && dropped->kind == JsonValue::Kind::kString) {
+      try {
+        parsed.dropped_events = std::stoull(dropped->string);
+      } catch (...) {
+        return common::Status::InvalidArgument(
+            "otherData.droppedEvents is not a count: " + dropped->string);
+      }
+    }
   }
   const JsonValue* trace_events = root.Find("traceEvents");
   if (trace_events == nullptr ||
@@ -364,7 +354,14 @@ common::Result<std::vector<SpanEvent>> ParseChromeTrace(
     }
     out.push_back(std::move(e));
   }
-  return out;
+  parsed.events = std::move(out);
+  return parsed;
+}
+
+common::Result<std::vector<SpanEvent>> ParseChromeTrace(
+    const std::string& json) {
+  PPP_ASSIGN_OR_RETURN(ParsedTrace parsed, ParseChromeTraceFull(json));
+  return std::move(parsed.events);
 }
 
 common::Status ValidateSpanNesting(const std::vector<SpanEvent>& events) {

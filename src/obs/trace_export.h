@@ -12,15 +12,29 @@ namespace ppp::obs {
 /// Serializes spans as Chrome trace-event JSON ("X" complete events with
 /// microsecond ts/dur), the format chrome://tracing and Perfetto load
 /// directly: {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", ...}]}.
-std::string ToChromeTraceJson(const std::vector<SpanEvent>& events);
+/// `dropped_events` (spans lost to the tracer's buffer cap) is recorded in
+/// the top-level "otherData" metadata so it survives a round-trip.
+std::string ToChromeTraceJson(const std::vector<SpanEvent>& events,
+                              uint64_t dropped_events = 0);
 
-/// Writes ToChromeTraceJson(events) to `path`.
+/// Writes ToChromeTraceJson(events, dropped_events) to `path`.
 common::Status WriteChromeTrace(const std::string& path,
-                                const std::vector<SpanEvent>& events);
+                                const std::vector<SpanEvent>& events,
+                                uint64_t dropped_events = 0);
+
+/// A parsed trace: the spans plus the metadata the exporter wrote.
+struct ParsedTrace {
+  std::vector<SpanEvent> events;
+  uint64_t dropped_events = 0;
+};
 
 /// Parses Chrome trace-event JSON produced by ToChromeTraceJson back into
-/// events (phase-"X" entries only). Strict enough to prove the export is
-/// well-formed JSON with the expected schema; tests round-trip through it.
+/// events (phase-"X" entries only) and metadata. Strict enough to prove the
+/// export is well-formed JSON with the expected schema; tests round-trip
+/// through it.
+common::Result<ParsedTrace> ParseChromeTraceFull(const std::string& json);
+
+/// Events-only convenience wrapper around ParseChromeTraceFull.
 common::Result<std::vector<SpanEvent>> ParseChromeTrace(
     const std::string& json);
 

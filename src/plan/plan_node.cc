@@ -196,6 +196,10 @@ std::string PlanNode::Signature() const {
   return "?";
 }
 
+uint64_t PlanNode::Fingerprint() const {
+  return common::Fnv1aHash(Signature());
+}
+
 std::vector<std::string> PlanNode::CollectAliases() const {
   std::vector<std::string> out;
   if (kind == PlanKind::kSeqScan || kind == PlanKind::kIndexScan) {

@@ -115,6 +115,12 @@ struct PlanNode {
   /// Single-line structural signature (no annotations), for tests.
   std::string Signature() const;
 
+  /// FNV-1a of Signature(): a stable structural fingerprint (shape and
+  /// placement, no cost annotations). The query log groups rows by it, so
+  /// a placement flip under identical SQL is visible as a fingerprint
+  /// change.
+  uint64_t Fingerprint() const;
+
   /// All scan aliases under (and including) this node.
   std::vector<std::string> CollectAliases() const;
 

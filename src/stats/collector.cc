@@ -167,6 +167,14 @@ common::Result<std::shared_ptr<const TableStatistics>> BuildTableStatistics(
 
 common::Status AnalyzeTable(catalog::Table* table,
                             const AnalyzeOptions& options) {
+  if (table->is_system()) {
+    // System-table contents change under every query; collected stats
+    // would mislead the optimizer. Their estimates stay on the declared
+    // tier (row counts still come live from the provider's count hint).
+    return common::Status::InvalidArgument(
+        "cannot ANALYZE system table " + table->name() +
+        ": statistics are pinned to the declared tier");
+  }
   PPP_ASSIGN_OR_RETURN(std::shared_ptr<const TableStatistics> stats,
                        BuildTableStatistics(*table, options));
   table->SetCollectedStats(std::move(stats));

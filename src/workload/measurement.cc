@@ -14,30 +14,8 @@
 #include "optimizer/optimizer.h"
 
 namespace ppp::workload {
-namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += common::StringPrintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using common::JsonEscape;
 
 std::string Measurement::Summary() const {
   std::string out = common::StringPrintf(
@@ -190,6 +168,12 @@ common::Result<Measurement> RunWithAlgorithm(
   exec::ExecContext ctx;
   ctx.catalog = &db->catalog();
   ctx.params = exec_params;
+  // The query log's normalized text is the bound spec's canonical
+  // rendering — stable across whitespace/literal formatting of the
+  // original SQL, distinct across constants.
+  ctx.log_hints.text_hash = common::Fnv1aHash(spec.ToString());
+  ctx.log_hints.algorithm = m.algorithm;
+  ctx.log_hints.optimize_seconds = m.optimize_seconds;
   for (const plan::TableRef& ref : spec.tables) {
     PPP_ASSIGN_OR_RETURN(catalog::Table * table,
                          db->catalog().GetTable(ref.table_name));
