@@ -37,6 +37,9 @@
 //                      expensive predicate runs
 //   \set stats on|off  use collected ANALYZE statistics in planning
 //                      (provenance ladder: feedback > stats > declared)
+//   \set vector on|off columnar batches + vectorized cheap-predicate
+//                      kernels (selection vectors; expensive UDFs evaluate
+//                      late, against survivors only). Default on.
 //   \quit
 
 #include <cctype>
@@ -358,9 +361,17 @@ int main() {
         } else if (knob == "batch" && value >= 1) {
           batch_size = static_cast<size_t>(value);
           std::printf("batch %lld\n", value);
+        } else if (knob == "vector" &&
+                   (value_word == "on" || value_word == "off")) {
+          // Columnar batches + vectorized cheap-predicate kernels; the
+          // executor follows via ExecParamsFor, the cost model scales its
+          // (optional) cheap per-row charge.
+          cost_params.vectorized = (value_word == "on");
+          std::printf("vector %s\n", value_word.c_str());
         } else {
           std::printf("usage: \\set workers N | \\set batch N  (N >= 1) | "
-                      "\\set transfer on|off | \\set stats on|off\n");
+                      "\\set transfer on|off | \\set stats on|off | "
+                      "\\set vector on|off\n");
         }
         continue;
       }

@@ -20,6 +20,11 @@
 # and every BENCH_*.json produced by the smoke runs is aggregated into
 # BENCH_summary.json.
 #
+# The columnar-execution bench runs in smoke mode too: bench_vector
+# asserts the >= 5x cheap-chain speedup of the vectorized fast path and
+# exact result/invocation parity across {vectorized off,on} x {1,4}
+# workers.
+#
 # A second pass rebuilds under ThreadSanitizer (-DPPP_SANITIZE=thread) and
 # reruns the suite with span tracing forced on (PPP_TRACE_SPANS=1) — the
 # parallel predicate evaluator, thread pool, sharded caches, the span
@@ -27,8 +32,9 @@
 # (stats_test's concurrency case) must be race-free, not just
 # correct-by-luck. The transfer bench repeats under TSan (transfer
 # enabled, 4 workers) so concurrent Bloom probes against the publish/kill
-# transitions are race-checked end to end. Skip both with SKIP_TSAN=1
-# when iterating.
+# transitions are race-checked end to end, and bench_vector repeats there
+# as well so parallel UDF evaluation over columnar survivors is too. Skip
+# both with SKIP_TSAN=1 when iterating.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -150,6 +156,28 @@ PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_introspect"
   echo "missing BENCH_introspect.json" >&2; exit 1;
 }
 
+# Vector bench smoke: bench_vector asserts the >= 5x cheap-chain speedup
+# of the columnar fast path and byte-identical results plus exact UDF
+# invocation parity across {vectorized off,on} x {1,4} workers, exiting
+# non-zero otherwise.
+rm -f BENCH_vector.json
+PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_vector"
+[[ -s BENCH_vector.json ]] || {
+  echo "missing BENCH_vector.json" >&2; exit 1;
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_vector.json <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+configs = [m["algorithm"] for m in bench["measurements"]]
+for expected in ("chain-scalar", "chain-vector", "udf-off-w1", "udf-off-w4",
+                 "udf-on-w1", "udf-on-w4"):
+    assert expected in configs, f"missing config {expected}: {configs}"
+print(f"BENCH_vector.json ok: {configs}")
+PYEOF
+fi
+
 # Regression gate: fresh smoke BENCH_*.json vs the checked-in baselines.
 # Fails on >25% wall regressions (above the 0.05 s jitter floor) or any
 # invocation-count drift. Re-baseline deliberate changes with --update.
@@ -191,4 +219,9 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # Transfer enabled + parallel workers under TSan: concurrent Bloom
   # probes, the filter publish, and the kill-switch CAS all race-checked.
   PPP_SCALE=40 PPP_BENCH_JSON=0 "$TSAN_BUILD_DIR/bench/bench_transfer"
+  # Vectorized path under TSan with 4 workers: the UDF phase drives
+  # parallel expensive evaluation over columnar survivors. The speedup
+  # floor is lifted (sanitizer skews wall ratios); parity still gates.
+  PPP_SCALE=40 PPP_BENCH_JSON=0 PPP_VECTOR_MIN_SPEEDUP=1 \
+    "$TSAN_BUILD_DIR/bench/bench_vector"
 fi

@@ -71,6 +71,26 @@ struct CostParams {
   /// post-transfer cardinalities, which keeps them below the join (a
   /// near-free filter has rank ≈ -1/0 — nothing beats it).
   bool predicate_transfer = false;
+
+  /// Per-row CPU charge of evaluating a *cheap* (zero-declared-cost) filter
+  /// predicate, in random-I/O units. Zero by default — the paper treats
+  /// simple predicates as free, and the default keeps historical plans and
+  /// cost assertions unchanged. Set it > 0 to study placement sensitivity
+  /// to cheap-predicate CPU (e.g. very wide scans on fast storage).
+  double cpu_tuple_cost = 0.0;
+
+  /// Whether the executor runs the columnar fast path
+  /// (ExecParams::vectorized — workload::ExecParamsFor keeps the pair
+  /// consistent). Vectorized cheap comparisons run ~vector_speedup× faster
+  /// than scalar tuple evaluation, so the cheap per-row charge above
+  /// divides by it: making cheap predicates cheaper *sharpens* expensive
+  /// predicate placement, it never reorders ranks (cheap predicates keep
+  /// rank -inf and always apply first).
+  bool vectorized = true;
+
+  /// Throughput multiplier of the vectorized cheap-predicate kernels over
+  /// scalar evaluation (bench_vector measures ≥5×; 8 is the model default).
+  double vector_speedup = 8.0;
 };
 
 }  // namespace ppp::cost

@@ -194,11 +194,9 @@ common::Result<std::unique_ptr<Operator>> BuildExecutor(
       PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> child,
                            BuildExecutor(*plan.children[0], ctx));
       PPP_ASSIGN_OR_RETURN(
-          CachedPredicate pred,
-          CachedPredicate::Bind(plan.predicate, child->schema(),
-                                *ctx->catalog, ctx->params));
-      return std::unique_ptr<Operator>(std::make_unique<FilterOp>(
-          std::move(child), std::move(pred), ctx));
+          std::unique_ptr<FilterOp> filter,
+          FilterOp::Make(std::move(child), plan.predicate, ctx));
+      return std::unique_ptr<Operator>(std::move(filter));
     }
     case plan::PlanKind::kJoin: {
       const plan::PlanNode& inner_plan = *plan.children[1];
@@ -421,6 +419,9 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
     types::RowSchema* out_schema, std::unique_ptr<Operator>* root_out) {
   storage::BufferPool* pool = ctx->catalog->buffer_pool();
   const storage::IoStats before = pool->stats();
+  // batch_size == 0 is invalid; clamp once here so every consumer (drain
+  // loop, SetBatchSize, operators) sees a sane value.
+  if (ctx->params.batch_size == 0) ctx->params.batch_size = 1;
   ctx->eval.invocation_counts.clear();
   ctx->pending_transfers.clear();
   ctx->all_transfers.clear();
@@ -476,9 +477,8 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   bool eof = false;
   while (!eof) {
     batch.clear();
-    PPP_RETURN_IF_ERROR(root->NextBatch(
-        ctx->params.batch_size == 0 ? 1 : ctx->params.batch_size, &batch,
-        &eof));
+    PPP_RETURN_IF_ERROR(
+        root->NextBatch(ctx->params.batch_size, &batch, &eof));
     for (types::Tuple& tuple : batch.tuples) {
       out.push_back(std::move(tuple));
     }

@@ -296,9 +296,18 @@ common::Status HashJoinOp::NextImpl(types::Tuple* tuple, bool* eof) {
   while (true) {
     if (have_outer_ && current_matches_ != nullptr &&
         match_pos_ < current_matches_->size()) {
-      *tuple = types::Tuple::Concat(outer_tuple_,
-                                    (*current_matches_)[match_pos_]);
+      const types::Tuple& inner = (*current_matches_)[match_pos_];
       ++match_pos_;
+      if (match_pos_ == current_matches_->size()) {
+        // Last (typically only) match for this outer row: steal the outer
+        // tuple instead of copying every value. The next iteration
+        // overwrites outer_tuple_ before reading it.
+        *tuple = types::Tuple::Concat(std::move(outer_tuple_), inner);
+        have_outer_ = false;
+        current_matches_ = nullptr;
+      } else {
+        *tuple = types::Tuple::Concat(outer_tuple_, inner);
+      }
       *eof = false;
       return common::Status::OK();
     }

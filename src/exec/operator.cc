@@ -85,6 +85,55 @@ common::Status Operator::NextBatch(size_t max_rows, TupleBatch* batch,
   return status;
 }
 
+common::Status Operator::NextColumnBatch(size_t max_rows,
+                                         types::ColumnBatch* batch,
+                                         bool* eof) {
+  static obs::Counter* vbatch_counter =
+      obs::MetricsRegistry::Global().GetCounter("exec.vector.batches");
+  static obs::Counter* vrows_counter =
+      obs::MetricsRegistry::Global().GetCounter("exec.vector.rows");
+  static obs::Histogram* density_histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "exec.vector.selection_density");
+  if (max_rows == 0) max_rows = 1;
+  ++stats_.batches;
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) {
+    span.emplace("exec", "vbatch:" + Describe());
+  }
+  const storage::IoStats before =
+      pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const auto start = std::chrono::steady_clock::now();
+  common::Status status = NextColumnBatchImpl(max_rows, batch, eof);
+  stats_.next_seconds += SecondsSince(start);
+  if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
+  if (status.ok()) {
+    const size_t produced = batch->selected();
+    stats_.rows_out += produced;
+    vbatch_counter->Increment();
+    vrows_counter->Increment(produced);
+    if (batch->num_rows() > 0) {
+      density_histogram->Observe(static_cast<double>(produced) /
+                                 static_cast<double>(batch->num_rows()));
+    }
+    if (span.has_value()) {
+      span->AddArg("rows", std::to_string(batch->num_rows()));
+      span->AddArg("selected", std::to_string(produced));
+    }
+  }
+  return status;
+}
+
+common::Status Operator::NextColumnBatchImpl(size_t max_rows,
+                                             types::ColumnBatch* batch,
+                                             bool* eof) {
+  batch->Reset(schema_);
+  TupleBatch rows;
+  PPP_RETURN_IF_ERROR(NextBatchImpl(max_rows, &rows, eof));
+  for (const types::Tuple& tuple : rows.tuples) batch->AppendTuple(tuple);
+  return common::Status::OK();
+}
+
 common::Status Operator::NextBatchImpl(size_t max_rows, TupleBatch* batch,
                                        bool* eof) {
   *eof = false;

@@ -14,6 +14,7 @@
 #include "expr/predicate.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
+#include "types/column_batch.h"
 #include "types/row_schema.h"
 #include "types/tuple.h"
 
@@ -67,8 +68,19 @@ struct ExecParams {
   /// cache modes (predicate and function).
   uint64_t adaptive_probe_window = 512;
 
-  /// Rows per TupleBatch in the batch-at-a-time pipeline.
+  /// Rows per TupleBatch in the batch-at-a-time pipeline. 0 is invalid and
+  /// clamped to 1 at ExecutePlan entry (and defensively by SetBatchSize and
+  /// the batch wrappers).
   size_t batch_size = 1024;
+
+  /// Columnar fast path: scans decode pages straight into column-major
+  /// ColumnBatches and FilterOp runs cheap conjuncts as vectorized kernels
+  /// over a selection vector, evaluating expensive UDFs late against only
+  /// the surviving positions. Results and invocation counters are
+  /// identical either way (parity-tested); off forces the row-oriented
+  /// batch pipeline everywhere. Should match cost::CostParams::vectorized
+  /// (ExecParamsFor copies it).
+  bool vectorized = true;
 
   /// Total threads (including the coordinator) that evaluate an expensive
   /// filter predicate's batch concurrently. 1 = serial execution,
@@ -195,6 +207,20 @@ class Operator {
   /// may decline to produce this round); drivers must loop on *eof only.
   common::Status NextBatch(size_t max_rows, TupleBatch* batch, bool* eof);
 
+  /// Columnar pull: overwrites `batch` (any prior contents are discarded)
+  /// with up to `max_rows` rows; the selection vector marks the survivors.
+  /// Same eof contract as NextBatch: a non-eof call may produce an empty
+  /// selection. The default adapter converts NextBatchImpl's row batch, so
+  /// every operator speaks the protocol; pulling columns is only a win when
+  /// provides_columns() says the operator fills them natively.
+  common::Status NextColumnBatch(size_t max_rows, types::ColumnBatch* batch,
+                                 bool* eof);
+
+  /// True when this operator fills ColumnBatches natively (scans, and
+  /// vectorized filters above them). Consumers use it to decide whether to
+  /// pull columns or rows.
+  virtual bool provides_columns() const { return false; }
+
   const types::RowSchema& schema() const { return schema_; }
 
   /// This operator's telemetry, with any operator-local cache counters
@@ -230,6 +256,13 @@ class Operator {
   /// override this.
   virtual common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
                                        bool* eof);
+
+  /// Default columnar adapter: pulls one row batch via NextBatchImpl() and
+  /// transposes it. Operators that report provides_columns() override this
+  /// with a native fill.
+  virtual common::Status NextColumnBatchImpl(size_t max_rows,
+                                             types::ColumnBatch* batch,
+                                             bool* eof);
 
   /// Folds operator-local counters (predicate caches) into `stats_`;
   /// overridden by operators owning a CachedPredicate.

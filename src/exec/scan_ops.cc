@@ -1,6 +1,7 @@
 #include "exec/scan_ops.h"
 
 #include <algorithm>
+#include <functional>
 #include <optional>
 
 #include "common/string_util.h"
@@ -32,6 +33,76 @@ void TransferProbe::FilterBatch(TupleBatch* batch) const {
         if (keep[i]) batch->tuples[out++] = std::move(batch->tuples[i]);
       }
       batch->tuples.resize(out);
+    }
+    slot.transfer->RecordProbes(probed, kept);
+    if (span.has_value()) {
+      span->AddArg("probed", std::to_string(probed));
+      span->AddArg("passed", std::to_string(kept));
+    }
+  }
+}
+
+namespace {
+
+/// Hash of one column cell, computed from native column storage. Must stay
+/// byte-for-byte consistent with Value::Hash — the build side inserted
+/// Value::Hash values (vector_test pins the equivalence).
+uint64_t HashColumnCell(const types::ColumnBatch& batch, size_t col_index,
+                        uint32_t row) {
+  const types::ColumnBatch::Column& col = batch.column(col_index);
+  if (col.boxed) {
+    return static_cast<uint64_t>(batch.GetValue(col_index, row).Hash());
+  }
+  if (col.nulls[row] != 0) return 0x9E3779B9u;
+  switch (col.type) {
+    case types::TypeId::kInt64: {
+      const int64_t v = col.i64[row];
+      const double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) {
+        return static_cast<uint64_t>(std::hash<double>()(d));
+      }
+      return static_cast<uint64_t>(std::hash<int64_t>()(v));
+    }
+    case types::TypeId::kBool:
+      return static_cast<uint64_t>(
+          std::hash<double>()(col.i64[row] != 0 ? 1.0 : 0.0));
+    case types::TypeId::kDouble:
+      return static_cast<uint64_t>(std::hash<double>()(col.f64[row]));
+    case types::TypeId::kString:
+      return static_cast<uint64_t>(
+          std::hash<std::string>()(std::string(col.StringAt(row))));
+    case types::TypeId::kNull:
+      break;
+  }
+  return 0x9E3779B9u;
+}
+
+}  // namespace
+
+void TransferProbe::FilterColumns(types::ColumnBatch* batch) const {
+  for (const Slot& slot : slots_) {
+    const BloomFilter* filter = slot.transfer->ActiveFilter();
+    if (filter == nullptr || batch->selected() == 0) continue;
+    std::optional<obs::Span> span;
+    if (obs::SpanTracer::Global().enabled()) {
+      span.emplace("exec", "bloom.probe");
+      span->AddArg("site", slot.transfer->Site());
+    }
+    std::vector<uint32_t>& sel = *batch->mutable_selection();
+    const size_t probed = sel.size();
+    std::vector<uint64_t> hashes;
+    hashes.reserve(probed);
+    for (const uint32_t row : sel) {
+      hashes.push_back(HashColumnCell(*batch, slot.key_index, row));
+    }
+    std::vector<char> keep;
+    const size_t kept = filter->ProbeBatch(hashes.data(), probed, &keep);
+    if (kept < probed) {
+      size_t out = 0;
+      for (size_t i = 0; i < probed; ++i) {
+        if (keep[i]) sel[out++] = sel[i];
+      }
+      sel.resize(out);
     }
     slot.transfer->RecordProbes(probed, kept);
     if (span.has_value()) {
@@ -114,6 +185,24 @@ common::Status SeqScanOp::NextBatchImpl(size_t max_rows, TupleBatch* batch,
   return common::Status::OK();
 }
 
+common::Status SeqScanOp::NextColumnBatchImpl(size_t max_rows,
+                                              types::ColumnBatch* batch,
+                                              bool* eof) {
+  batch->Reset(schema_);
+  *eof = false;
+  storage::RecordId rid;
+  std::string_view bytes;
+  while (batch->num_rows() < max_rows) {
+    if (!it_.NextView(&rid, &bytes)) {
+      *eof = true;
+      break;
+    }
+    PPP_RETURN_IF_ERROR(batch->AppendSerialized(bytes));
+  }
+  if (!transfers_.empty()) transfers_.FilterColumns(batch);
+  return common::Status::OK();
+}
+
 std::string SeqScanOp::Describe() const {
   std::string out = "SeqScan(" + table_->name();
   if (alias_ != table_->name()) out += " AS " + alias_;
@@ -171,6 +260,24 @@ common::Status IndexScanOp::NextBatchImpl(size_t max_rows,
     batch->tuples.push_back(std::move(tuple));
   }
   if (!transfers_.empty()) transfers_.FilterBatch(batch);
+  return common::Status::OK();
+}
+
+common::Status IndexScanOp::NextColumnBatchImpl(size_t max_rows,
+                                                types::ColumnBatch* batch,
+                                                bool* eof) {
+  batch->Reset(schema_);
+  *eof = false;
+  while (batch->num_rows() < max_rows) {
+    if (pos_ >= rids_.size()) {
+      *eof = true;
+      break;
+    }
+    PPP_ASSIGN_OR_RETURN(const types::Tuple tuple, table_->Read(rids_[pos_]));
+    ++pos_;
+    batch->AppendTuple(tuple);
+  }
+  if (!transfers_.empty()) transfers_.FilterColumns(batch);
   return common::Status::OK();
 }
 

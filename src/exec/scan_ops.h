@@ -30,6 +30,11 @@ class TransferProbe {
   /// recording probe/pass counts (which may trip a kill switch).
   void FilterBatch(TupleBatch* batch) const;
 
+  /// Columnar equivalent: probes each filter's key column directly (hashes
+  /// computed from native column storage, consistent with Value::Hash) and
+  /// narrows the selection vector — no tuples, no Value boxing.
+  void FilterColumns(types::ColumnBatch* batch) const;
+
   /// Tuple-at-a-time equivalent: true when `tuple` survives every active
   /// filter.
   bool Passes(const types::Tuple& tuple) const;
@@ -55,12 +60,18 @@ class SeqScanOp : public Operator {
                       size_t key_index) {
     transfers_.Attach(std::move(transfer), key_index);
   }
+  bool provides_columns() const override { return true; }
 
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
   common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
                                bool* eof) override;
+  /// Native columnar fill: deserializes heap records straight into column
+  /// vectors (no Tuple/Value construction on the clean path).
+  common::Status NextColumnBatchImpl(size_t max_rows,
+                                     types::ColumnBatch* batch,
+                                     bool* eof) override;
   void RefreshLocalStats() const override { transfers_.FoldStats(&stats_); }
 
  private:
@@ -89,12 +100,16 @@ class IndexScanOp : public Operator {
                       size_t key_index) {
     transfers_.Attach(std::move(transfer), key_index);
   }
+  bool provides_columns() const override { return true; }
 
  protected:
   common::Status OpenImpl() override;
   common::Status NextImpl(types::Tuple* tuple, bool* eof) override;
   common::Status NextBatchImpl(size_t max_rows, TupleBatch* batch,
                                bool* eof) override;
+  common::Status NextColumnBatchImpl(size_t max_rows,
+                                     types::ColumnBatch* batch,
+                                     bool* eof) override;
   void RefreshLocalStats() const override { transfers_.FoldStats(&stats_); }
 
  private:

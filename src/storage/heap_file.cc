@@ -98,6 +98,31 @@ common::Result<std::string> HeapFile::Read(RecordId rid) const {
                      length);
 }
 
+bool HeapFile::Iterator::NextView(RecordId* rid, std::string_view* record) {
+  while (page_index_ < file_->pages_.size()) {
+    const PageId page_id = file_->pages_[page_index_];
+    if (!view_guard_.has_value() || view_guard_->page_id() != page_id) {
+      view_guard_.emplace(file_->pool_, page_id);
+    }
+    const Page& page = *view_guard_->get();
+    if (slot_ < SlotCount(page)) {
+      const uint16_t offset = ReadU16(page, kHeaderSize + slot_ * kSlotSize);
+      const uint16_t length =
+          ReadU16(page, kHeaderSize + slot_ * kSlotSize + 2);
+      *rid = RecordId{page_id, slot_};
+      *record = std::string_view(
+          reinterpret_cast<const char*>(page.bytes()) + offset, length);
+      ++slot_;
+      return true;
+    }
+    ++page_index_;
+    slot_ = 0;
+    view_guard_.reset();
+  }
+  view_guard_.reset();
+  return false;
+}
+
 bool HeapFile::Iterator::Next(RecordId* rid, std::string* record) {
   while (page_index_ < file_->pages_.size()) {
     const PageId page_id = file_->pages_[page_index_];

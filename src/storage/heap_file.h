@@ -1,7 +1,9 @@
 #ifndef PPP_STORAGE_HEAP_FILE_H_
 #define PPP_STORAGE_HEAP_FILE_H_
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -42,13 +44,39 @@ class HeapFile {
    public:
     explicit Iterator(const HeapFile* file) : file_(file) {}
 
+    /// Moves transfer the scan position but drop the cached page pin
+    /// (PageGuard is not assignable); NextView() re-pins lazily.
+    Iterator(Iterator&& other) noexcept
+        : file_(other.file_),
+          page_index_(other.page_index_),
+          slot_(other.slot_) {
+      other.view_guard_.reset();
+    }
+    Iterator& operator=(Iterator&& other) noexcept {
+      file_ = other.file_;
+      page_index_ = other.page_index_;
+      slot_ = other.slot_;
+      view_guard_.reset();
+      other.view_guard_.reset();
+      return *this;
+    }
+
     /// Advances to the next record; returns false at end of file.
     bool Next(RecordId* rid, std::string* record);
+
+    /// Zero-copy advance for tight decode loops (the columnar scan path):
+    /// `record` views bytes inside the current page, which stays pinned
+    /// until the next NextView() call or the iterator's destruction —
+    /// one buffer-pool fetch per page instead of one per record. The view
+    /// is invalidated by the next NextView().
+    bool NextView(RecordId* rid, std::string_view* record);
 
    private:
     const HeapFile* file_;
     size_t page_index_ = 0;
     uint16_t slot_ = 0;
+    /// Pin held across NextView() calls; empty on the copying Next() path.
+    std::optional<PageGuard> view_guard_;
   };
 
   Iterator Scan() const { return Iterator(this); }

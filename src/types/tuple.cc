@@ -7,7 +7,16 @@
 namespace ppp::types {
 
 Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
-  std::vector<Value> values = left.values_;
+  std::vector<Value> values;
+  values.reserve(left.values_.size() + right.values_.size());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values));
+}
+
+Tuple Tuple::Concat(Tuple&& left, const Tuple& right) {
+  std::vector<Value> values = std::move(left.values_);
+  values.reserve(values.size() + right.values_.size());
   values.insert(values.end(), right.values_.begin(), right.values_.end());
   return Tuple(std::move(values));
 }

@@ -26,6 +26,11 @@ class Tuple {
   /// Row concatenation (join output).
   static Tuple Concat(const Tuple& left, const Tuple& right);
 
+  /// Move form for the probe-passthrough case: a join emitting its last
+  /// output for `left` steals the outer tuple's values (one reserve, no
+  /// per-value copies).
+  static Tuple Concat(Tuple&& left, const Tuple& right);
+
   /// Serializes to a self-describing byte string (type tags + payloads),
   /// independent of any schema. Used by the storage layer.
   std::string Serialize() const;

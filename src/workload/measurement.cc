@@ -103,6 +103,7 @@ exec::ExecParams ExecParamsFor(const cost::CostParams& cost_params) {
   exec_params.parallel_workers = static_cast<size_t>(
       std::max(1.0, cost_params.parallel_workers));
   exec_params.predicate_transfer = cost_params.predicate_transfer;
+  exec_params.vectorized = cost_params.vectorized;
   return exec_params;
 }
 

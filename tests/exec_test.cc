@@ -295,5 +295,21 @@ TEST_F(ExecTest, BuildExecutorFailsOnBadPlans) {
   EXPECT_FALSE(BuildExecutor(*bad_scan, &ctx_).ok());
 }
 
+TEST(TupleConcatTest, MoveConcatStealsPayloadStorage) {
+  // The hash-join probe-passthrough emits its last match for an outer
+  // tuple via Concat(std::move(outer), inner): the outer values must move,
+  // not copy. Pin it by string payload pointer identity (well past SSO).
+  Tuple left({Value(std::string(128, 'x')), Value(int64_t{1})});
+  const char* payload = left.Get(0).AsString().data();
+  const Tuple right({Value(int64_t{2}), Value("r")});
+
+  const Tuple out = Tuple::Concat(std::move(left), right);
+  ASSERT_EQ(out.NumValues(), 4u);
+  EXPECT_EQ(out.Get(0).AsString().data(), payload);
+  EXPECT_EQ(out.Get(1).AsInt64(), 1);
+  EXPECT_EQ(out.Get(2).AsInt64(), 2);
+  EXPECT_EQ(out.Get(3).AsString(), "r");
+}
+
 }  // namespace
 }  // namespace ppp::exec

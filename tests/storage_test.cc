@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -211,6 +213,53 @@ TEST_F(HeapFileTest, ScanOfEmptyFile) {
   RecordId rid;
   std::string bytes;
   EXPECT_FALSE(it.Next(&rid, &bytes));
+}
+
+TEST_F(HeapFileTest, NextViewMatchesCopyingScanAcrossPages) {
+  const std::string record(100, 'r');
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(file_.Insert(record + std::to_string(i)).ok());
+  }
+  HeapFile::Iterator it = file_.Scan();
+  RecordId rid;
+  std::string_view view;
+  int count = 0;
+  while (it.NextView(&rid, &view)) {
+    // The view stays valid until the next NextView() call.
+    EXPECT_EQ(view, record + std::to_string(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 1000);
+}
+
+TEST_F(HeapFileTest, NextViewFetchesOncePerPage) {
+  const std::string record(100, 'r');
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(file_.Insert(record).ok());
+  }
+  pool_.ResetStats();
+  HeapFile::Iterator it = file_.Scan();
+  RecordId rid;
+  std::string_view view;
+  while (it.NextView(&rid, &view)) {
+  }
+  // One pin per page, not per record.
+  EXPECT_EQ(pool_.stats().buffer_hits + pool_.stats().TotalReads(),
+            file_.NumPages());
+}
+
+TEST_F(HeapFileTest, MovedIteratorKeepsPositionAndRepins) {
+  const std::string record(100, 'r');
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(file_.Insert(record + std::to_string(i)).ok());
+  }
+  HeapFile::Iterator it = file_.Scan();
+  RecordId rid;
+  std::string_view view;
+  ASSERT_TRUE(it.NextView(&rid, &view));
+  HeapFile::Iterator moved = std::move(it);
+  ASSERT_TRUE(moved.NextView(&rid, &view));
+  EXPECT_EQ(view, record + "1");
 }
 
 }  // namespace

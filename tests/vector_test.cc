@@ -1,0 +1,711 @@
+// Columnar batch pipeline coverage: ColumnBatch storage and selection
+// semantics, the vectorized comparison kernels pinned against the scalar
+// evaluator (including NULL and NaN behaviour), the FilterOp cheap-prefix
+// split's exact UDF invocation-counter parity, Bloom-transfer hash
+// equivalence on the columnar probe path, and the Q1-Q5 end-to-end parity
+// suite across vectorized {on,off} x workers {1,4} x transfer {on,off}.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "catalog/function_registry.h"
+#include "exec/executor.h"
+#include "exec/filter_op.h"
+#include "exec/vector_filter.h"
+#include "expr/evaluator.h"
+#include "expr/predicate.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan_node.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "types/column_batch.h"
+#include "workload/database.h"
+#include "workload/measurement.h"
+#include "workload/queries.h"
+#include "workload/schema_gen.h"
+
+namespace ppp {
+namespace {
+
+using exec::ExecParams;
+using exec::ExecStats;
+using exec::VectorizedPredicate;
+using optimizer::Algorithm;
+using expr::Call;
+using expr::Cmp;
+using expr::Col;
+using expr::CompareOp;
+using expr::Const;
+using expr::Eq;
+using expr::ExprPtr;
+using expr::Int;
+using types::ColumnBatch;
+using types::ColumnInfo;
+using types::RowSchema;
+using types::Tuple;
+using types::TypeId;
+using types::Value;
+
+// ---------------------------------------------------------------------------
+// ColumnBatch storage semantics.
+// ---------------------------------------------------------------------------
+
+RowSchema FourColSchema() {
+  return RowSchema({ColumnInfo{"t", "a", TypeId::kInt64},
+                    ColumnInfo{"t", "x", TypeId::kDouble},
+                    ColumnInfo{"t", "b", TypeId::kBool},
+                    ColumnInfo{"t", "s", TypeId::kString}});
+}
+
+std::vector<Tuple> MixedRows() {
+  return {
+      Tuple({Value(int64_t{1}), Value(1.5), Value(true), Value("hello")}),
+      Tuple({Value(), Value(), Value(), Value()}),
+      Tuple({Value(int64_t{-7}), Value(-2.25), Value(false), Value("")}),
+      Tuple({Value(int64_t{1} << 40), Value(0.0), Value(true),
+             Value(std::string(300, 'z'))}),
+  };
+}
+
+TEST(ColumnBatchTest, AppendSerializedRoundtrip) {
+  ColumnBatch batch(FourColSchema());
+  const std::vector<Tuple> rows = MixedRows();
+  for (const Tuple& t : rows) {
+    ASSERT_TRUE(batch.AppendSerialized(t.Serialize()).ok());
+  }
+  ASSERT_EQ(batch.num_rows(), rows.size());
+  EXPECT_TRUE(batch.all_selected());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    EXPECT_FALSE(batch.column(c).boxed) << "column " << c;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch.RowAsTuple(i).Serialize(), rows[i].Serialize())
+        << "row " << i;
+  }
+  // NULL placement agrees with the source tuples.
+  EXPECT_FALSE(batch.IsNull(0, 0));
+  EXPECT_TRUE(batch.IsNull(0, 1));
+  EXPECT_TRUE(batch.IsNull(3, 1));
+}
+
+TEST(ColumnBatchTest, AppendTupleMatchesSerializedPath) {
+  const std::vector<Tuple> rows = MixedRows();
+  ColumnBatch from_bytes(FourColSchema());
+  ColumnBatch from_tuples(FourColSchema());
+  for (const Tuple& t : rows) {
+    ASSERT_TRUE(from_bytes.AppendSerialized(t.Serialize()).ok());
+    from_tuples.AppendTuple(t);
+  }
+  ASSERT_EQ(from_bytes.num_rows(), from_tuples.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(from_bytes.RowAsTuple(i).Serialize(),
+              from_tuples.RowAsTuple(i).Serialize());
+  }
+}
+
+TEST(ColumnBatchTest, TypeMismatchBoxesColumnAndKernelDeclines) {
+  RowSchema schema({ColumnInfo{"t", "a", TypeId::kInt64}});
+  ColumnBatch batch(schema);
+  batch.AppendTuple(Tuple({Value(int64_t{3})}));
+  EXPECT_FALSE(batch.column(0).boxed);
+  // A string lands in a declared-int64 column: the whole column boxes and
+  // earlier rows stay readable.
+  batch.AppendTuple(Tuple({Value("oops")}));
+  EXPECT_TRUE(batch.column(0).boxed);
+  EXPECT_EQ(batch.GetValue(0, 0).AsInt64(), 3);
+  EXPECT_EQ(batch.GetValue(0, 1).AsString(), "oops");
+
+  auto kernel = VectorizedPredicate::Compile(
+      Cmp(CompareOp::kLt, Col("t", "a"), Int(5)), schema);
+  ASSERT_TRUE(kernel.has_value());
+  EXPECT_FALSE(kernel->Applicable(batch));
+}
+
+TEST(ColumnBatchTest, ToTuplesAndCompactHonorSelection) {
+  RowSchema schema({ColumnInfo{"t", "a", TypeId::kInt64},
+                    ColumnInfo{"t", "s", TypeId::kString}});
+  ColumnBatch batch(schema);
+  for (int64_t i = 0; i < 8; ++i) {
+    batch.AppendTuple(Tuple({Value(i), Value("str" + std::to_string(i))}));
+  }
+  *batch.mutable_selection() = {1, 3, 5};
+
+  std::vector<Tuple> out;
+  batch.ToTuples(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].Get(0).AsInt64(), 1);
+  EXPECT_EQ(out[2].Get(1).AsString(), "str5");
+
+  batch.Compact();
+  EXPECT_EQ(batch.num_rows(), 3u);
+  EXPECT_TRUE(batch.all_selected());
+  // The string arena was rebuilt: positional access sees the survivors.
+  EXPECT_EQ(batch.GetValue(0, 2).AsInt64(), 5);
+  EXPECT_EQ(batch.GetValue(1, 1).AsString(), "str3");
+}
+
+TEST(ColumnBatchTest, ClearAndResetReuse) {
+  RowSchema schema({ColumnInfo{"t", "a", TypeId::kInt64}});
+  ColumnBatch batch(schema);
+  batch.AppendTuple(Tuple({Value(int64_t{1})}));
+  batch.Clear();
+  EXPECT_EQ(batch.num_rows(), 0u);
+  EXPECT_EQ(batch.selected(), 0u);
+  batch.AppendTuple(Tuple({Value(int64_t{2})}));
+  ASSERT_EQ(batch.num_rows(), 1u);
+  EXPECT_EQ(batch.GetValue(0, 0).AsInt64(), 2);
+
+  // Reset with the same schema behaves like Clear; with a new schema it
+  // adopts the new layout.
+  batch.Reset(schema);
+  EXPECT_EQ(batch.num_rows(), 0u);
+  RowSchema other({ColumnInfo{"u", "x", TypeId::kDouble}});
+  batch.Reset(other);
+  EXPECT_EQ(batch.schema().Column(0).name, "x");
+  batch.AppendTuple(Tuple({Value(3.5)}));
+  EXPECT_DOUBLE_EQ(batch.GetValue(0, 0).AsDouble(), 3.5);
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernels pinned against the scalar evaluator.
+// ---------------------------------------------------------------------------
+
+/// Runs `e` both as a compiled kernel and through BoundExpr on every row,
+/// in standalone mode (NULL drops) and prefix mode (NULL survives,
+/// flagged), and requires identical survivor sets.
+void CheckKernelAgainstScalar(const ExprPtr& e, const RowSchema& schema,
+                              const std::vector<Tuple>& rows) {
+  auto kernel = VectorizedPredicate::Compile(e, schema);
+  ASSERT_TRUE(kernel.has_value());
+
+  catalog::FunctionRegistry registry;
+  auto bound = expr::BoundExpr::Bind(e, schema, registry);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  expr::EvalContext ectx;
+
+  // Standalone: survivors are exactly the EvalBool-true rows.
+  ColumnBatch batch(schema);
+  for (const Tuple& t : rows) batch.AppendTuple(t);
+  ASSERT_TRUE(kernel->Applicable(batch));
+  kernel->Filter(&batch, nullptr);
+  std::vector<uint32_t> expect;
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    if ((*bound)->EvalBool(rows[i], &ectx)) expect.push_back(i);
+  }
+  EXPECT_EQ(batch.selection(), expect);
+
+  // Prefix mode: NULL-evaluating rows survive with their flag set.
+  ColumnBatch prefix_batch(schema);
+  for (const Tuple& t : rows) prefix_batch.AppendTuple(t);
+  std::vector<uint8_t> maybe_null(rows.size(), 0);
+  kernel->Filter(&prefix_batch, &maybe_null);
+  std::vector<uint32_t> expect_sel;
+  std::vector<uint8_t> expect_mn(rows.size(), 0);
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    const Value v = (*bound)->Eval(rows[i], &ectx);
+    if (v.is_null()) {
+      expect_sel.push_back(i);
+      expect_mn[i] = 1;
+    } else if (v.AsBool()) {
+      expect_sel.push_back(i);
+    }
+  }
+  EXPECT_EQ(prefix_batch.selection(), expect_sel);
+  EXPECT_EQ(maybe_null, expect_mn);
+}
+
+class VectorKernelTest : public ::testing::Test {
+ protected:
+  VectorKernelTest()
+      : schema_({ColumnInfo{"t", "a", TypeId::kInt64},
+                 ColumnInfo{"t", "c", TypeId::kInt64},
+                 ColumnInfo{"t", "x", TypeId::kDouble},
+                 ColumnInfo{"t", "s", TypeId::kString},
+                 ColumnInfo{"t", "s2", TypeId::kString}}) {
+    auto row = [](Value a, Value c, Value x, Value s, Value s2) {
+      return Tuple({std::move(a), std::move(c), std::move(x), std::move(s),
+                    std::move(s2)});
+    };
+    const double nan = std::nan("");
+    rows_ = {
+        row(Value(int64_t{0}), Value(int64_t{0}), Value(0.0), Value("a"),
+            Value("a")),
+        row(Value(int64_t{5}), Value(int64_t{4}), Value(2.5), Value("mmm"),
+            Value("mm")),
+        row(Value(int64_t{-3}), Value(int64_t{7}), Value(-1.0), Value(""),
+            Value("zzz")),
+        row(Value(int64_t{5}), Value(int64_t{5}), Value(5.0), Value("mmm"),
+            Value("mmm")),
+        row(Value(), Value(int64_t{2}), Value(nan), Value(), Value("q")),
+        row(Value(int64_t{9}), Value(), Value(nan), Value("zz"), Value()),
+        row(Value(int64_t{1} << 40), Value(int64_t{5}), Value(2.5),
+            Value("ab"), Value("ab")),
+    };
+  }
+
+  RowSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+TEST_F(VectorKernelTest, AllOpsMatchScalarEvaluator) {
+  const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                            CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  for (CompareOp op : kOps) {
+    SCOPED_TRACE(expr::CompareOpSymbol(op));
+    // int64 column vs int64 constant, both operand orders.
+    CheckKernelAgainstScalar(Cmp(op, Col("t", "a"), Int(5)), schema_, rows_);
+    CheckKernelAgainstScalar(Cmp(op, Int(5), Col("t", "a")), schema_, rows_);
+    // int64 column vs int64 column.
+    CheckKernelAgainstScalar(Cmp(op, Col("t", "a"), Col("t", "c")), schema_,
+                             rows_);
+    // double column vs double constant (NaN rows included).
+    CheckKernelAgainstScalar(Cmp(op, Col("t", "x"), Const(Value(2.5))),
+                             schema_, rows_);
+    // Mixed numeric: int64 column against a double constant and a double
+    // column — forced through the double comparison path.
+    CheckKernelAgainstScalar(Cmp(op, Col("t", "a"), Const(Value(2.5))),
+                             schema_, rows_);
+    CheckKernelAgainstScalar(Cmp(op, Col("t", "a"), Col("t", "x")), schema_,
+                             rows_);
+    // Strings: column vs constant and column vs column.
+    CheckKernelAgainstScalar(Cmp(op, Col("t", "s"), Const(Value("mmm"))),
+                             schema_, rows_);
+    CheckKernelAgainstScalar(Cmp(op, Col("t", "s"), Col("t", "s2")), schema_,
+                             rows_);
+  }
+}
+
+TEST_F(VectorKernelTest, DeclinesNonVectorizableShapes) {
+  // Function calls, boolean connectives, arithmetic, string-vs-number
+  // operands, NULL literals and const-const comparisons all stay scalar.
+  EXPECT_FALSE(VectorizedPredicate::Compile(Call("f", {Col("t", "a")}),
+                                            schema_)
+                   .has_value());
+  EXPECT_FALSE(VectorizedPredicate::Compile(
+                   expr::Or(Eq(Col("t", "a"), Int(1)),
+                            Eq(Col("t", "a"), Int(2))),
+                   schema_)
+                   .has_value());
+  EXPECT_FALSE(VectorizedPredicate::Compile(
+                   Cmp(CompareOp::kLt,
+                       expr::Arith(expr::ArithOp::kAdd, Col("t", "a"),
+                                   Int(1)),
+                       Int(5)),
+                   schema_)
+                   .has_value());
+  EXPECT_FALSE(VectorizedPredicate::Compile(
+                   Cmp(CompareOp::kLt, Col("t", "s"), Int(5)), schema_)
+                   .has_value());
+  EXPECT_FALSE(VectorizedPredicate::Compile(
+                   Cmp(CompareOp::kLt, Col("t", "a"), Const(Value())),
+                   schema_)
+                   .has_value());
+  EXPECT_FALSE(VectorizedPredicate::Compile(
+                   Cmp(CompareOp::kLt, Int(1), Int(2)), schema_)
+                   .has_value());
+  // Unknown column.
+  EXPECT_FALSE(VectorizedPredicate::Compile(
+                   Cmp(CompareOp::kLt, Col("t", "nope"), Int(5)), schema_)
+                   .has_value());
+}
+
+TEST_F(VectorKernelTest, SelectionEdgeCases) {
+  auto kernel = VectorizedPredicate::Compile(
+      Cmp(CompareOp::kGe, Col("t", "a"), Int(0)), schema_);
+  ASSERT_TRUE(kernel.has_value());
+
+  // Empty batch.
+  ColumnBatch empty(schema_);
+  kernel->Filter(&empty, nullptr);
+  EXPECT_EQ(empty.selected(), 0u);
+
+  // All-pass and all-fail over non-null rows.
+  ColumnBatch batch(schema_);
+  for (const Tuple& t : rows_) {
+    if (!t.Get(0).is_null()) batch.AppendTuple(t);
+  }
+  const size_t n = batch.num_rows();
+  auto all_pass = VectorizedPredicate::Compile(
+      Cmp(CompareOp::kGe, Col("t", "a"), Int(-100)), schema_);
+  all_pass->Filter(&batch, nullptr);
+  EXPECT_EQ(batch.selected(), n);
+  auto all_fail = VectorizedPredicate::Compile(
+      Cmp(CompareOp::kLt, Col("t", "a"), Int(-100)), schema_);
+  all_fail->Filter(&batch, nullptr);
+  EXPECT_EQ(batch.selected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FilterOp split behaviour and execution parity.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Canon(const std::vector<Tuple>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Tuple& t : rows) out.push_back(t.Serialize());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// t: `rows` rows — key unique, a = key % 10 but NULL when key % 13 == 0,
+/// x = key * 0.5, pad a short string. An expensive "costly" predicate is
+/// registered (cost 100, selectivity 0.5).
+class VectorExecTest : public ::testing::Test {
+ protected:
+  VectorExecTest() : pool_(&disk_, 128), catalog_(&pool_) {
+    auto table = catalog_.CreateTable("t", {{"key", TypeId::kInt64},
+                                            {"a", TypeId::kInt64},
+                                            {"x", TypeId::kDouble},
+                                            {"pad", TypeId::kString}});
+    EXPECT_TRUE(table.ok());
+    for (int64_t i = 0; i < 300; ++i) {
+      Value a = (i % 13 == 0) ? Value() : Value(i % 10);
+      EXPECT_TRUE((*table)
+                      ->Insert(Tuple({Value(i), std::move(a), Value(i * 0.5),
+                                      Value("p" + std::to_string(i))}))
+                      .ok());
+    }
+    EXPECT_TRUE((*table)->Analyze().ok());
+    EXPECT_TRUE(
+        catalog_.functions().RegisterCostlyPredicate("costly", 100, 0.5)
+            .ok());
+    binding_ = {{"t", *catalog_.GetTable("t")}};
+    analyzer_ = std::make_unique<expr::PredicateAnalyzer>(&catalog_, binding_);
+  }
+
+  expr::PredicateInfo Analyze(const ExprPtr& e) {
+    auto info = analyzer_->Analyze(e);
+    EXPECT_TRUE(info.ok()) << info.status();
+    return *info;
+  }
+
+  std::vector<Tuple> Run(const plan::PlanNode& plan, const ExecParams& params,
+                         ExecStats* stats,
+                         std::unique_ptr<exec::Operator>* root = nullptr) {
+    exec::ExecContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.binding = binding_;
+    ctx.params = params;
+    auto rows = exec::ExecutePlan(plan, &ctx, stats, nullptr, root);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return std::move(rows).value();
+  }
+
+  storage::DiskManager disk_;
+  storage::BufferPool pool_;
+  catalog::Catalog catalog_;
+  expr::TableBinding binding_;
+  std::unique_ptr<expr::PredicateAnalyzer> analyzer_;
+};
+
+TEST_F(VectorExecTest, SplitEngagesOnlyWhenSafe) {
+  const ExprPtr cheap2 = expr::And(Cmp(CompareOp::kLt, Col("t", "a"), Int(5)),
+                                   Cmp(CompareOp::kLt, Col("t", "key"),
+                                       Int(200)));
+  const ExprPtr mixed = expr::And(Cmp(CompareOp::kLt, Col("t", "a"), Int(5)),
+                                  Call("costly", {Col("t", "key")}));
+
+  // Cheap conjunction: fully vectorized, even with caching on (cheap
+  // predicates never engage the memo).
+  ExecParams caching_on;
+  std::unique_ptr<exec::Operator> root;
+  {
+    plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                          Analyze(cheap2));
+    ExecStats stats;
+    Run(*plan, caching_on, &stats, &root);
+    auto* filter = dynamic_cast<exec::FilterOp*>(root.get());
+    ASSERT_NE(filter, nullptr);
+    EXPECT_EQ(filter->vectorized_conjuncts(), 2u);
+    EXPECT_TRUE(filter->provides_columns());
+    EXPECT_NE(filter->Describe().find("vector"), std::string::npos);
+  }
+
+  // Mixed conjunction with the predicate cache engaged: never split (the
+  // split would change cache keys and hit patterns).
+  {
+    plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                          Analyze(mixed));
+    ExecStats stats;
+    Run(*plan, caching_on, &stats, &root);
+    auto* filter = dynamic_cast<exec::FilterOp*>(root.get());
+    ASSERT_NE(filter, nullptr);
+    EXPECT_EQ(filter->vectorized_conjuncts(), 0u);
+  }
+
+  // Mixed conjunction with caching off: cheap prefix splits off.
+  ExecParams caching_off;
+  caching_off.predicate_caching = false;
+  {
+    plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                          Analyze(mixed));
+    ExecStats stats;
+    Run(*plan, caching_off, &stats, &root);
+    auto* filter = dynamic_cast<exec::FilterOp*>(root.get());
+    ASSERT_NE(filter, nullptr);
+    EXPECT_EQ(filter->vectorized_conjuncts(), 1u);
+  }
+
+  // Expensive-first conjunction: the maximal cheap *prefix* is empty, so
+  // nothing vectorizes (reordering would change invocation counts).
+  const ExprPtr udf_first =
+      expr::And(Call("costly", {Col("t", "key")}),
+                Cmp(CompareOp::kLt, Col("t", "a"), Int(5)));
+  {
+    plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                          Analyze(udf_first));
+    ExecStats stats;
+    Run(*plan, caching_off, &stats, &root);
+    auto* filter = dynamic_cast<exec::FilterOp*>(root.get());
+    ASSERT_NE(filter, nullptr);
+    EXPECT_EQ(filter->vectorized_conjuncts(), 0u);
+  }
+
+  // Vectorized off: row pipeline everywhere.
+  ExecParams off;
+  off.vectorized = false;
+  {
+    plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                          Analyze(cheap2));
+    ExecStats stats;
+    Run(*plan, off, &stats, &root);
+    auto* filter = dynamic_cast<exec::FilterOp*>(root.get());
+    ASSERT_NE(filter, nullptr);
+    EXPECT_EQ(filter->vectorized_conjuncts(), 0u);
+    EXPECT_FALSE(filter->provides_columns());
+  }
+}
+
+TEST_F(VectorExecTest, CheapPredicateParityWithNulls) {
+  // a has NULLs (key % 13 == 0): NULL rows must not pass, matching
+  // EvalBool. x < 20 exercises the double path.
+  const ExprPtr preds[] = {
+      Cmp(CompareOp::kLt, Col("t", "a"), Int(5)),
+      Cmp(CompareOp::kLt, Col("t", "x"), Const(Value(20.0))),
+      Cmp(CompareOp::kGe, Col("t", "key"), Int(0)),   // all-pass
+      Cmp(CompareOp::kLt, Col("t", "key"), Int(-1)),  // all-fail
+  };
+  for (const ExprPtr& e : preds) {
+    plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                          Analyze(e));
+    ExecParams on;
+    ExecParams off;
+    off.vectorized = false;
+    ExecStats s_on, s_off;
+    const auto rows_on = Run(*plan, on, &s_on);
+    const auto rows_off = Run(*plan, off, &s_off);
+    EXPECT_EQ(Canon(rows_on), Canon(rows_off));
+  }
+
+  // Empty upstream batches: an all-fail filter below a vectorizable filter.
+  plan::PlanPtr empty_chain = plan::MakeFilter(
+      plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                       Analyze(Cmp(CompareOp::kLt, Col("t", "key"), Int(-1)))),
+      Analyze(Cmp(CompareOp::kLt, Col("t", "a"), Int(5))));
+  ExecStats stats;
+  EXPECT_TRUE(Run(*empty_chain, ExecParams{}, &stats).empty());
+}
+
+TEST_F(VectorExecTest, MixedSplitKeepsExactInvocationCounts) {
+  // Cheap prefix + expensive suffix, with NULLs in the cheap column: rows
+  // whose cheap conjunct evaluates NULL must still invoke the UDF (SQL AND
+  // does not short-circuit on NULL) yet never reach the output.
+  const ExprPtr mixed = expr::And(Cmp(CompareOp::kLt, Col("t", "a"), Int(5)),
+                                  Call("costly", {Col("t", "key")}));
+  plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                        Analyze(mixed));
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExecParams off;
+    off.predicate_caching = false;
+    off.vectorized = false;
+    off.parallel_workers = workers;
+    ExecParams on = off;
+    on.vectorized = true;
+
+    ExecStats s_off, s_on;
+    const auto rows_off = Run(*plan, off, &s_off);
+    const auto rows_on = Run(*plan, on, &s_on);
+
+    EXPECT_EQ(Canon(rows_on), Canon(rows_off));
+    ASSERT_TRUE(s_off.invocations.count("costly"));
+    EXPECT_EQ(s_on.invocations, s_off.invocations);
+    // The prefix actually pruned: fewer invocations than input rows, but
+    // NULL-a rows (key % 13 == 0) still reached the UDF.
+    const uint64_t calls = s_off.invocations.at("costly");
+    EXPECT_LT(calls, 300u);
+    EXPECT_GE(calls, 150u);  // ~5/10 pass + 24 NULL rows.
+  }
+}
+
+TEST_F(VectorExecTest, CachedPredicateParity) {
+  // With the memo engaged the conjunction is never split — results and
+  // cache-bounded invocation counts still match the row engine exactly.
+  const ExprPtr mixed = expr::And(Cmp(CompareOp::kLt, Col("t", "a"), Int(5)),
+                                  Call("costly", {Col("t", "a")}));
+  plan::PlanPtr plan = plan::MakeFilter(plan::MakeSeqScan("t", "t"),
+                                        Analyze(mixed));
+  ExecParams on;
+  ExecParams off;
+  off.vectorized = false;
+  ExecStats s_on, s_off;
+  const auto rows_on = Run(*plan, on, &s_on);
+  const auto rows_off = Run(*plan, off, &s_off);
+  EXPECT_EQ(Canon(rows_on), Canon(rows_off));
+  EXPECT_EQ(s_on.invocations, s_off.invocations);
+}
+
+TEST_F(VectorExecTest, BatchSizeZeroIsClamped) {
+  plan::PlanPtr plan = plan::MakeFilter(
+      plan::MakeSeqScan("t", "t"),
+      Analyze(Cmp(CompareOp::kLt, Col("t", "a"), Int(5))));
+  ExecParams params;
+  params.batch_size = 0;
+  ExecStats stats;
+  ExecParams sane;
+  ExecStats sane_stats;
+  EXPECT_EQ(Canon(Run(*plan, params, &stats)),
+            Canon(Run(*plan, sane, &sane_stats)));
+}
+
+// ---------------------------------------------------------------------------
+// Bloom-transfer hash parity on the columnar probe path.
+// ---------------------------------------------------------------------------
+
+/// The columnar probe path hashes native column cells (HashColumnCell)
+/// while the build side hashed Values — any divergence falsely prunes
+/// probe rows (Bloom filters must never have false negatives). Keys
+/// include int64s that are not exactly representable as doubles, the case
+/// where Value::Hash switches hash functions.
+TEST(VectorTransferTest, ColumnarProbeHashMatchesValueHash) {
+  storage::DiskManager disk;
+  storage::BufferPool pool(&disk, 64);
+  catalog::Catalog catalog(&pool);
+  const int64_t base = (int64_t{1} << 62) + 1;  // Not double-representable.
+  auto make = [&](const std::string& name, int64_t rows, int64_t stride) {
+    auto table = catalog.CreateTable(
+        name, {{"key", TypeId::kInt64}, {"grp", TypeId::kInt64}});
+    ASSERT_TRUE(table.ok());
+    for (int64_t i = 0; i < rows; ++i) {
+      ASSERT_TRUE(
+          (*table)
+              ->Insert(Tuple({Value(base + i * stride), Value(i % 7)}))
+              .ok());
+    }
+    ASSERT_TRUE((*table)->Analyze().ok());
+  };
+  make("r", 128, 1);  // Probe side: keys base..base+127.
+  make("s", 16, 8);   // Build side: every 8th key.
+  expr::TableBinding binding = {{"r", *catalog.GetTable("r")},
+                                {"s", *catalog.GetTable("s")}};
+  expr::PredicateAnalyzer analyzer(&catalog, binding);
+
+  // Cheap filter above the probe scan pulls columns, so TransferProbe
+  // narrows the selection vector via the columnar hash path.
+  auto grp_pred = analyzer.Analyze(
+      Cmp(CompareOp::kGe, Col("r", "grp"), Int(0)));
+  ASSERT_TRUE(grp_pred.ok());
+  auto join_pred = analyzer.Analyze(Eq(Col("r", "key"), Col("s", "key")));
+  ASSERT_TRUE(join_pred.ok());
+  plan::PlanPtr plan = plan::MakeJoin(
+      plan::JoinMethod::kHash,
+      plan::MakeFilter(plan::MakeSeqScan("r", "r"), *grp_pred),
+      plan::MakeSeqScan("s", "s"), *join_pred);
+
+  auto run = [&](bool vectorized) {
+    exec::ExecContext ctx;
+    ctx.catalog = &catalog;
+    ctx.binding = binding;
+    ctx.params.predicate_transfer = true;
+    ctx.params.vectorized = vectorized;
+    ExecStats stats;
+    auto rows = exec::ExecutePlan(*plan, &ctx, &stats);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return Canon(*rows);
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+  EXPECT_EQ(on.size(), 16u);  // No false negatives: all 16 matches found.
+  EXPECT_EQ(on, off);
+}
+
+// ---------------------------------------------------------------------------
+// Q1-Q5 end-to-end parity suite.
+// ---------------------------------------------------------------------------
+
+class VectorParityTest : public ::testing::Test {
+ protected:
+  VectorParityTest() {
+    config_.scale = 100;
+    config_.table_numbers = {1, 3, 6, 7, 9, 10};
+    EXPECT_TRUE(workload::LoadBenchmarkDatabase(&db_, config_).ok());
+    EXPECT_TRUE(workload::RegisterBenchmarkFunctions(&db_).ok());
+  }
+
+  struct RunResult {
+    std::vector<std::string> rows;
+    std::unordered_map<std::string, uint64_t> invocations;
+  };
+
+  /// Optimizes (kPushDown — vectorization must not depend on placement)
+  /// and executes `spec` under `cost_params`, returning canonical rows and
+  /// the exact UDF invocation counters.
+  RunResult Execute(const plan::QuerySpec& spec,
+                    const cost::CostParams& cost_params) {
+    optimizer::Optimizer opt(&db_.catalog(), cost_params);
+    auto result = opt.Optimize(spec, Algorithm::kPushDown);
+    EXPECT_TRUE(result.ok()) << result.status();
+
+    exec::ExecContext ctx;
+    ctx.catalog = &db_.catalog();
+    ctx.params = workload::ExecParamsFor(cost_params);
+    for (const plan::TableRef& ref : spec.tables) {
+      ctx.binding[ref.alias] = *db_.catalog().GetTable(ref.table_name);
+    }
+    types::RowSchema schema;
+    ExecStats stats;
+    auto rows = exec::ExecutePlan(*result->plan, &ctx, &stats, &schema);
+    EXPECT_TRUE(rows.ok()) << rows.status();
+    return {workload::CanonicalResults(*rows, schema), stats.invocations};
+  }
+
+  workload::Database db_;
+  workload::BenchmarkConfig config_;
+};
+
+TEST_F(VectorParityTest, QueriesMatchAcrossVectorWorkersTransfer) {
+  for (const std::string& id : {"Q1", "Q2", "Q3", "Q4", "Q5"}) {
+    auto spec = workload::GetBenchmarkQuery(db_, config_, id);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    for (bool transfer : {false, true}) {
+      for (double workers : {1.0, 4.0}) {
+        SCOPED_TRACE(id + " transfer=" + std::to_string(transfer) +
+                     " workers=" + std::to_string(static_cast<int>(workers)));
+        cost::CostParams off_params;
+        off_params.predicate_transfer = transfer;
+        off_params.parallel_workers = workers;
+        off_params.vectorized = false;
+        cost::CostParams on_params = off_params;
+        on_params.vectorized = true;
+
+        const RunResult off = Execute(*spec, off_params);
+        const RunResult on = Execute(*spec, on_params);
+
+        // Byte-identical result sets and exact-equal invocation counters.
+        EXPECT_EQ(on.rows, off.rows);
+        EXPECT_EQ(on.invocations, off.invocations);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppp
