@@ -38,6 +38,16 @@ std::unique_ptr<workload::Database> MakeBenchDatabase(
   return db;
 }
 
+/// PPP_BENCH_REPEAT=N (default 1): execute each bench query N times and
+/// keep the run with the minimum wall — a noise floor for the regression
+/// gate on loaded machines. N <= 1 leaves behavior unchanged.
+size_t BenchRepeat() {
+  const char* env = std::getenv("PPP_BENCH_REPEAT");
+  if (env == nullptr) return 1;
+  const long long v = std::atoll(env);
+  return v > 1 ? static_cast<size_t>(v) : 1;
+}
+
 workload::Measurement RunQuery(workload::Database* db,
                                const workload::BenchmarkConfig& config,
                                const std::string& id,
@@ -51,7 +61,20 @@ workload::Measurement RunQuery(workload::Database* db,
                                       execute,
                                       /*collect_explain=*/false, trace);
   PPP_CHECK(m.ok()) << m.status().ToString();
-  return *m;
+  workload::Measurement best = *m;
+  if (execute) {
+    // Reruns keep the min-wall measurement whole (counters and wall from
+    // the same run); the optimizer trace comes from the first run only.
+    for (size_t i = 1; i < BenchRepeat(); ++i) {
+      auto rerun = workload::RunWithAlgorithm(
+          db, *spec, algorithm, cost_params,
+          workload::ExecParamsFor(cost_params), execute,
+          /*collect_explain=*/false, /*trace=*/nullptr);
+      PPP_CHECK(rerun.ok()) << rerun.status().ToString();
+      if (rerun->wall_seconds < best.wall_seconds) best = *rerun;
+    }
+  }
+  return best;
 }
 
 bool TraceEnabled() {

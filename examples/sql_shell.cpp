@@ -22,7 +22,14 @@
 //                      trace-event JSON (default trace.json) for Perfetto
 //   \log [N|on|off|clear]
 //                      tail of the query log (default 10 rows; also
-//                      SQL-queryable as ppp_query_log — see \tables)
+//                      SQL-queryable as ppp_query_log — see \tables);
+//                      flags column: C = plan changed, R = regressed
+//   \plans [clear]     plan-fingerprint history per normalized query:
+//                      executions, mean/p95 wall, invocations, max q-error,
+//                      CHANGED/REGRESSED flags (ppp_plan_history in SQL)
+//   \audit [N]         per-operator cardinality audit of recent queries:
+//                      est vs actual rows and q-error per plan node
+//                      (default 20 rows; ppp_operator_audit in SQL)
 //   \profile [reset]   per-function runtime profile (observed cost and
 //                      distinct-value selectivity)
 //   \calibrate [off]   re-run placement of the last query with observed
@@ -53,6 +60,8 @@
 #include "common/string_util.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "obs/plan_audit.h"
+#include "obs/plan_history.h"
 #include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "obs/span.h"
@@ -276,12 +285,15 @@ int main() {
             }
             n = static_cast<size_t>(parsed);
           }
-          std::printf("  %5s %-10s %10s %9s %8s %6s %5s %5s %-8s\n", "id",
-                      "algorithm", "wall_ms", "rows_out", "udf", "cache",
-                      "prune", "drift", "tier");
+          std::printf("  %5s %-10s %10s %9s %8s %6s %5s %5s %-8s %-5s\n",
+                      "id", "algorithm", "wall_ms", "rows_out", "udf",
+                      "cache", "prune", "drift", "tier", "flags");
           for (const obs::QueryLogRecord& r : log.Tail(n)) {
+            std::string flags;
+            if (r.plan_changed) flags += 'C';
+            if (r.plan_regressed) flags += 'R';
             std::printf("  %5llu %-10s %10.3f %9llu %8llu %6llu %5llu "
-                        "%5llu %-8s\n",
+                        "%5llu %-8s %-5s\n",
                         static_cast<unsigned long long>(r.query_id),
                         r.algorithm.c_str(), r.wall_seconds * 1e3,
                         static_cast<unsigned long long>(r.rows_out),
@@ -289,13 +301,76 @@ int main() {
                         static_cast<unsigned long long>(r.cache_hits),
                         static_cast<unsigned long long>(r.transfer_pruned),
                         static_cast<unsigned long long>(r.drift_flags),
-                        obs::StatsTierName(r.stats_tier));
+                        obs::StatsTierName(r.stats_tier), flags.c_str());
           }
           std::printf("  %llu logged, %llu evicted; \"SELECT ... FROM "
                       "ppp_query_log\" for the full view\n",
                       static_cast<unsigned long long>(log.total()),
                       static_cast<unsigned long long>(log.evicted()));
         }
+        continue;
+      }
+      if (word == "plans") {
+        std::string mode;
+        cmd >> mode;
+        obs::PlanHistory& history = obs::PlanHistory::Global();
+        if (mode == "clear") {
+          history.Clear();
+          std::printf("plan history cleared\n");
+          continue;
+        }
+        std::printf("  %-16s %-16s %5s %9s %9s %9s %7s %s\n", "text_hash",
+                    "fingerprint", "execs", "mean_ms", "p95_ms", "udf",
+                    "max_q", "flags");
+        for (const obs::PlanHistoryEntry& e : history.Snapshot()) {
+          std::string flags;
+          if (e.plan_changed) flags += "CHANGED ";
+          if (e.regressed) flags += "REGRESSED";
+          std::printf("  %016llx %016llx %5llu %9.3f %9.3f %9llu %7.3g %s\n",
+                      static_cast<unsigned long long>(e.text_hash),
+                      static_cast<unsigned long long>(e.plan_fingerprint),
+                      static_cast<unsigned long long>(e.executions),
+                      e.wall_mean * 1e3, e.wall_p95 * 1e3,
+                      static_cast<unsigned long long>(e.total_invocations),
+                      e.max_qerror, flags.c_str());
+        }
+        std::printf("  %zu plan(s); %llu change(s), %llu regression(s); "
+                    "\"SELECT ... FROM ppp_plan_history\" for the full "
+                    "view\n",
+                    history.size(),
+                    static_cast<unsigned long long>(history.changed_total()),
+                    static_cast<unsigned long long>(
+                        history.regressed_total()));
+        continue;
+      }
+      if (word == "audit") {
+        std::string mode;
+        cmd >> mode;
+        size_t n = 20;
+        if (!mode.empty()) {
+          const long long parsed = std::atoll(mode.c_str());
+          if (parsed <= 0) {
+            std::printf("usage: \\audit [N]\n");
+            continue;
+          }
+          n = static_cast<size_t>(parsed);
+        }
+        obs::PlanAudit& audit = obs::PlanAudit::Global();
+        std::printf("  %5s %-8s %-32s %10s %10s %7s %9s %8s\n", "id",
+                    "path", "op", "est", "act", "q", "ms", "udf");
+        for (const obs::OperatorAuditRecord& r : audit.Tail(n)) {
+          std::printf("  %5llu %-8s %-32.32s %10.4g %10llu %7.3g %9.3f "
+                      "%8llu\n",
+                      static_cast<unsigned long long>(r.query_id),
+                      r.path.c_str(), r.op.c_str(), r.est_rows,
+                      static_cast<unsigned long long>(r.actual_rows),
+                      r.qerror, r.inclusive_seconds * 1e3,
+                      static_cast<unsigned long long>(r.udf_invocations));
+        }
+        std::printf("  %llu audited, %llu evicted; \"SELECT ... FROM "
+                    "ppp_operator_audit\" for the full view\n",
+                    static_cast<unsigned long long>(audit.total()),
+                    static_cast<unsigned long long>(audit.evicted()));
         continue;
       }
       if (word == "profile") {

@@ -15,6 +15,12 @@ where the check_build.sh smoke runs drop them). Two failure classes:
     measurement currency), so any delta is a real behavior change —
     a placement flip, a caching bug, a transfer regression — never noise.
 
+A third check closes a hole the per-file comparison cannot see: every
+baselined bench name must appear in BENCH_summary.json (the aggregate the
+smoke run writes from the benches it actually executed). A stale
+BENCH_<name>.json left in the fresh directory would otherwise let a
+deleted or renamed bench keep passing the gate forever.
+
 Run with --update to rewrite the baselines from the fresh files (after a
 deliberate, explained behavior change).
 """
@@ -88,6 +94,9 @@ def main():
                         help="directory holding checked-in baselines")
     parser.add_argument("--update", action="store_true",
                         help="rewrite baselines from the fresh files")
+    parser.add_argument("--summary", default=None,
+                        help="BENCH_summary.json of the smoke run (default: "
+                             "<fresh>/BENCH_summary.json)")
     args = parser.parse_args()
 
     if not os.path.isdir(args.baselines):
@@ -122,6 +131,24 @@ def main():
     if args.update:
         print(f"updated {len(names)} baseline(s)")
         return 0
+
+    # Baselined benches must have actually run: their names must appear in
+    # the smoke run's BENCH_summary.json aggregate, or a stale fresh file
+    # could mask a deleted/renamed bench indefinitely.
+    summary_path = args.summary or os.path.join(args.fresh,
+                                                "BENCH_summary.json")
+    if os.path.exists(summary_path):
+        ran = set(load(summary_path))
+        for fname in names:
+            bench_name = fname[len("BENCH_"):-len(".json")]
+            if bench_name not in ran:
+                failures.append(
+                    f"{fname}: baselined bench '{bench_name}' missing from "
+                    f"{summary_path} — deleted or renamed without "
+                    f"re-baselining?")
+    else:
+        print(f"no {summary_path}; skipped baselined-name membership check")
+
     if failures:
         print(f"bench regression gate FAILED ({len(failures)} issue(s)):")
         for f in failures:

@@ -18,7 +18,18 @@
 # the plan must now carry. bench_stats then demonstrates the ANALYZE-only
 # placement flip (8x fewer expensive invocations, feedback store empty)
 # and every BENCH_*.json produced by the smoke runs is aggregated into
-# BENCH_summary.json.
+# BENCH_summary.json — before the regression gate runs, so the gate can
+# verify every baselined bench actually executed.
+#
+# The plan-lifecycle smoke drives the same query text through the shell
+# under two placement algorithms (with an ANALYZE in between): the second
+# execution must be flagged as a plan change in \plans, the history must
+# be SELECTable as ppp_plan_history, and \audit must report per-operator
+# cardinality rows. bench_plans then asserts the end-to-end lifecycle at
+# smoke scale: <2% overhead with audit+history on, result/invocation
+# parity across {off,on} x {1,4} workers, and the ANALYZE-induced flip
+# recorded as two fingerprints for one text_hash with exactly one
+# plan.changed tick and one flagged query-log record.
 #
 # The columnar-execution bench runs in smoke mode too: bench_vector
 # asserts the >= 5x cheap-chain speedup of the vectorized fast path and
@@ -178,17 +189,52 @@ print(f"BENCH_vector.json ok: {configs}")
 PYEOF
 fi
 
-# Regression gate: fresh smoke BENCH_*.json vs the checked-in baselines.
-# Fails on >25% wall regressions (above the 0.05 s jitter floor) or any
-# invocation-count drift. Re-baseline deliberate changes with --update.
-if command -v python3 >/dev/null 2>&1; then
-  python3 scripts/bench_regress.py
-else
-  echo "python3 not found; skipped bench regression gate"
-fi
+# Plan-lifecycle smoke: the same query text twice (ANALYZE between), then
+# once more under a different placement algorithm — a real plan change the
+# history must flag. The history and audit must answer through the
+# ordinary SQL path and through their shell views.
+PLANS_OUT="$BUILD_DIR/check_plans.out"
+"$BUILD_DIR/examples/sql_shell" >"$PLANS_OUT" <<EOF
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+ANALYZE t10;
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+\\algorithm pushdown
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+SELECT count(*) FROM ppp_plan_history;
+\\plans
+\\audit 5
+\\quit
+EOF
+grep -q "^1 rows;" "$PLANS_OUT" || {
+  echo "SELECT over ppp_plan_history failed" >&2
+  cat "$PLANS_OUT" >&2; exit 1;
+}
+grep -q "CHANGED" "$PLANS_OUT" || {
+  echo "\\plans shows no CHANGED flag after the algorithm flip" >&2
+  cat "$PLANS_OUT" >&2; exit 1;
+}
+grep -q "1 change(s)" "$PLANS_OUT" || {
+  echo "\\plans footer does not count the plan change" >&2
+  cat "$PLANS_OUT" >&2; exit 1;
+}
+grep -q " audited," "$PLANS_OUT" || {
+  echo "\\audit printed no operator-audit summary" >&2
+  cat "$PLANS_OUT" >&2; exit 1;
+}
+echo "plan-lifecycle smoke ok: change flagged, history + audit SELECTable"
+
+# Plan-lifecycle bench: asserts <2% audit+history overhead, off/on parity
+# at 1 and 4 workers, and the ANALYZE-induced flip landing in the history
+# as two fingerprints with one plan.changed tick and one flagged log row.
+rm -f BENCH_plans.json
+PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_plans"
+[[ -s BENCH_plans.json ]] || {
+  echo "missing BENCH_plans.json" >&2; exit 1;
+}
 
 # Aggregate every BENCH_*.json the smoke runs produced into one
-# BENCH_summary.json keyed by bench name.
+# BENCH_summary.json keyed by bench name. Runs before the regression gate
+# so the gate can check every baselined bench name appears in it.
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'PYEOF'
 import glob, json
@@ -209,6 +255,16 @@ print(f"BENCH_summary.json ok: {sorted(summary)}")
 PYEOF
 else
   echo "python3 not found; skipped BENCH_summary.json aggregation"
+fi
+
+# Regression gate: fresh smoke BENCH_*.json vs the checked-in baselines.
+# Fails on >25% wall regressions (above the 0.05 s jitter floor), any
+# invocation-count drift, or a baselined bench missing from the summary.
+# Re-baseline deliberate changes with --update.
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_regress.py
+else
+  echo "python3 not found; skipped bench regression gate"
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then

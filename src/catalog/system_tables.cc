@@ -9,6 +9,8 @@
 #include "catalog/table.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/plan_audit.h"
+#include "obs/plan_history.h"
 #include "obs/query_log.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
@@ -48,7 +50,39 @@ common::Result<std::vector<Tuple>> QueryLogRows() {
         IntValue(r.udf_invocations), IntValue(r.cache_hits),
         IntValue(r.transfer_pruned), IntValue(r.drift_flags),
         Value(std::string(obs::StatsTierName(r.stats_tier))),
-        Value(r.bucket)});
+        Value(r.bucket), IntValue(r.plan_changed ? 1 : 0),
+        IntValue(r.plan_regressed ? 1 : 0)});
+  }
+  return rows;
+}
+
+common::Result<std::vector<Tuple>> OperatorAuditRows() {
+  std::vector<Tuple> rows;
+  const std::vector<obs::OperatorAuditRecord> records =
+      obs::PlanAudit::Global().Snapshot();
+  rows.reserve(records.size());
+  for (const obs::OperatorAuditRecord& r : records) {
+    rows.emplace_back(std::vector<Value>{
+        IntValue(r.query_id), Value(r.path), Value(r.op), Value(r.est_rows),
+        IntValue(r.actual_rows),
+        r.qerror > 0.0 ? Value(r.qerror) : Value::Null(),
+        Value(r.inclusive_seconds), IntValue(r.udf_invocations)});
+  }
+  return rows;
+}
+
+common::Result<std::vector<Tuple>> PlanHistoryRows() {
+  std::vector<Tuple> rows;
+  const std::vector<obs::PlanHistoryEntry> entries =
+      obs::PlanHistory::Global().Snapshot();
+  rows.reserve(entries.size());
+  for (const obs::PlanHistoryEntry& e : entries) {
+    rows.emplace_back(std::vector<Value>{
+        HexValue(e.text_hash), HexValue(e.plan_fingerprint),
+        IntValue(e.executions), Value(e.wall_mean), Value(e.wall_p95),
+        IntValue(e.total_invocations), Value(e.max_qerror),
+        IntValue(e.first_query_id), IntValue(e.last_query_id),
+        IntValue(e.plan_changed ? 1 : 0), IntValue(e.regressed ? 1 : 0)});
   }
   return rows;
 }
@@ -168,7 +202,9 @@ void RegisterBuiltinSystemTables(Catalog* catalog) {
                                  {"transfer_pruned", TypeId::kInt64},
                                  {"drift_flags", TypeId::kInt64},
                                  {"stats_tier", TypeId::kString},
-                                 {"bucket", TypeId::kInt64}},
+                                 {"bucket", TypeId::kInt64},
+                                 {"plan_changed", TypeId::kInt64},
+                                 {"plan_regressed", TypeId::kInt64}},
           QueryLogRows,
           [] {
             return static_cast<int64_t>(obs::QueryLog::Global().size());
@@ -247,6 +283,42 @@ void RegisterBuiltinSystemTables(Catalog* catalog) {
               }
             }
             return n;
+          }));
+
+  MustRegister(
+      catalog,
+      std::make_unique<Table>(
+          "ppp_operator_audit",
+          std::vector<ColumnDef>{{"query_id", TypeId::kInt64},
+                                 {"path", TypeId::kString},
+                                 {"op", TypeId::kString},
+                                 {"est_rows", TypeId::kDouble},
+                                 {"actual_rows", TypeId::kInt64},
+                                 {"qerror", TypeId::kDouble},
+                                 {"inclusive_seconds", TypeId::kDouble},
+                                 {"udf_invocations", TypeId::kInt64}},
+          OperatorAuditRows,
+          [] {
+            return static_cast<int64_t>(obs::PlanAudit::Global().size());
+          }));
+
+  MustRegister(
+      catalog,
+      std::make_unique<Table>(
+          "ppp_plan_history",
+          std::vector<ColumnDef>{{"text_hash", TypeId::kString},
+                                 {"plan_fingerprint", TypeId::kString},
+                                 {"executions", TypeId::kInt64},
+                                 {"wall_mean", TypeId::kDouble},
+                                 {"wall_p95", TypeId::kDouble},
+                                 {"total_invocations", TypeId::kInt64},
+                                 {"max_qerror", TypeId::kDouble},
+                                 {"first_query_id", TypeId::kInt64},
+                                 {"last_query_id", TypeId::kInt64},
+                                 {"plan_changed", TypeId::kInt64},
+                                 {"regressed", TypeId::kInt64}},
+          PlanHistoryRows, [] {
+            return static_cast<int64_t>(obs::PlanHistory::Global().size());
           }));
 }
 

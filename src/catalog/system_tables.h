@@ -13,8 +13,11 @@ class Catalog;
 ///   ppp_metrics_window 1 s counter deltas with window rollups
 ///   ppp_spans          the span tracer's buffer (trace↔log via query_id)
 ///   ppp_table_stats    per-column TableStatistics of analyzed base tables
+///   ppp_operator_audit per-operator est-vs-actual records (obs::PlanAudit)
+///   ppp_plan_history   per (text_hash, fingerprint) execution aggregates
+///                      with plan-change/regression flags (obs::PlanHistory)
 ///
-/// All five are read-only virtual tables: rows are materialized from live
+/// All seven are read-only virtual tables: rows are materialized from live
 /// engine state at scan open, so a query sees one consistent snapshot.
 /// ppp_table_stats is the only one needing the catalog itself; it holds a
 /// back-pointer, which is safe because the catalog owns the table.

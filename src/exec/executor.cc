@@ -9,6 +9,8 @@
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/plan_audit.h"
+#include "obs/plan_history.h"
 #include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "obs/span.h"
@@ -99,6 +101,44 @@ uint64_t SumCacheHits(const Operator& op) {
     total += SumCacheHits(*child);
   }
   return total;
+}
+
+/// Close-time audit walk: pairs each plan node with its operator (same
+/// pairing rule as EXPLAIN ANALYZE — the probed inner relation of an index
+/// nested-loop join has no operator and is skipped) and appends one
+/// OperatorAuditRecord per executed operator. Also feeds the global
+/// stats.estimation.qerror histogram for every node carrying an estimate,
+/// so the distribution reflects the real workload rather than only EXPLAIN
+/// ANALYZE runs, and tracks the plan's worst q-error for the history.
+void AuditPlan(const plan::PlanNode& plan, const Operator* op,
+               const std::string& path, uint64_t query_id,
+               obs::PlanAudit* audit, obs::Histogram* qerror_histogram,
+               double* max_qerror) {
+  if (op != nullptr) {
+    const OperatorStats& stats = op->stats();
+    obs::OperatorAuditRecord record;
+    record.query_id = query_id;
+    record.path = path;
+    record.op = op->Describe();
+    record.est_rows = plan.est_rows;
+    record.actual_rows = stats.rows_out;
+    if (plan.est_rows > 0.0) {
+      record.qerror = obs::CardinalityQError(plan.est_rows, stats.rows_out);
+      qerror_histogram->Observe(record.qerror);
+      *max_qerror = std::max(*max_qerror, record.qerror);
+    }
+    record.inclusive_seconds = stats.open_seconds + stats.next_seconds;
+    record.udf_invocations = stats.udf_invocations;
+    audit->Append(std::move(record));
+  }
+  std::vector<const Operator*> op_children =
+      op != nullptr ? op->Children() : std::vector<const Operator*>{};
+  for (size_t i = 0; i < plan.children.size(); ++i) {
+    const Operator* child_op =
+        i < op_children.size() ? op_children[i] : nullptr;
+    AuditPlan(*plan.children[i], child_op, path + "." + std::to_string(i),
+              query_id, audit, qerror_histogram, max_qerror);
+  }
 }
 
 /// The weakest provenance any predicate estimate in the tree rests on
@@ -517,6 +557,43 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
     stats->invocations = ctx->eval.invocation_counts;
   }
 
+  // Plan-lifecycle audit: per-operator est-vs-actual records plus the
+  // workload-wide q-error feed. Independent of the query log so
+  // PPP_QUERY_LOG=0 and PPP_PLAN_AUDIT=0 cut orthogonal slices.
+  double max_qerror = 0.0;
+  obs::PlanAudit& audit = obs::PlanAudit::Global();
+  if (audit.enabled()) {
+    static obs::Histogram* qerror_histogram =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "stats.estimation.qerror");
+    AuditPlan(plan, root.get(), "0", query_id, &audit, qerror_histogram,
+              &max_qerror);
+  }
+
+  const double execute_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    exec_start)
+          .count();
+
+  // Plan history: fold this execution into the (text_hash, fingerprint)
+  // aggregate and learn whether the plan changed or regressed. Root stats
+  // carry the whole tree's inclusive UDF invocations, so this works even
+  // with the query log off.
+  const obs::PlanOutcome plan_outcome = obs::PlanHistory::Global().Record(
+      ctx->log_hints.text_hash, plan.Fingerprint(),
+      ctx->log_hints.optimize_seconds + execute_seconds,
+      root->stats().udf_invocations, max_qerror, query_id);
+  if (plan_outcome.plan_changed) {
+    static obs::Counter* changed_counter =
+        obs::MetricsRegistry::Global().GetCounter("plan.changed");
+    changed_counter->Increment();
+  }
+  if (plan_outcome.plan_regressed) {
+    static obs::Counter* regressed_counter =
+        obs::MetricsRegistry::Global().GetCounter("plan.regressed");
+    regressed_counter->Increment();
+  }
+
   // Close-time introspection: append this query's log record (after the
   // transfer accounting above, so the counter deltas include it; after the
   // scans closed, so the query never sees its own row) and roll the
@@ -540,10 +617,7 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
     record.plan_fingerprint = plan.Fingerprint();
     record.algorithm = ctx->log_hints.algorithm;
     record.optimize_seconds = ctx->log_hints.optimize_seconds;
-    record.execute_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      exec_start)
-            .count();
+    record.execute_seconds = execute_seconds;
     record.wall_seconds =
         record.optimize_seconds + record.execute_seconds;
     record.rows_in = SumLeafRows(*root);
@@ -558,6 +632,8 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
         CountDriftingPredicates(plan, ctx->catalog->functions());
     record.stats_tier = WeakestStatsTier(plan);
     record.bucket = obs::TimeSeries::Global().CurrentBucket();
+    record.plan_changed = plan_outcome.plan_changed;
+    record.plan_regressed = plan_outcome.plan_regressed;
     query_log.Append(std::move(record));
   }
   obs::TimeSeries::Global().Sample();

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "obs/plan_audit.h"
 #include "obs/profiler.h"
 
 namespace ppp::exec {
@@ -88,15 +89,14 @@ void AppendNode(const plan::PlanNode& plan, const Operator* op, int indent,
     AppendRankDrift(plan, *functions, out);
   }
   if (op != nullptr && plan.est_rows > 0.0) {
-    // Cardinality q-error of this node: max(est/actual, actual/est),
-    // 1.0 = perfect. Aggregated across EXPLAIN ANALYZE runs so the
-    // estimation-error distribution is visible in a metrics snapshot.
-    static obs::Histogram* qerror =
-        obs::MetricsRegistry::Global().GetHistogram("stats.estimation.qerror");
-    const double actual =
-        std::max(1.0, static_cast<double>(op->stats().rows_out));
-    const double est = std::max(1.0, plan.est_rows);
-    qerror->Observe(std::max(est / actual, actual / est));
+    // Per-node cardinality audit: estimate vs actual with the q-error
+    // (1.0 = perfect). The stats.estimation.qerror histogram is fed by the
+    // executor's close-time audit walk for *every* query, so this line only
+    // renders; it no longer double-feeds the histogram.
+    out->append(common::StringPrintf(
+        " [card est=%.4g act=%llu q=%.3g]", plan.est_rows,
+        static_cast<unsigned long long>(op->stats().rows_out),
+        obs::CardinalityQError(plan.est_rows, op->stats().rows_out)));
   }
   out->append("\n");
 

@@ -24,6 +24,15 @@ void AccumulateDelta(storage::IoStats* io, const storage::IoStats& before,
   io->buffer_hits += after.buffer_hits - before.buffer_hits;
 }
 
+/// The evaluator's global invocation counter, sampled before/after each
+/// wrapper call to attribute UDF work to the operator subtree (same
+/// inclusive-delta scheme as the buffer-pool I/O above).
+uint64_t UdfInvocations() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("expr.udf.invocations");
+  return counter->value();
+}
+
 }  // namespace
 
 common::Status Operator::Open() {
@@ -34,9 +43,11 @@ common::Status Operator::Open() {
   }
   const storage::IoStats before =
       pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const uint64_t udf_before = UdfInvocations();
   const auto start = std::chrono::steady_clock::now();
   common::Status status = OpenImpl();
   stats_.open_seconds += SecondsSince(start);
+  stats_.udf_invocations += UdfInvocations() - udf_before;
   if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
   return status;
 }
@@ -45,9 +56,11 @@ common::Status Operator::Next(types::Tuple* tuple, bool* eof) {
   ++stats_.next_calls;
   const storage::IoStats before =
       pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const uint64_t udf_before = UdfInvocations();
   const auto start = std::chrono::steady_clock::now();
   common::Status status = NextImpl(tuple, eof);
   stats_.next_seconds += SecondsSince(start);
+  stats_.udf_invocations += UdfInvocations() - udf_before;
   if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
   if (status.ok() && !*eof) ++stats_.rows_out;
   return status;
@@ -70,9 +83,11 @@ common::Status Operator::NextBatch(size_t max_rows, TupleBatch* batch,
   const size_t rows_before = batch->size();
   const storage::IoStats before =
       pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const uint64_t udf_before = UdfInvocations();
   const auto start = std::chrono::steady_clock::now();
   common::Status status = NextBatchImpl(max_rows, batch, eof);
   stats_.next_seconds += SecondsSince(start);
+  stats_.udf_invocations += UdfInvocations() - udf_before;
   if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
   if (status.ok()) {
     const size_t produced = batch->size() - rows_before;
@@ -103,9 +118,11 @@ common::Status Operator::NextColumnBatch(size_t max_rows,
   }
   const storage::IoStats before =
       pool_ != nullptr ? pool_->stats() : storage::IoStats();
+  const uint64_t udf_before = UdfInvocations();
   const auto start = std::chrono::steady_clock::now();
   common::Status status = NextColumnBatchImpl(max_rows, batch, eof);
   stats_.next_seconds += SecondsSince(start);
+  stats_.udf_invocations += UdfInvocations() - udf_before;
   if (pool_ != nullptr) AccumulateDelta(&stats_.io, before, pool_->stats());
   if (status.ok()) {
     const size_t produced = batch->selected();

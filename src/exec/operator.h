@@ -165,6 +165,14 @@ struct OperatorStats {
   double next_seconds = 0.0;
   storage::IoStats io;
 
+  /// Inclusive UDF invocations: the delta of the global
+  /// expr.udf.invocations counter across this operator's calls, which — like
+  /// `io` — covers the whole subtree because child calls nest inside the
+  /// parent's. Exact under parallel workers too (they run inside the
+  /// coordinator's blocking call window), but like the query log's registry
+  /// deltas it assumes one query executes at a time per engine.
+  uint64_t udf_invocations = 0;
+
   /// Predicate-cache view (operators owning a CachedPredicate only).
   bool has_cache = false;
   bool cache_enabled = false;

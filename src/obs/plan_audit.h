@@ -1,0 +1,106 @@
+#ifndef PPP_OBS_PLAN_AUDIT_H_
+#define PPP_OBS_PLAN_AUDIT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ppp::obs {
+
+/// Cardinality q-error of one plan node: max(est/actual, actual/est), with
+/// both sides clamped to >= 1 row so empty operators (and optimizer zero
+/// estimates) never divide by zero or report an infinite error. 1.0 means
+/// the estimate was perfect; the value is symmetric in over- and
+/// under-estimation, the standard metric of the selectivity-estimation
+/// literature.
+double CardinalityQError(double est_rows, uint64_t actual_rows);
+
+/// One operator of one executed plan, recorded by the executor's close-time
+/// audit walk. Pairs the optimizer's estimate with the executed operator's
+/// actuals, so a mis-estimate is attributable to the exact node (and hence
+/// predicate or join) that produced it — the per-operator attribution the
+/// global q-error histogram loses.
+struct OperatorAuditRecord {
+  uint64_t query_id = 0;
+  /// Root-to-node child indexes, dot-joined ("0" = root, "0.1.0" = first
+  /// child of the root's second child). Lexicographically stable within a
+  /// query, and joinable against EXPLAIN output by eye.
+  std::string path;
+  /// Physical operator description (Operator::Describe()).
+  std::string op;
+  double est_rows = 0.0;      ///< Optimizer cardinality estimate.
+  uint64_t actual_rows = 0;   ///< Rows the operator actually produced.
+  /// CardinalityQError(est_rows, actual_rows); 0 when the node carried no
+  /// estimate (est_rows == 0, e.g. plans never cost-annotated).
+  double qerror = 0.0;
+  /// Inclusive wall time of the operator's subtree (open + next), seconds.
+  double inclusive_seconds = 0.0;
+  /// Inclusive UDF invocations of the operator's subtree (delta of the
+  /// global expr.udf.invocations counter around this operator's calls).
+  uint64_t udf_invocations = 0;
+};
+
+/// Process-wide bounded ring of OperatorAuditRecords, the backing store of
+/// the ppp_operator_audit system table. On by default; PPP_PLAN_AUDIT=0
+/// disables the audit walk (and with it the per-query q-error feed).
+/// Thread-safe with the same contract as QueryLog: appended by whichever
+/// thread closes an executor, snapshotted by concurrent introspection scans.
+class PlanAudit {
+ public:
+  /// Rings hold operators, not queries; a 16-operator plan still leaves
+  /// room for hundreds of recent queries at this default.
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  /// The ring every executor records into. Standalone instances are legal
+  /// (tests build private rings); the engine only touches Global().
+  static PlanAudit& Global();
+
+  PlanAudit();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends one record; past capacity the oldest record is overwritten
+  /// (counted in evicted()). No-op while disabled.
+  void Append(OperatorAuditRecord record);
+
+  /// All retained records, oldest first.
+  std::vector<OperatorAuditRecord> Snapshot() const;
+
+  /// The most recent `n` records, oldest first.
+  std::vector<OperatorAuditRecord> Tail(size_t n) const;
+
+  size_t size() const;
+  /// Records ever appended (including since-evicted ones).
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  /// Records overwritten by ring wraparound.
+  uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+  /// Shrinks or grows the ring; shrinking keeps the newest records.
+  void set_capacity(size_t n);
+  size_t capacity() const;
+
+  /// Drops all retained records and zeroes total/evicted.
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> evicted_{0};
+  mutable std::mutex mu_;
+  /// Ring storage: `ring_[(head_ + i) % ring_.size()]` for i in [0, size_)
+  /// walks oldest to newest.
+  std::vector<OperatorAuditRecord> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace ppp::obs
+
+#endif  // PPP_OBS_PLAN_AUDIT_H_

@@ -50,6 +50,11 @@ struct QueryLogRecord {
   /// 1 s time-series bucket (TimeSeries clock) the query finished in;
   /// equi-joins ppp_query_log against ppp_metrics_window.
   int64_t bucket = 0;
+  /// PlanHistory verdicts for this execution: the plan's fingerprint
+  /// differed from this text_hash's previous plan (plan_changed), and the
+  /// changed-to plan was established as measurably slower (plan_regressed).
+  bool plan_changed = false;
+  bool plan_regressed = false;
 };
 
 /// Process-wide bounded ring of QueryLogRecords, the backing store of the

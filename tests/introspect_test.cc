@@ -12,6 +12,8 @@
 
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "obs/plan_audit.h"
+#include "obs/plan_history.h"
 #include "obs/query_log.h"
 #include "obs/span.h"
 #include "obs/timeseries.h"
@@ -30,7 +32,7 @@ using types::Value;
 
 const char* const kSystemTables[] = {
     "ppp_query_log", "ppp_metrics", "ppp_metrics_window", "ppp_spans",
-    "ppp_table_stats",
+    "ppp_table_stats", "ppp_operator_audit", "ppp_plan_history",
 };
 
 class IntrospectTest : public ::testing::Test {
@@ -39,6 +41,10 @@ class IntrospectTest : public ::testing::Test {
     // The backing stores are process globals; start each test clean.
     obs::QueryLog::Global().Clear();
     obs::QueryLog::Global().set_enabled(true);
+    obs::PlanAudit::Global().Clear();
+    obs::PlanAudit::Global().set_enabled(true);
+    obs::PlanHistory::Global().Clear();
+    obs::PlanHistory::Global().set_enabled(true);
     obs::TimeSeries::Global().Clear();
     obs::SpanTracer::Global().set_enabled(false);
     obs::SpanTracer::Global().Clear();
@@ -56,11 +62,13 @@ class IntrospectTest : public ::testing::Test {
 
   ~IntrospectTest() override {
     obs::QueryLog::Global().Clear();
+    obs::PlanAudit::Global().Clear();
+    obs::PlanHistory::Global().Clear();
     obs::SpanTracer::Global().set_enabled(false);
     obs::SpanTracer::Global().Clear();
   }
 
-  std::vector<Tuple> Run(const std::string& sql) {
+  std::vector<Tuple> Run(const std::string& sql, uint64_t text_hash = 0) {
     auto spec = parser::ParseAndBind(sql, catalog_);
     EXPECT_TRUE(spec.ok()) << sql << ": " << spec.status();
     if (!spec.ok()) return {};
@@ -71,6 +79,7 @@ class IntrospectTest : public ::testing::Test {
     exec::ExecContext ctx;
     ctx.catalog = &catalog_;
     ctx.log_hints.algorithm = "migration";
+    ctx.log_hints.text_hash = text_hash;
     for (const plan::TableRef& ref : spec->tables) {
       ctx.binding[ref.alias] = *catalog_.GetTable(ref.table_name);
     }
@@ -118,6 +127,40 @@ TEST_F(IntrospectTest, QueryLogCountersReflectTheExecution) {
   EXPECT_GT(rows[0].Get(0).AsInt64(), 0);
   EXPECT_GT(rows[0].Get(1).AsInt64(), 0);
   EXPECT_LE(rows[0].Get(1).AsInt64(), 50);
+}
+
+TEST_F(IntrospectTest, ExecutedOperatorsAppearInTheAuditTable) {
+  Run("SELECT t.val FROM t WHERE pricey(t.val)");
+  // Every executed operator left one audit row; the scan's UDF bill is
+  // attributed to the node that ran the predicate.
+  const std::vector<Tuple> rows = Run(
+      "SELECT ppp_operator_audit.path, ppp_operator_audit.op, "
+      "ppp_operator_audit.actual_rows, ppp_operator_audit.udf_invocations "
+      "FROM ppp_operator_audit "
+      "WHERE ppp_operator_audit.udf_invocations > 0");
+  ASSERT_GE(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Get(0).AsString().substr(0, 1), "0");  // Root-anchored.
+  EXPECT_GT(rows[0].Get(3).AsInt64(), 0);
+}
+
+TEST_F(IntrospectTest, RepeatedQueriesAggregateInThePlanHistory) {
+  const uint64_t hash = 0xabcdef12u;
+  Run("SELECT count(*) FROM t", hash);
+  Run("SELECT count(*) FROM t", hash);
+  // One plan, two executions; the same-fingerprint rerun is no change.
+  const std::vector<Tuple> rows = Run(
+      "SELECT ppp_plan_history.executions, ppp_plan_history.plan_changed, "
+      "ppp_plan_history.regressed FROM ppp_plan_history");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Get(0).AsInt64(), 2);
+  EXPECT_EQ(rows[0].Get(1).AsInt64(), 0);
+  EXPECT_EQ(rows[0].Get(2).AsInt64(), 0);
+  // The query log exposes the same verdicts per execution.
+  const std::vector<Tuple> log = Run(
+      "SELECT count(*) FROM ppp_query_log "
+      "WHERE ppp_query_log.plan_changed = 0");
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GE(log[0].Get(0).AsInt64(), 2);
 }
 
 TEST_F(IntrospectTest, AggregatesAndPredicatesComposeOverTheLog) {
@@ -232,9 +275,9 @@ TEST_F(IntrospectTest, SystemTablesRejectDdlDmlAndAnalyze) {
             0);
 }
 
-TEST_F(IntrospectTest, SystemTableNamesListsAllFiveSorted) {
+TEST_F(IntrospectTest, SystemTableNamesListsAllSorted) {
   const std::vector<std::string> names = catalog_.SystemTableNames();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 7u);
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* name : kSystemTables) {
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())

@@ -1,0 +1,334 @@
+// Unit tests for the plan-lifecycle observability stores: q-error
+// arithmetic (hand-computed pairs and the zero-row clamp), the
+// OperatorAuditRecord ring (wraparound, tail, concurrent writers — run
+// under TSan), and PlanHistory aggregation with plan-change and regression
+// detection (warmup gating, once-per-displacement flagging, eviction).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/plan_audit.h"
+#include "obs/plan_history.h"
+
+namespace ppp {
+namespace {
+
+using obs::CardinalityQError;
+using obs::OperatorAuditRecord;
+using obs::PlanAudit;
+using obs::PlanHistory;
+using obs::PlanHistoryEntry;
+using obs::PlanOutcome;
+
+OperatorAuditRecord MakeRecord(uint64_t id) {
+  OperatorAuditRecord r;
+  r.query_id = id;
+  r.path = "0";
+  r.op = "SeqScan(t" + std::to_string(id) + ")";
+  r.est_rows = static_cast<double>(id * 10);
+  r.actual_rows = id;  // Mirrors query_id so torn records are detectable.
+  return r;
+}
+
+TEST(CardinalityQErrorTest, HandComputedPairs) {
+  // Over-estimate: est 100 vs actual 25 -> 100/25 = 4.
+  EXPECT_DOUBLE_EQ(CardinalityQError(100.0, 25), 4.0);
+  // Under-estimate is symmetric: est 25 vs actual 100 -> also 4.
+  EXPECT_DOUBLE_EQ(CardinalityQError(25.0, 100), 4.0);
+  // Perfect estimate -> 1.
+  EXPECT_DOUBLE_EQ(CardinalityQError(42.0, 42), 1.0);
+  // Fractional estimates round through the ratio, not the clamp.
+  EXPECT_DOUBLE_EQ(CardinalityQError(2.5, 5), 2.0);
+}
+
+TEST(CardinalityQErrorTest, ZeroRowOperatorsClampToOneRow) {
+  // An empty operator never divides by zero: actual clamps to 1 row.
+  EXPECT_DOUBLE_EQ(CardinalityQError(100.0, 0), 100.0);
+  // A zero (or sub-row) estimate clamps the same way.
+  EXPECT_DOUBLE_EQ(CardinalityQError(0.0, 50), 50.0);
+  EXPECT_DOUBLE_EQ(CardinalityQError(0.25, 50), 50.0);
+  // Both zero: perfectly estimated emptiness.
+  EXPECT_DOUBLE_EQ(CardinalityQError(0.0, 0), 1.0);
+}
+
+TEST(PlanAuditTest, AppendSnapshotOldestFirst) {
+  PlanAudit audit;
+  for (uint64_t i = 1; i <= 5; ++i) audit.Append(MakeRecord(i));
+  const std::vector<OperatorAuditRecord> all = audit.Snapshot();
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].query_id, i + 1);
+  }
+  EXPECT_EQ(audit.total(), 5u);
+  EXPECT_EQ(audit.evicted(), 0u);
+}
+
+TEST(PlanAuditTest, WraparoundKeepsNewestAndCountsEvictions) {
+  PlanAudit audit;
+  audit.set_capacity(4);
+  for (uint64_t i = 1; i <= 10; ++i) audit.Append(MakeRecord(i));
+  EXPECT_EQ(audit.size(), 4u);
+  EXPECT_EQ(audit.total(), 10u);
+  EXPECT_EQ(audit.evicted(), 6u);
+  const std::vector<OperatorAuditRecord> all = audit.Snapshot();
+  ASSERT_EQ(all.size(), 4u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].query_id, i + 7);  // 7, 8, 9, 10.
+  }
+}
+
+TEST(PlanAuditTest, TailReturnsTheNewestOldestFirst) {
+  PlanAudit audit;
+  for (uint64_t i = 1; i <= 8; ++i) audit.Append(MakeRecord(i));
+  const std::vector<OperatorAuditRecord> tail = audit.Tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].query_id, 6u);
+  EXPECT_EQ(tail[2].query_id, 8u);
+  EXPECT_EQ(audit.Tail(100).size(), 8u);
+}
+
+TEST(PlanAuditTest, DisabledAppendsAreDropped) {
+  PlanAudit audit;
+  audit.set_enabled(false);
+  audit.Append(MakeRecord(1));
+  EXPECT_EQ(audit.size(), 0u);
+  EXPECT_EQ(audit.total(), 0u);
+  audit.set_enabled(true);
+  audit.Append(MakeRecord(2));
+  EXPECT_EQ(audit.size(), 1u);
+}
+
+TEST(PlanAuditTest, ClearDropsRecordsAndZeroesCounters) {
+  PlanAudit audit;
+  audit.set_capacity(2);
+  for (uint64_t i = 1; i <= 5; ++i) audit.Append(MakeRecord(i));
+  audit.Clear();
+  EXPECT_EQ(audit.size(), 0u);
+  EXPECT_EQ(audit.total(), 0u);
+  EXPECT_EQ(audit.evicted(), 0u);
+  EXPECT_EQ(audit.capacity(), 2u);
+}
+
+// TSan witness: concurrent appenders racing the ring's wraparound with
+// concurrent snapshotters must neither tear records nor corrupt the ring.
+// Records carry query_id == actual_rows, so any torn copy is detectable.
+TEST(PlanAuditTest, ConcurrentWritersWrapWithoutTearingRecords) {
+  PlanAudit audit;
+  audit.set_capacity(64);
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&audit, &go, w] {
+      while (!go.load()) {
+      }
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        OperatorAuditRecord r = MakeRecord(
+            static_cast<uint64_t>(w) * kPerWriter + i + 1);
+        r.actual_rows = r.query_id;
+        audit.Append(std::move(r));
+      }
+    });
+  }
+  threads.emplace_back([&audit, &go] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < 50; ++i) {
+      for (const OperatorAuditRecord& r : audit.Snapshot()) {
+        ASSERT_EQ(r.query_id, r.actual_rows);  // No torn records.
+      }
+    }
+  });
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(audit.total(), kWriters * kPerWriter);
+  EXPECT_EQ(audit.size(), 64u);
+  EXPECT_EQ(audit.evicted(), kWriters * kPerWriter - 64);
+  for (const OperatorAuditRecord& r : audit.Snapshot()) {
+    EXPECT_EQ(r.query_id, r.actual_rows);
+  }
+}
+
+TEST(PlanHistoryTest, AggregatesPerTextHashAndFingerprint) {
+  PlanHistory history;
+  history.Record(/*text_hash=*/7, /*fingerprint=*/100, 0.010, 5, 2.0, 1);
+  history.Record(7, 100, 0.030, 7, 4.0, 2);
+  history.Record(9, 200, 0.001, 0, 1.0, 3);
+  ASSERT_EQ(history.size(), 2u);
+  const std::vector<PlanHistoryEntry> all = history.Snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  const PlanHistoryEntry& a = all[0];
+  EXPECT_EQ(a.text_hash, 7u);
+  EXPECT_EQ(a.plan_fingerprint, 100u);
+  EXPECT_EQ(a.executions, 2u);
+  EXPECT_DOUBLE_EQ(a.wall_mean, 0.020);
+  EXPECT_DOUBLE_EQ(a.wall_p95, 0.030);  // Nearest-rank over {10ms, 30ms}.
+  EXPECT_EQ(a.total_invocations, 12u);
+  EXPECT_DOUBLE_EQ(a.max_qerror, 4.0);
+  EXPECT_EQ(a.first_query_id, 1u);
+  EXPECT_EQ(a.last_query_id, 2u);
+  EXPECT_FALSE(a.plan_changed);
+  EXPECT_FALSE(a.regressed);
+  EXPECT_EQ(all[1].text_hash, 9u);
+}
+
+TEST(PlanHistoryTest, ZeroTextHashIsIgnored) {
+  PlanHistory history;
+  const PlanOutcome outcome = history.Record(0, 100, 0.010, 0, 1.0, 1);
+  EXPECT_FALSE(outcome.plan_changed);
+  EXPECT_EQ(history.size(), 0u);
+}
+
+TEST(PlanHistoryTest, DetectsPlanChangeOnFingerprintFlip) {
+  PlanHistory history;
+  EXPECT_FALSE(history.Record(7, 100, 0.010, 0, 1.0, 1).plan_changed);
+  EXPECT_FALSE(history.Record(7, 100, 0.010, 0, 1.0, 2).plan_changed);
+  // New fingerprint for the same text: a plan change, flagged exactly once.
+  EXPECT_TRUE(history.Record(7, 200, 0.010, 0, 1.0, 3).plan_changed);
+  EXPECT_FALSE(history.Record(7, 200, 0.010, 0, 1.0, 4).plan_changed);
+  // Flipping back to a previously seen plan is a change too.
+  EXPECT_TRUE(history.Record(7, 100, 0.010, 0, 1.0, 5).plan_changed);
+  EXPECT_EQ(history.changed_total(), 2u);
+  EXPECT_EQ(history.PlansFor(7), 2u);
+  // Both fingerprints remain as distinct history entries.
+  EXPECT_EQ(history.size(), 2u);
+}
+
+TEST(PlanHistoryTest, RegressionNeedsWarmupOnBothPlans) {
+  PlanHistory history;
+  history.set_warmup_executions(3);
+  history.set_regression_factor(1.5);
+  // Plan A establishes a 10 ms mean over three runs.
+  for (uint64_t q = 1; q <= 3; ++q) history.Record(7, 100, 0.010, 0, 1.0, q);
+  // Plan B is 10x slower but must not flag before its own warmup.
+  EXPECT_FALSE(history.Record(7, 200, 0.100, 0, 1.0, 4).plan_regressed);
+  EXPECT_FALSE(history.Record(7, 200, 0.100, 0, 1.0, 5).plan_regressed);
+  const PlanOutcome third = history.Record(7, 200, 0.100, 0, 1.0, 6);
+  EXPECT_TRUE(third.plan_regressed);
+  EXPECT_DOUBLE_EQ(third.prior_wall_mean, 0.010);
+  // Flagged once: later executions of the same regressed plan stay quiet.
+  EXPECT_FALSE(history.Record(7, 200, 0.100, 0, 1.0, 7).plan_regressed);
+  EXPECT_EQ(history.regressed_total(), 1u);
+  const std::vector<PlanHistoryEntry> all = history.Snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_FALSE(all[0].regressed);
+  EXPECT_TRUE(all[1].regressed);
+  EXPECT_TRUE(all[1].plan_changed);
+}
+
+TEST(PlanHistoryTest, FasterNewPlanNeverRegresses) {
+  PlanHistory history;
+  history.set_warmup_executions(2);
+  for (uint64_t q = 1; q <= 2; ++q) history.Record(7, 100, 0.100, 0, 1.0, q);
+  // The changed-to plan is 10x faster: no regression, ever.
+  for (uint64_t q = 3; q <= 8; ++q) {
+    EXPECT_FALSE(history.Record(7, 200, 0.010, 0, 1.0, q).plan_regressed);
+  }
+  EXPECT_EQ(history.regressed_total(), 0u);
+}
+
+TEST(PlanHistoryTest, SlightlySlowerPlanStaysUnderTheFactor) {
+  PlanHistory history;
+  history.set_warmup_executions(2);
+  history.set_regression_factor(1.5);
+  for (uint64_t q = 1; q <= 2; ++q) history.Record(7, 100, 0.010, 0, 1.0, q);
+  // 1.2x slower is within the factor: noisy, not regressed.
+  for (uint64_t q = 3; q <= 6; ++q) {
+    EXPECT_FALSE(history.Record(7, 200, 0.012, 0, 1.0, q).plan_regressed);
+  }
+  EXPECT_EQ(history.regressed_total(), 0u);
+}
+
+TEST(PlanHistoryTest, DisabledRecordsNothing) {
+  PlanHistory history;
+  history.set_enabled(false);
+  EXPECT_FALSE(history.Record(7, 100, 0.010, 0, 1.0, 1).plan_changed);
+  EXPECT_EQ(history.size(), 0u);
+  history.set_enabled(true);
+  history.Record(7, 100, 0.010, 0, 1.0, 2);
+  EXPECT_EQ(history.size(), 1u);
+}
+
+TEST(PlanHistoryTest, EvictsOldestEntryBeyondTheCap) {
+  PlanHistory history;
+  history.set_max_entries(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    history.Record(/*text_hash=*/i, /*fingerprint=*/i * 10, 0.001, 0, 1.0,
+                   /*query_id=*/i);
+  }
+  EXPECT_EQ(history.size(), 3u);
+  const std::vector<PlanHistoryEntry> all = history.Snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  // The two oldest (query ids 1 and 2) were evicted.
+  EXPECT_EQ(all[0].text_hash, 3u);
+  EXPECT_EQ(all[2].text_hash, 5u);
+}
+
+TEST(PlanHistoryTest, ClearDropsEntriesAndTotals) {
+  PlanHistory history;
+  history.Record(7, 100, 0.010, 0, 1.0, 1);
+  history.Record(7, 200, 0.010, 0, 1.0, 2);
+  EXPECT_EQ(history.changed_total(), 1u);
+  history.Clear();
+  EXPECT_EQ(history.size(), 0u);
+  EXPECT_EQ(history.changed_total(), 0u);
+  EXPECT_EQ(history.regressed_total(), 0u);
+  // After Clear the first record is a fresh baseline, not a change.
+  EXPECT_FALSE(history.Record(7, 300, 0.010, 0, 1.0, 3).plan_changed);
+}
+
+// TSan witness: concurrent Record() calls (distinct and shared text
+// hashes) racing Snapshot() readers over the shared map.
+TEST(PlanHistoryTest, ConcurrentRecordersAndSnapshotters) {
+  PlanHistory history;
+  history.set_max_entries(64);
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 400;
+  std::atomic<bool> go{false};
+  std::atomic<uint64_t> next_query{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&history, &go, &next_query, w] {
+      while (!go.load()) {
+      }
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        const uint64_t query_id = next_query.fetch_add(1) + 1;
+        // Half the traffic shares text hash 1 (flipping between two
+        // fingerprints), the rest spreads across per-writer hashes.
+        if (i % 2 == 0) {
+          history.Record(1, 100 + (i / 2) % 2, 0.001, 1, 2.0, query_id);
+        } else {
+          history.Record(10 + static_cast<uint64_t>(w), 300, 0.001, 1, 2.0,
+                         query_id);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&history, &go] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < 50; ++i) {
+      for (const PlanHistoryEntry& e : history.Snapshot()) {
+        ASSERT_GE(e.executions, 1u);
+        ASSERT_GE(e.last_query_id, e.first_query_id);
+      }
+    }
+  });
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+  uint64_t executions = 0;
+  for (const PlanHistoryEntry& e : history.Snapshot()) {
+    executions += e.executions;
+  }
+  EXPECT_EQ(executions, kWriters * kPerWriter);
+}
+
+}  // namespace
+}  // namespace ppp
