@@ -47,12 +47,21 @@
 //   \set vector on|off columnar batches + vectorized cheap-predicate
 //                      kernels (selection vectors; expensive UDFs evaluate
 //                      late, against survivors only). Default on.
+//   \set plancache on|off
+//                      serving-layer plan cache for this session: repeat
+//                      SELECTs skip parse/bind/optimize until ANALYZE (or a
+//                      plan-history regression) invalidates the entry
+//   \session [new|N]   list sessions + plan-cache counters, open a new
+//                      session, or switch to session N (each session has
+//                      its own knobs; the plan cache is shared)
 //   \quit
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -70,6 +79,7 @@
 #include "optimizer/optimizer.h"
 #include "parser/binder.h"
 #include "parser/parser.h"
+#include "serve/session.h"
 #include "stats/collector.h"
 #include "subquery/rewrite.h"
 #include "workload/database.h"
@@ -141,7 +151,19 @@ int main() {
   bool tracing = false;
   cost::CostParams cost_params;
   size_t batch_size = exec::ExecParams{}.batch_size;
-  std::optional<plan::QuerySpec> last_spec;
+  std::string last_body;  // Last SELECT body, parsed on demand by \calibrate.
+
+  // The serving layer: plain SELECTs run through a session so repeats hit
+  // the shared plan cache; EXPLAIN variants keep the direct path (they want
+  // a fresh optimization trace, not a cached plan).
+  serve::SessionManager manager(&db);
+  std::map<uint64_t, std::unique_ptr<serve::Session>> sessions;
+  serve::Session* session = nullptr;
+  {
+    auto s = manager.CreateSession();
+    session = s.get();
+    sessions[s->id()] = std::move(s);
+  }
 
   std::printf("ppp shell — benchmark database at scale %lld. Try:\n",
               static_cast<long long>(config.scale));
@@ -394,8 +416,13 @@ int main() {
           std::printf("feedback off (store cleared)\n");
           continue;
         }
-        if (!last_spec.has_value()) {
+        if (last_body.empty()) {
           std::printf("no query yet: run one first, then \\calibrate\n");
+          continue;
+        }
+        auto last_spec = subquery::ParseBindRewrite(last_body, &db.catalog());
+        if (!last_spec.ok()) {
+          std::printf("error: %s\n", last_spec.status().ToString().c_str());
           continue;
         }
         auto report = workload::Calibrate(&db.catalog(), *last_spec,
@@ -413,6 +440,52 @@ int main() {
         cost_params.use_feedback = true;
         std::printf("feedback on: subsequent queries use observed "
                     "costs/selectivities\n");
+        continue;
+      }
+      if (word == "session") {
+        std::string arg;
+        cmd >> arg;
+        if (arg == "new") {
+          auto s = manager.CreateSession();
+          session = s.get();
+          const uint64_t id = s->id();
+          sessions[id] = std::move(s);
+          std::printf("session %llu (now current)\n",
+                      static_cast<unsigned long long>(id));
+        } else if (!arg.empty()) {
+          const long long id = std::atoll(arg.c_str());
+          auto it = sessions.find(static_cast<uint64_t>(id));
+          if (id <= 0 || it == sessions.end()) {
+            std::printf("no open session %s\n", arg.c_str());
+          } else {
+            session = it->second.get();
+            std::printf("session %lld\n", id);
+          }
+        } else {
+          std::printf("  %3s %-7s %-9s %7s %5s %6s %9s\n", "id", "state",
+                      "plancache", "queries", "hits", "misses", "rows");
+          for (const serve::SessionRow& r : manager.SessionRows()) {
+            std::printf("  %3llu%c %-6s %-9s %7llu %5llu %6llu %9llu\n",
+                        static_cast<unsigned long long>(r.session_id),
+                        session != nullptr && session->id() == r.session_id
+                            ? '*'
+                            : ' ',
+                        r.active ? "open" : "closed",
+                        r.plan_cache ? "on" : "off",
+                        static_cast<unsigned long long>(r.queries),
+                        static_cast<unsigned long long>(r.plan_cache_hits),
+                        static_cast<unsigned long long>(r.plan_cache_misses),
+                        static_cast<unsigned long long>(r.rows_returned));
+          }
+          const serve::PlanCache& cache = manager.plan_cache();
+          std::printf("  plan cache: %zu entries, %zu bytes; hits=%llu "
+                      "misses=%llu invalidations=%llu evictions=%llu\n",
+                      cache.entries(), cache.approx_bytes(),
+                      static_cast<unsigned long long>(cache.hits()),
+                      static_cast<unsigned long long>(cache.misses()),
+                      static_cast<unsigned long long>(cache.invalidations()),
+                      static_cast<unsigned long long>(cache.evictions()));
+        }
         continue;
       }
       if (word == "set") {
@@ -443,10 +516,19 @@ int main() {
           // (optional) cheap per-row charge.
           cost_params.vectorized = (value_word == "on");
           std::printf("vector %s\n", value_word.c_str());
+        } else if (knob == "plancache" &&
+                   (value_word == "on" || value_word == "off")) {
+          session->set_plan_cache_enabled(value_word == "on");
+          if (value_word == "on" && !manager.plan_cache_enabled()) {
+            std::printf("plancache on (but disabled engine-wide by "
+                        "PPP_PLAN_CACHE=0)\n");
+          } else {
+            std::printf("plancache %s\n", value_word.c_str());
+          }
         } else {
           std::printf("usage: \\set workers N | \\set batch N  (N >= 1) | "
                       "\\set transfer on|off | \\set stats on|off | "
-                      "\\set vector on|off\n");
+                      "\\set vector on|off | \\set plancache on|off\n");
         }
         continue;
       }
@@ -482,12 +564,42 @@ int main() {
     const bool execute = kind != parser::StatementKind::kExplain;
     const bool collect_explain = kind != parser::StatementKind::kSelect;
 
+    // Plain SELECTs run through the serving session: repeats of the same
+    // statement (same knobs, same statistics) skip parse/bind/optimize via
+    // the shared plan cache. EXPLAIN variants take the direct path below —
+    // they exist to show a fresh optimization, not a cached one.
+    if (kind == parser::StatementKind::kSelect) {
+      const bool cross_kill =
+          session->options().exec_params.transfer_cross_query_kill;
+      session->options().algorithm = algorithm;
+      session->options().cost_params = cost_params;
+      exec::ExecParams session_params = workload::ExecParamsFor(cost_params);
+      session_params.batch_size = batch_size;
+      session_params.transfer_cross_query_kill = cross_kill;
+      session->options().exec_params = session_params;
+      auto r = session->Execute(body);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      last_body = body;
+      if (explain && r->plan != nullptr) {
+        std::printf("%s", r->plan->ToString().c_str());
+      }
+      std::printf("%llu rows; plan cache %s; optimize %.3f ms, execute "
+                  "%.3f ms\n",
+                  static_cast<unsigned long long>(r->rows.size()),
+                  r->plan_cache_hit ? "HIT" : "miss",
+                  r->optimize_seconds * 1e3, r->execute_seconds * 1e3);
+      continue;
+    }
+
     auto spec = subquery::ParseBindRewrite(body, &db.catalog());
     if (!spec.ok()) {
       std::printf("error: %s\n", spec.status().ToString().c_str());
       continue;
     }
-    last_spec = *spec;
+    last_body = body;
     obs::OptTrace trace;
     exec::ExecParams exec_params = workload::ExecParamsFor(cost_params);
     exec_params.batch_size = batch_size;

@@ -232,6 +232,48 @@ PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_plans"
   echo "missing BENCH_plans.json" >&2; exit 1;
 }
 
+# Serving-layer smoke: two shell sessions over one plan cache. The repeat
+# in session 1 and the first run in session 2 must both HIT (cross-session
+# sharing); ANALYZE t3 in session 2 must invalidate the cached plan, so
+# session 1's next run is a miss and \session reports the invalidation.
+SERVE_OUT="$BUILD_DIR/check_serve.out"
+"$BUILD_DIR/examples/sql_shell" >"$SERVE_OUT" <<EOF
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+\\session new
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+ANALYZE t3;
+\\session 1
+SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);
+\\session
+SELECT count(*) FROM ppp_plan_cache;
+SELECT count(*) FROM ppp_sessions;
+\\quit
+EOF
+[[ "$(grep -c "plan cache HIT" "$SERVE_OUT")" -ge 2 ]] || {
+  echo "plan cache produced no cross-session hits" >&2
+  cat "$SERVE_OUT" >&2; exit 1;
+}
+grep -q "invalidations=1" "$SERVE_OUT" || {
+  echo "ANALYZE did not invalidate the cached plan" >&2
+  cat "$SERVE_OUT" >&2; exit 1;
+}
+[[ "$(grep -c "^1 rows;" "$SERVE_OUT")" -ge 2 ]] || {
+  echo "ppp_plan_cache / ppp_sessions not SELECTable" >&2
+  cat "$SERVE_OUT" >&2; exit 1;
+}
+echo "serve smoke ok: cross-session hits, ANALYZE invalidation, system tables"
+
+# Serving bench smoke: bench_serve asserts >= 10x plan-production speedup
+# on repeats, >= 3x QPS scaling from 1 to 8 sessions, byte-identical
+# results, and exact UDF invocation parity vs plancache off, exiting
+# non-zero otherwise.
+rm -f BENCH_serve.json
+PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_serve"
+[[ -s BENCH_serve.json ]] || {
+  echo "missing BENCH_serve.json" >&2; exit 1;
+}
+
 # Aggregate every BENCH_*.json the smoke runs produced into one
 # BENCH_summary.json keyed by bench name. Runs before the regression gate
 # so the gate can check every baselined bench name appears in it.
@@ -280,4 +322,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # floor is lifted (sanitizer skews wall ratios); parity still gates.
   PPP_SCALE=40 PPP_BENCH_JSON=0 PPP_VECTOR_MIN_SPEEDUP=1 \
     "$TSAN_BUILD_DIR/bench/bench_vector"
+  # Serving layer under TSan: 8 concurrent sessions racing the plan
+  # cache, the catalog stats listener, and the shared predicate caches.
+  # Wall-ratio floors are lifted (sanitizer skews timings); result
+  # identity and UDF invocation parity still gate.
+  PPP_SCALE=40 PPP_BENCH_JSON=0 PPP_SERVE_MIN_OPT_SPEEDUP=1 \
+    PPP_SERVE_MIN_SCALING=1 "$TSAN_BUILD_DIR/bench/bench_serve"
 fi

@@ -21,8 +21,12 @@ common::Result<Table*> Catalog::CreateTable(const std::string& name,
         "the " + std::string(kSystemPrefix) +
         " prefix is reserved for system tables");
   }
-  if (tables_.count(name) > 0) {
-    return common::Status::AlreadyExists("table " + name + " already exists");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tables_.count(name) > 0) {
+      return common::Status::AlreadyExists("table " + name +
+                                           " already exists");
+    }
   }
   if (columns.empty()) {
     return common::Status::InvalidArgument("table " + name +
@@ -38,11 +42,16 @@ common::Result<Table*> Catalog::CreateTable(const std::string& name,
   }
   auto table = std::make_unique<Table>(name, std::move(columns), pool_);
   Table* ptr = table.get();
-  tables_.emplace(name, std::move(table));
+  HookTable(ptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tables_.emplace(name, std::move(table));
+  }
   return ptr;
 }
 
 common::Result<Table*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it != tables_.end()) return it->second.get();
   auto sys = system_tables_.find(name);
@@ -52,16 +61,22 @@ common::Result<Table*> Catalog::GetTable(const std::string& name) const {
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& [name, table] : tables_) names.push_back(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) names.push_back(name);
+  }
   std::sort(names.begin(), names.end());
   return names;
 }
 
 std::vector<std::string> Catalog::SystemTableNames() const {
   std::vector<std::string> names;
-  names.reserve(system_tables_.size());
-  for (const auto& [name, table] : system_tables_) names.push_back(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(system_tables_.size());
+    for (const auto& [name, table] : system_tables_) names.push_back(name);
+  }
   std::sort(names.begin(), names.end());
   return names;
 }
@@ -78,13 +93,46 @@ common::Result<Table*> Catalog::RegisterSystemTable(
         "system table " + name + " must carry the " +
         std::string(kSystemPrefix) + " prefix");
   }
-  if (system_tables_.count(name) > 0) {
-    return common::Status::AlreadyExists("system table " + name +
-                                         " already exists");
-  }
   Table* ptr = table.get();
-  system_tables_.emplace(name, std::move(table));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (system_tables_.count(name) > 0) {
+      return common::Status::AlreadyExists("system table " + name +
+                                           " already exists");
+    }
+    system_tables_.emplace(name, std::move(table));
+  }
   return ptr;
+}
+
+uint64_t Catalog::AddStatsListener(StatsListener listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  const uint64_t id = next_listener_id_++;
+  listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+void Catalog::RemoveStatsListener(uint64_t id) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.erase(id);
+}
+
+void Catalog::HookTable(Table* table) {
+  const std::string name = table->name();
+  table->SetStatsChangedCallback(
+      [this, name]() { NotifyStatsChanged(name); });
+}
+
+void Catalog::NotifyStatsChanged(const std::string& table_name) const {
+  // Copy the listeners out so a callback can add/remove listeners (or take
+  // its own locks) without deadlocking against listeners_mu_.
+  std::vector<StatsListener> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    snapshot.reserve(listeners_.size());
+    for (const auto& [id, fn] : listeners_) snapshot.push_back(fn);
+  }
+  for (const StatsListener& fn : snapshot) fn(table_name);
 }
 
 }  // namespace ppp::catalog

@@ -1,7 +1,10 @@
 #ifndef PPP_CATALOG_CATALOG_H_
 #define PPP_CATALOG_CATALOG_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -17,8 +20,17 @@ namespace ppp::catalog {
 /// functions. One Catalog per Database instance; all storage goes through
 /// the single BufferPool passed at construction so every experiment's I/O
 /// is centrally counted.
+///
+/// Thread safety: the table maps are guarded by an internal mutex so
+/// concurrent sessions can resolve tables while another session creates
+/// one. Table* pointers stay valid for the catalog's lifetime (tables are
+/// never dropped); Table itself guards its mutable statistics.
 class Catalog {
  public:
+  /// Called (with the table name) after a table's statistics epoch bumps —
+  /// i.e. after ANALYZE swaps its snapshot or declared stats are
+  /// overridden. Invoked outside all catalog locks.
+  using StatsListener = std::function<void(const std::string&)>;
   /// Reserved name prefix of the built-in system tables; CreateTable
   /// rejects it so user tables can never shadow introspection.
   static constexpr const char* kSystemPrefix = "ppp_";
@@ -52,16 +64,31 @@ class Catalog {
   /// the constructor; tests can add their own.
   common::Result<Table*> RegisterSystemTable(std::unique_ptr<Table> table);
 
+  /// Subscribes to stats changes on every table (current and future);
+  /// returns an id for RemoveStatsListener. Plan caches hang their
+  /// invalidation off this.
+  uint64_t AddStatsListener(StatsListener listener);
+  void RemoveStatsListener(uint64_t id);
+
   FunctionRegistry& functions() { return functions_; }
   const FunctionRegistry& functions() const { return functions_; }
 
   storage::BufferPool* buffer_pool() const { return pool_; }
 
  private:
+  /// Wires the per-table stats-changed callback to NotifyStatsChanged.
+  void HookTable(Table* table);
+  void NotifyStatsChanged(const std::string& table_name) const;
+
   storage::BufferPool* pool_;
+  /// Guards tables_ / system_tables_.
+  mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::unique_ptr<Table>> system_tables_;
   FunctionRegistry functions_;
+  mutable std::mutex listeners_mu_;
+  uint64_t next_listener_id_ = 1;
+  std::unordered_map<uint64_t, StatsListener> listeners_;
 };
 
 }  // namespace ppp::catalog

@@ -43,7 +43,7 @@ common::Result<std::vector<Tuple>> QueryLogRows() {
   rows.reserve(records.size());
   for (const obs::QueryLogRecord& r : records) {
     rows.emplace_back(std::vector<Value>{
-        IntValue(r.query_id), HexValue(r.text_hash),
+        IntValue(r.query_id), IntValue(r.session_id), HexValue(r.text_hash),
         HexValue(r.plan_fingerprint), Value(r.algorithm),
         Value(r.wall_seconds), Value(r.optimize_seconds),
         Value(r.execute_seconds), IntValue(r.rows_in), IntValue(r.rows_out),
@@ -189,6 +189,7 @@ void RegisterBuiltinSystemTables(Catalog* catalog) {
       std::make_unique<Table>(
           "ppp_query_log",
           std::vector<ColumnDef>{{"query_id", TypeId::kInt64},
+                                 {"session_id", TypeId::kInt64},
                                  {"text_hash", TypeId::kString},
                                  {"plan_fingerprint", TypeId::kString},
                                  {"algorithm", TypeId::kString},

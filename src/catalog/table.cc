@@ -176,6 +176,7 @@ common::Status Table::Analyze() {
     stats[i].num_distinct = static_cast<int64_t>(distinct[i].size());
   }
   stats_ = std::move(stats);
+  BumpStatsEpoch();
   return common::Status::OK();
 }
 
@@ -194,6 +195,7 @@ common::Status Table::SetDeclaredStats(const std::string& column,
                                     name_);
   }
   stats_[*col] = stats;
+  BumpStatsEpoch();
   return common::Status::OK();
 }
 

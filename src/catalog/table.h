@@ -1,6 +1,8 @@
 #ifndef PPP_CATALOG_TABLE_H_
 #define PPP_CATALOG_TABLE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -95,8 +97,26 @@ class Table {
     return collected_;
   }
   void SetCollectedStats(std::shared_ptr<const stats::TableStatistics> s) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    collected_ = std::move(s);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      collected_ = std::move(s);
+    }
+    BumpStatsEpoch();
+  }
+
+  /// Monotone counter bumped every time the statistics that drive planning
+  /// change (ANALYZE snapshot swap, declared-stats override, re-Analyze).
+  /// Plan caches fold this into their key so a stats change is a cache miss
+  /// rather than a stale plan.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Installs a callback fired (outside stats_mu_) after every stats-epoch
+  /// bump. At most one listener; the Catalog wires this at registration to
+  /// fan out to its own listeners.
+  void SetStatsChangedCallback(std::function<void()> cb) {
+    stats_changed_ = std::move(cb);
   }
 
   /// Distinct count of `column` through the provenance ladder: collected
@@ -121,6 +141,11 @@ class Table {
   types::RowSchema RowSchemaForAlias(const std::string& alias) const;
 
  private:
+  void BumpStatsEpoch() {
+    stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    if (stats_changed_) stats_changed_();
+  }
+
   std::string name_;
   std::vector<ColumnDef> columns_;
   storage::BufferPool* pool_;
@@ -131,6 +156,10 @@ class Table {
   /// at load time.
   mutable std::mutex stats_mu_;
   std::shared_ptr<const stats::TableStatistics> collected_;
+  std::atomic<uint64_t> stats_epoch_{0};
+  /// Fired after each stats-epoch bump; set once at catalog registration,
+  /// before any concurrent use.
+  std::function<void()> stats_changed_;
   /// Set only on system tables.
   SystemRowProvider provider_;
   std::function<int64_t()> row_count_hint_;

@@ -261,7 +261,24 @@ common::Result<std::unique_ptr<Operator>> BuildExecutor(
             left_is_outer ? pred.right_column : pred.left_column);
         transfer->min_probes = ctx->params.transfer_min_probes;
         transfer->kill_pass_rate = ctx->params.transfer_kill_pass_rate;
-        ctx->pending_transfers.push_back(transfer);
+        // Cross-query kill memory (serving layer): if past executions of
+        // this site killed the filter or measured it passing nearly
+        // everything, don't rebuild it just to kill it again.
+        if (ctx->params.transfer_cross_query_kill) {
+          const std::optional<obs::TransferProfile> history =
+              obs::PredicateProfiler::Global().GetTransfer(transfer->Site());
+          if (history.has_value() &&
+              history->probed >= ctx->params.transfer_min_probes &&
+              (history->kills > 0 ||
+               history->PassRate() > ctx->params.transfer_kill_pass_rate)) {
+            static obs::Counter* skipped_counter =
+                obs::MetricsRegistry::Global().GetCounter(
+                    "exec.transfer.skipped_by_history");
+            skipped_counter->Increment();
+            transfer = nullptr;
+          }
+        }
+        if (transfer != nullptr) ctx->pending_transfers.push_back(transfer);
       }
       PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> outer,
                            BuildExecutor(*plan.children[0], ctx));
@@ -286,7 +303,8 @@ common::Result<std::unique_ptr<Operator>> BuildExecutor(
             PPP_ASSIGN_OR_RETURN(
                 CachedPredicate bound,
                 CachedPredicate::Bind(plan.predicate, joined, *ctx->catalog,
-                                      ctx->params));
+                                      ctx->params, ctx->shared_caches,
+                                      &ctx->binding));
             primary = std::move(bound);
           }
           return std::unique_ptr<Operator>(
@@ -467,17 +485,15 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   ctx->all_transfers.clear();
 
   // Query-log bookkeeping: an id for span correlation (issued even when
-  // logging is off), a counters baseline for exact per-query deltas, and
-  // the execute-phase clock. The id scope outlives the spans below, so
-  // every span recorded during this execution carries the id.
+  // logging is off) and the execute-phase clock. The id scope outlives the
+  // spans below, so every span recorded during this execution carries the
+  // query id and (when the serving layer set one) the session id. Counters
+  // for the log record come from this context, not global-registry deltas,
+  // so they stay exact when other sessions execute concurrently.
   obs::QueryLog& query_log = obs::QueryLog::Global();
   const uint64_t query_id = query_log.NextQueryId();
-  obs::QueryIdScope query_scope(query_id);
+  obs::QueryIdScope query_scope(query_id, ctx->log_hints.session_id);
   const bool log_on = query_log.enabled();
-  std::map<std::string, uint64_t> counters_before;
-  if (log_on) {
-    counters_before = obs::MetricsRegistry::Global().SnapshotCounters();
-  }
   const std::chrono::steady_clock::time_point exec_start =
       std::chrono::steady_clock::now();
 
@@ -505,6 +521,11 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   } else {
     ctx->eval.function_cache = nullptr;
   }
+  // The context's function cache persists across executions; baseline its
+  // hit counter so the log record reports this query's hits only.
+  const uint64_t fn_cache_hits_before =
+      ctx->eval.function_cache != nullptr ? ctx->eval.function_cache->hits()
+                                          : 0;
 
   PPP_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root,
                        BuildExecutor(plan, ctx));
@@ -576,13 +597,17 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
           .count();
 
   // Plan history: fold this execution into the (text_hash, fingerprint)
-  // aggregate and learn whether the plan changed or regressed. Root stats
-  // carry the whole tree's inclusive UDF invocations, so this works even
-  // with the query log off.
+  // aggregate and learn whether the plan changed or regressed. The UDF
+  // total comes from this context's tallies (not the root operator's
+  // global-counter delta), so it stays exact under concurrent sessions.
+  uint64_t ctx_udf_invocations = 0;
+  for (const auto& [name, count] : ctx->eval.invocation_counts) {
+    ctx_udf_invocations += count;
+  }
   const obs::PlanOutcome plan_outcome = obs::PlanHistory::Global().Record(
       ctx->log_hints.text_hash, plan.Fingerprint(),
       ctx->log_hints.optimize_seconds + execute_seconds,
-      root->stats().udf_invocations, max_qerror, query_id);
+      ctx_udf_invocations, max_qerror, query_id);
   if (plan_outcome.plan_changed) {
     static obs::Counter* changed_counter =
         obs::MetricsRegistry::Global().GetCounter("plan.changed");
@@ -599,20 +624,9 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
   // scans closed, so the query never sees its own row) and roll the
   // time-series forward one sample.
   if (log_on) {
-    const auto delta = [&counters_before](
-                           const std::map<std::string, uint64_t>& now,
-                           const std::string& name) -> uint64_t {
-      const auto after_it = now.find(name);
-      if (after_it == now.end()) return 0;
-      const auto before_it = counters_before.find(name);
-      const uint64_t prior =
-          before_it == counters_before.end() ? 0 : before_it->second;
-      return after_it->second >= prior ? after_it->second - prior : 0;
-    };
-    const std::map<std::string, uint64_t> counters_after =
-        obs::MetricsRegistry::Global().SnapshotCounters();
     obs::QueryLogRecord record;
     record.query_id = query_id;
+    record.session_id = ctx->log_hints.session_id;
     record.text_hash = ctx->log_hints.text_hash;
     record.plan_fingerprint = plan.Fingerprint();
     record.algorithm = ctx->log_hints.algorithm;
@@ -622,12 +636,23 @@ common::Result<std::vector<types::Tuple>> ExecutePlan(
         record.optimize_seconds + record.execute_seconds;
     record.rows_in = SumLeafRows(*root);
     record.rows_out = out.size();
-    record.udf_invocations = delta(counters_after, "expr.udf.invocations");
-    // Both memoization layers: the function cache counts globally, the
-    // predicate-level memos live in the operators.
-    record.cache_hits = delta(counters_after, "expr.function_cache.hits") +
-                        SumCacheHits(*root);
-    record.transfer_pruned = delta(counters_after, "exec.transfer.pruned");
+    // Per-context exact counters (identical to the historical global
+    // registry deltas when one query runs, and still exact under
+    // concurrent sessions): invocations from this context's tallies,
+    // cache hits from both memoization layers (the per-context function
+    // cache's delta plus the operators' predicate memos), pruned rows
+    // from this execution's transfers.
+    record.udf_invocations = ctx_udf_invocations;
+    const uint64_t fn_cache_hits =
+        ctx->eval.function_cache != nullptr
+            ? ctx->eval.function_cache->hits() - fn_cache_hits_before
+            : 0;
+    record.cache_hits = fn_cache_hits + SumCacheHits(*root);
+    uint64_t pruned_total = 0;
+    for (const auto& transfer : ctx->all_transfers) {
+      pruned_total += transfer->pruned();
+    }
+    record.transfer_pruned = pruned_total;
     record.drift_flags =
         CountDriftingPredicates(plan, ctx->catalog->functions());
     record.stats_tier = WeakestStatsTier(plan);

@@ -25,7 +25,7 @@ common::Result<std::unique_ptr<FilterOp>> FilterOp::Make(
   PPP_ASSIGN_OR_RETURN(
       CachedPredicate bound,
       CachedPredicate::Bind(pred, child->schema(), *ctx->catalog,
-                            ctx->params));
+                            ctx->params, ctx->shared_caches, &ctx->binding));
   auto op = std::make_unique<FilterOp>(std::move(child), std::move(bound),
                                        ctx);
   if (!ctx->params.vectorized || pred.expr == nullptr) return op;
@@ -60,7 +60,8 @@ common::Result<std::unique_ptr<FilterOp>> FilterOp::Make(
     PPP_ASSIGN_OR_RETURN(
         CachedPredicate suffix,
         CachedPredicate::Bind(suffix_info, op->child_->schema(),
-                              *ctx->catalog, ctx->params));
+                              *ctx->catalog, ctx->params,
+                              ctx->shared_caches, &ctx->binding));
     op->suffix_ = std::move(suffix);
   }
   op->kernels_ = std::move(kernels);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <optional>
 
+#include "exec/shared_caches.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -195,7 +196,9 @@ void Operator::CollectStats(std::vector<const OperatorStats*>* out) const {
 
 common::Result<CachedPredicate> CachedPredicate::Bind(
     const expr::PredicateInfo& pred, const types::RowSchema& schema,
-    const catalog::Catalog& catalog, const ExecParams& params) {
+    const catalog::Catalog& catalog, const ExecParams& params,
+    SharedPredicateCacheRegistry* shared,
+    const expr::TableBinding* binding) {
   CachedPredicate out;
   PPP_ASSIGN_OR_RETURN(
       std::unique_ptr<expr::BoundExpr> bound,
@@ -226,6 +229,33 @@ common::Result<CachedPredicate> CachedPredicate::Bind(
         ShardedPredicateCache::ShardsFor(params.parallel_workers);
     options.adaptive = params.adaptive_caching;
     options.probe_window = params.adaptive_probe_window;
+  }
+  if (out.cache_enabled_ && shared != nullptr) {
+    // Resolve every referenced alias to its table so identical text over
+    // different tables never shares a memo (see BuildSharedCacheKey).
+    std::string resolved;
+    bool resolvable = binding != nullptr;
+    if (resolvable) {
+      for (const std::string& alias : pred.tables) {
+        auto it = binding->find(alias);
+        if (it == binding->end() || it->second == nullptr) {
+          resolvable = false;
+          break;
+        }
+        resolved += alias;
+        resolved += '=';
+        resolved += it->second->name();
+        resolved += ';';
+      }
+    }
+    if (resolvable) {
+      out.cache_ = shared->GetOrCreate(
+          BuildSharedCacheKey(pred.expr->ToString(), resolved, options),
+          options);
+      out.hits_baseline_ = out.cache_->hits();
+      out.evictions_baseline_ = out.cache_->evictions();
+      return out;
+    }
   }
   out.cache_ = std::make_shared<ShardedPredicateCache>(options);
   return out;

@@ -20,6 +20,8 @@
 
 namespace ppp::exec {
 
+class SharedPredicateCacheRegistry;
+
 /// Which memoization layer absorbs repeated expensive evaluations (§5.1
 /// discusses the design space).
 enum class CacheMode {
@@ -100,6 +102,13 @@ struct ExecParams {
   /// Observed pass rate above which a transferred filter is killed
   /// mid-query: it prunes too little to pay for its probes.
   double transfer_kill_pass_rate = 0.95;
+
+  /// Cross-query kill memory: before building a Bloom transfer, consult
+  /// the profiler's history for the site and skip creation when the filter
+  /// was previously killed or passed nearly everything. Off by default so
+  /// single-query benches keep their per-run kill behaviour; the serving
+  /// layer turns it on (amortizing the kill decision across the workload).
+  bool transfer_cross_query_kill = false;
 };
 
 /// A batch of tuples flowing between operators (batch-at-a-time execution;
@@ -136,6 +145,12 @@ struct ExecContext {
   /// (profiler + metrics). Cleared by ExecutePlan on entry.
   std::vector<std::shared_ptr<BloomTransfer>> all_transfers;
 
+  /// Engine-wide predicate-cache registry (serving layer). When set,
+  /// CachedPredicate::Bind acquires its memo here instead of building a
+  /// private one, so sessions share §5.1 cache entries across queries.
+  /// Null (the default) keeps the historical per-bind caches.
+  SharedPredicateCacheRegistry* shared_caches = nullptr;
+
   /// Optimizer-side facts for the ppp_query_log record ExecutePlan appends
   /// at close. workload::RunWithAlgorithm fills these; direct ExecutePlan
   /// callers leave the zeroes and the record simply lacks them.
@@ -143,6 +158,7 @@ struct ExecContext {
     uint64_t text_hash = 0;       ///< Fnv1aHash of the bound spec's text.
     std::string algorithm;        ///< Placement algorithm that planned it.
     double optimize_seconds = 0.0;
+    uint64_t session_id = 0;      ///< Serving-layer session (0 = none).
   };
   QueryLogHints log_hints;
 };
@@ -293,9 +309,16 @@ class CachedPredicate {
   /// cache engages when caching is on in kPredicate mode, the predicate is
   /// expensive, and all its functions are cacheable. Bounds and the
   /// adaptive self-disable follow `params`.
+  ///
+  /// With `shared` set (and `binding` available to resolve aliases), the
+  /// memo is acquired from the engine-wide registry under the predicate's
+  /// canonical identity instead of built fresh — hit/eviction accessors
+  /// stay per-bind exact via baselines captured at acquisition.
   static common::Result<CachedPredicate> Bind(
       const expr::PredicateInfo& pred, const types::RowSchema& schema,
-      const catalog::Catalog& catalog, const ExecParams& params);
+      const catalog::Catalog& catalog, const ExecParams& params,
+      SharedPredicateCacheRegistry* shared = nullptr,
+      const expr::TableBinding* binding = nullptr);
 
   /// Evaluates (three-valued logic collapsed to pass/fail). Cache hits do
   /// not invoke any function.
@@ -305,8 +328,13 @@ class CachedPredicate {
     return cache_enabled_ && !cache_->disabled();
   }
   size_t cache_entries() const { return cache_->entries(); }
-  uint64_t cache_hits() const { return cache_->hits(); }
-  uint64_t cache_evictions() const { return cache_->evictions(); }
+  /// Hits/evictions since this Bind — on a shared cache the registry-wide
+  /// totals minus the baseline captured at acquisition, so per-operator
+  /// stats stay exact even when other sessions use the same memo.
+  uint64_t cache_hits() const { return cache_->hits() - hits_baseline_; }
+  uint64_t cache_evictions() const {
+    return cache_->evictions() - evictions_baseline_;
+  }
 
   /// True when the predicate references at least one expensive function —
   /// the only predicates worth fanning out.
@@ -327,6 +355,9 @@ class CachedPredicate {
   /// configuration purely for the accessors); shared so CachedPredicate
   /// stays copyable.
   std::shared_ptr<ShardedPredicateCache> cache_;
+  /// Cache counters at acquisition time (nonzero only for shared caches).
+  uint64_t hits_baseline_ = 0;
+  uint64_t evictions_baseline_ = 0;
 };
 
 }  // namespace ppp::exec

@@ -42,7 +42,12 @@ void ParallelPredicateEvaluator::EvalBatch(CachedPredicate* pred,
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
+  // Query/session attribution is thread-local, so pool workers must
+  // inherit the coordinator's ids explicitly.
+  const uint64_t query_id = obs::SpanTracer::current_query_id();
+  const uint64_t session_id = obs::SpanTracer::current_session_id();
   const auto eval_slice = [&](size_t w) {
+    obs::QueryIdScope id_scope(query_id, session_id);
     // The span is created on the executing thread, so its tid is the
     // worker's track in the exported trace (or the coordinator's — the
     // caller participates in the pool's Run).

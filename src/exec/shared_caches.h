@@ -1,0 +1,84 @@
+#ifndef PPP_EXEC_SHARED_CACHES_H_
+#define PPP_EXEC_SHARED_CACHES_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "exec/pred_cache.h"
+
+namespace ppp::exec {
+
+/// Engine-wide registry of §5.1 predicate caches, keyed on the predicate's
+/// canonical identity (expression text + alias→table resolution + cache
+/// configuration). Without it every CachedPredicate::Bind builds a fresh
+/// memo, so each query warms its expensive UDFs from cold; with it, the
+/// serving layer hands the same registry to every session and session B's
+/// `costly100(t10.ua)` probe hits the entries session A already computed —
+/// §5.1 caching amortized across the workload, not one query.
+///
+/// Sharing is sound because a cache entry maps serialized input-column
+/// *values* to the verdict of a pure (cacheable) predicate: the key
+/// embeds the resolved table of every alias, so identical text over
+/// different tables gets distinct caches, and identical predicates over
+/// the same tables compute each distinct binding at most once engine-wide
+/// (ShardedMemo's pending-entry dedup holds across sessions too).
+///
+/// Bounded: beyond max_caches the least-recently-acquired cache is dropped
+/// from the registry (in-flight holders keep their shared_ptr; the cache
+/// dies when the last operator using it closes). Thread-safe.
+class SharedPredicateCacheRegistry {
+ public:
+  static constexpr size_t kDefaultMaxCaches = 256;
+
+  SharedPredicateCacheRegistry() = default;
+  explicit SharedPredicateCacheRegistry(size_t max_caches)
+      : max_caches_(max_caches == 0 ? 1 : max_caches) {}
+
+  SharedPredicateCacheRegistry(const SharedPredicateCacheRegistry&) = delete;
+  SharedPredicateCacheRegistry& operator=(const SharedPredicateCacheRegistry&) =
+      delete;
+
+  /// Returns the cache registered under `identity`, creating it with
+  /// `options` on first acquisition. `identity` must already encode the
+  /// cache-relevant options (BuildSharedCacheKey does), so a config change
+  /// yields a different cache rather than one with surprising bounds.
+  std::shared_ptr<ShardedPredicateCache> GetOrCreate(
+      const std::string& identity,
+      const ShardedPredicateCache::Options& options);
+
+  size_t size() const;
+  uint64_t acquisitions() const;
+  /// Acquisitions that found an existing cache (cross-query reuse).
+  uint64_t reuses() const;
+
+  /// Drops every cache (holders keep theirs alive until close).
+  void Clear();
+
+ private:
+  size_t max_caches_ = kDefaultMaxCaches;
+  mutable std::mutex mu_;
+  /// identity -> (cache, position in lru_). lru_ front = most recent.
+  struct Slot {
+    std::shared_ptr<ShardedPredicateCache> cache;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Slot> caches_;
+  std::list<std::string> lru_;
+  uint64_t acquisitions_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+/// Canonical identity of one predicate's memo for cross-query sharing:
+/// expression text, each referenced alias resolved to its table, and the
+/// cache-shape options. See SharedPredicateCacheRegistry.
+std::string BuildSharedCacheKey(const std::string& expr_text,
+                                const std::string& resolved_tables,
+                                const ShardedPredicateCache::Options& options);
+
+}  // namespace ppp::exec
+
+#endif  // PPP_EXEC_SHARED_CACHES_H_

@@ -165,6 +165,13 @@ size_t PlanHistory::PlansFor(uint64_t text_hash) const {
   return count;
 }
 
+bool PlanHistory::Regressed(uint64_t text_hash, uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key(text_hash, fingerprint));
+  if (it == entries_.end()) return false;
+  return it->second.row.regressed;
+}
+
 size_t PlanHistory::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

@@ -107,6 +107,11 @@ class PlanHistory {
   /// Distinct plans recorded for `text_hash` (0 when unseen).
   size_t PlansFor(uint64_t text_hash) const;
 
+  /// True when the (text_hash, fingerprint) plan has been flagged
+  /// regressed. Plan caches consult this on probe so a regression verdict
+  /// retires the cached plan instead of replaying it forever.
+  bool Regressed(uint64_t text_hash, uint64_t fingerprint) const;
+
   size_t size() const;
   uint64_t changed_total() const {
     return changed_total_.load(std::memory_order_relaxed);

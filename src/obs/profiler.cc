@@ -101,6 +101,14 @@ void PredicateProfiler::RecordTransfer(const std::string& site,
   if (measured_fpr >= 0.0) t.last_fpr = measured_fpr;
 }
 
+std::optional<TransferProfile> PredicateProfiler::GetTransfer(
+    const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transfers_.find(site);
+  if (it == transfers_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::vector<TransferProfile> PredicateProfiler::TransferSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<TransferProfile> out;

@@ -120,6 +120,11 @@ class PredicateProfiler {
                       uint64_t passed, bool killed, double measured_fpr);
   std::vector<TransferProfile> TransferSnapshot() const;
 
+  /// The cross-query aggregate for one transfer site (nullopt when the
+  /// site was never recorded). The executor's cross-query kill memory
+  /// consults this before building a Bloom filter.
+  std::optional<TransferProfile> GetTransfer(const std::string& site) const;
+
   /// Human-readable table of every profiled function (the shell's \profile).
   std::string ReportText() const;
 

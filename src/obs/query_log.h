@@ -29,6 +29,9 @@ const char* StatsTierName(StatsTier tier);
 /// same process never bleeds across records within one single-query engine.
 struct QueryLogRecord {
   uint64_t query_id = 0;
+  /// Serving-layer session that ran the query (0 outside the serve layer,
+  /// e.g. direct bench/test ExecutePlan calls).
+  uint64_t session_id = 0;
   /// FNV-1a of the bound QuerySpec's canonical text — the normalized query,
   /// stable across literal formatting but not across constants.
   uint64_t text_hash = 0;

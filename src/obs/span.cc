@@ -14,6 +14,10 @@ bool EnvEnabled(const char* name) {
 
 std::atomic<int> next_thread_id{0};
 
+// Per-thread query/session attribution (see SpanTracer::set_current_ids).
+thread_local uint64_t tls_query_id = 0;
+thread_local uint64_t tls_session_id = 0;
+
 }  // namespace
 
 int CurrentThreadId() {
@@ -37,11 +41,21 @@ double SpanTracer::NowMicros() const {
       .count();
 }
 
+uint64_t SpanTracer::current_query_id() { return tls_query_id; }
+
+uint64_t SpanTracer::current_session_id() { return tls_session_id; }
+
+void SpanTracer::set_current_ids(uint64_t query_id, uint64_t session_id) {
+  tls_query_id = query_id;
+  tls_session_id = session_id;
+}
+
 void SpanTracer::Record(SpanEvent event) {
-  const uint64_t query_id =
-      current_query_id_.load(std::memory_order_relaxed);
-  if (query_id != 0) {
-    event.args.emplace_back("query_id", std::to_string(query_id));
+  if (tls_query_id != 0) {
+    event.args.emplace_back("query_id", std::to_string(tls_query_id));
+  }
+  if (tls_session_id != 0) {
+    event.args.emplace_back("session_id", std::to_string(tls_session_id));
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= max_events_) {

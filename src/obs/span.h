@@ -59,16 +59,16 @@ class SpanTracer {
   /// at max_events().
   void Record(SpanEvent event);
 
-  /// Query id stamped onto every span recorded while nonzero (as a
-  /// "query_id" arg), correlating a trace with its ppp_query_log row. One
-  /// global slot, not thread-local: the engine runs one query at a time
-  /// and its parallel workers must inherit the id. Set via QueryIdScope.
-  uint64_t current_query_id() const {
-    return current_query_id_.load(std::memory_order_relaxed);
-  }
-  void set_current_query_id(uint64_t id) {
-    current_query_id_.store(id, std::memory_order_relaxed);
-  }
+  /// Query/session ids stamped onto every span recorded while nonzero (as
+  /// "query_id" / "session_id" args), correlating a trace with its
+  /// ppp_query_log row and session. Thread-local, not global: concurrent
+  /// sessions run queries simultaneously, so each thread carries its own
+  /// attribution. Parallel-eval workers inherit the coordinator's ids
+  /// explicitly (parallel_eval installs a QueryIdScope inside the worker
+  /// lambda). Set via QueryIdScope.
+  static uint64_t current_query_id();
+  static uint64_t current_session_id();
+  static void set_current_ids(uint64_t query_id, uint64_t session_id);
 
   std::vector<SpanEvent> Snapshot() const;
   size_t size() const;
@@ -83,7 +83,6 @@ class SpanTracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> dropped_{0};
-  std::atomic<uint64_t> current_query_id_{0};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<SpanEvent> events_;
@@ -117,23 +116,29 @@ class Span {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// RAII scope that stamps the global tracer with a query id for the
-/// duration of one query's lifecycle (optimize + execute), restoring the
-/// previous id on exit so nested scopes (introspection queries issued from
-/// inside a bench loop) unwind correctly.
+/// RAII scope that stamps the calling thread with a query id (and
+/// optionally a session id) for the duration of one query's lifecycle
+/// (optimize + execute), restoring the previous ids on exit so nested
+/// scopes (introspection queries issued from inside a bench loop) unwind
+/// correctly. Thread-local, so concurrent sessions don't clobber each
+/// other's attribution.
 class QueryIdScope {
  public:
-  explicit QueryIdScope(uint64_t query_id)
-      : previous_(SpanTracer::Global().current_query_id()) {
-    SpanTracer::Global().set_current_query_id(query_id);
+  explicit QueryIdScope(uint64_t query_id, uint64_t session_id = 0)
+      : previous_query_(SpanTracer::current_query_id()),
+        previous_session_(SpanTracer::current_session_id()) {
+    SpanTracer::set_current_ids(query_id, session_id);
   }
-  ~QueryIdScope() { SpanTracer::Global().set_current_query_id(previous_); }
+  ~QueryIdScope() {
+    SpanTracer::set_current_ids(previous_query_, previous_session_);
+  }
 
   QueryIdScope(const QueryIdScope&) = delete;
   QueryIdScope& operator=(const QueryIdScope&) = delete;
 
  private:
-  uint64_t previous_;
+  uint64_t previous_query_;
+  uint64_t previous_session_;
 };
 
 }  // namespace ppp::obs

@@ -1,0 +1,41 @@
+#ifndef PPP_PARSER_NORMALIZE_H_
+#define PPP_PARSER_NORMALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppp::parser {
+
+/// A SQL statement in canonical form, the serving layer's cache identity.
+///
+/// `text` is the statement re-serialized one-token-per-space with keywords
+/// uppercased and literals kept inline: two spellings of the same query
+/// ("select *  from t3" / "SELECT * FROM t3") normalize identically, while
+/// different constants stay distinct — required, because a compiled plan
+/// embeds its literals (a plan for `u10 < 5` must not serve `u10 < 9`).
+///
+/// `family_text` additionally replaces every literal with a $n parameter
+/// slot and `params` carries the extracted literals in slot order. Queries
+/// differing only in constants share a family — the observability grouping
+/// (ppp_plan_cache rows carry the family hash) and the natural key for a
+/// future parameterized-plan cache.
+struct NormalizedQuery {
+  std::string text;
+  std::string family_text;
+  std::vector<std::string> params;
+  uint64_t text_hash = 0;    ///< Fnv1aHash(text).
+  uint64_t family_hash = 0;  ///< Fnv1aHash(family_text).
+};
+
+/// Canonicalizes one SQL statement (purely lexical — no catalog access, no
+/// binding). Errors only on lexer-level malformations (unterminated
+/// strings, illegal characters); anything token-legal normalizes, with
+/// deeper validation left to the parser proper.
+common::Result<NormalizedQuery> NormalizeSql(const std::string& sql);
+
+}  // namespace ppp::parser
+
+#endif  // PPP_PARSER_NORMALIZE_H_

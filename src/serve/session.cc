@@ -1,0 +1,415 @@
+#include "serve/session.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "catalog/system_tables.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "optimizer/algorithm.h"
+#include "parser/normalize.h"
+#include "parser/parser.h"
+#include "stats/collector.h"
+#include "subquery/rewrite.h"
+
+namespace ppp::serve {
+
+namespace {
+
+using internal::ServeState;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+obs::Gauge* ActiveSessionsGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("serve.sessions.active");
+  return g;
+}
+
+/// catalog → live ServeState, for the ppp_plan_cache / ppp_sessions
+/// providers. Providers capture only the catalog pointer, so a manager
+/// re-created over the same database transparently re-binds the existing
+/// system tables to its fresh state.
+std::mutex g_states_mu;
+std::map<const catalog::Catalog*, std::weak_ptr<ServeState>>& States() {
+  static auto* states =
+      new std::map<const catalog::Catalog*, std::weak_ptr<ServeState>>();
+  return *states;
+}
+
+std::shared_ptr<ServeState> StateFor(const catalog::Catalog* catalog) {
+  std::lock_guard<std::mutex> lock(g_states_mu);
+  auto it = States().find(catalog);
+  if (it == States().end()) return nullptr;
+  return it->second.lock();
+}
+
+types::Value HexValue(uint64_t h) {
+  return types::Value(common::StringPrintf(
+      "%016llx", static_cast<unsigned long long>(h)));
+}
+
+types::Value IntValue(uint64_t v) {
+  return types::Value(static_cast<int64_t>(v));
+}
+
+void RegisterServeSystemTables(catalog::Catalog* catalog) {
+  using types::TypeId;
+  const catalog::Catalog* key = catalog;
+  auto plan_cache_rows =
+      [key]() -> common::Result<std::vector<types::Tuple>> {
+    std::vector<types::Tuple> rows;
+    const std::shared_ptr<ServeState> state = StateFor(key);
+    if (state == nullptr) return rows;
+    for (const PlanCacheEntryView& e : state->plan_cache.Snapshot()) {
+      rows.emplace_back(std::vector<types::Value>{
+          HexValue(e.text_hash), HexValue(e.family_hash),
+          HexValue(e.params_hash), HexValue(e.plan_fingerprint),
+          types::Value(e.algorithm), types::Value(e.tables),
+          IntValue(e.hits), types::Value(e.est_cost),
+          types::Value(e.optimize_seconds),
+          IntValue(static_cast<uint64_t>(e.approx_bytes))});
+    }
+    return rows;
+  };
+  auto session_rows = [key]() -> common::Result<std::vector<types::Tuple>> {
+    std::vector<types::Tuple> rows;
+    const std::shared_ptr<ServeState> state = StateFor(key);
+    if (state == nullptr) return rows;
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (const auto& [id, row] : state->sessions) {
+      rows.emplace_back(std::vector<types::Value>{
+          IntValue(row.session_id), IntValue(row.active ? 1 : 0),
+          IntValue(row.plan_cache ? 1 : 0), IntValue(row.queries),
+          IntValue(row.plan_cache_hits), IntValue(row.plan_cache_misses),
+          IntValue(row.rows_returned)});
+    }
+    return rows;
+  };
+
+  // AlreadyExists is expected when a second manager binds the same
+  // database: the existing tables' providers re-resolve through States().
+  auto r1 = catalog->RegisterSystemTable(std::make_unique<catalog::Table>(
+      "ppp_plan_cache",
+      std::vector<catalog::ColumnDef>{{"text_hash", TypeId::kString},
+                                      {"family_hash", TypeId::kString},
+                                      {"params_hash", TypeId::kString},
+                                      {"plan_fingerprint", TypeId::kString},
+                                      {"algorithm", TypeId::kString},
+                                      {"tables", TypeId::kString},
+                                      {"hits", TypeId::kInt64},
+                                      {"est_cost", TypeId::kDouble},
+                                      {"optimize_seconds", TypeId::kDouble},
+                                      {"approx_bytes", TypeId::kInt64}},
+      plan_cache_rows, [key] {
+        const std::shared_ptr<ServeState> state = StateFor(key);
+        return state == nullptr
+                   ? int64_t{0}
+                   : static_cast<int64_t>(state->plan_cache.entries());
+      }));
+  (void)r1;
+  auto r2 = catalog->RegisterSystemTable(std::make_unique<catalog::Table>(
+      "ppp_sessions",
+      std::vector<catalog::ColumnDef>{{"session_id", TypeId::kInt64},
+                                      {"active", TypeId::kInt64},
+                                      {"plan_cache", TypeId::kInt64},
+                                      {"queries", TypeId::kInt64},
+                                      {"plan_cache_hits", TypeId::kInt64},
+                                      {"plan_cache_misses", TypeId::kInt64},
+                                      {"rows_returned", TypeId::kInt64}},
+      session_rows, [key] {
+        const std::shared_ptr<ServeState> state = StateFor(key);
+        if (state == nullptr) return int64_t{0};
+        std::lock_guard<std::mutex> lock(state->mu);
+        return static_cast<int64_t>(state->sessions.size());
+      }));
+  (void)r2;
+}
+
+/// First keyword of `sql`, uppercased (empty when none).
+std::string FirstKeyword(const std::string& sql) {
+  size_t pos = 0;
+  while (pos < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[pos]))) {
+    ++pos;
+  }
+  std::string word;
+  while (pos < sql.size() &&
+         (std::isalnum(static_cast<unsigned char>(sql[pos])) ||
+          sql[pos] == '_')) {
+    word.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[pos]))));
+    ++pos;
+  }
+  return word;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SessionManager
+
+SessionManager::SessionManager(workload::Database* db, Options options)
+    : state_(std::make_shared<ServeState>(db, options.plan_cache)) {
+  state_->plan_cache_enabled = options.plan_cache_enabled;
+  const char* env = std::getenv("PPP_PLAN_CACHE");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') {
+    state_->plan_cache_enabled = false;
+  }
+  state_->share_predicate_caches = options.share_predicate_caches;
+
+  {
+    std::lock_guard<std::mutex> lock(g_states_mu);
+    States()[&db->catalog()] = state_;
+  }
+  RegisterServeSystemTables(&db->catalog());
+
+  // ANALYZE → invalidation: a stats-epoch bump on any table drops every
+  // cached plan that binds it. The listener holds the state weakly so a
+  // late notification after manager teardown is a no-op.
+  std::weak_ptr<ServeState> weak = state_;
+  listener_id_ = db->catalog().AddStatsListener(
+      [weak](const std::string& table_name) {
+        const std::shared_ptr<ServeState> state = weak.lock();
+        if (state != nullptr) state->plan_cache.InvalidateTable(table_name);
+      });
+}
+
+SessionManager::~SessionManager() {
+  state_->db->catalog().RemoveStatsListener(listener_id_);
+  std::lock_guard<std::mutex> lock(g_states_mu);
+  auto it = States().find(&state_->db->catalog());
+  if (it != States().end() && it->second.lock() == state_) {
+    States().erase(it);
+  }
+}
+
+std::unique_ptr<Session> SessionManager::CreateSession() {
+  SessionOptions defaults;
+  defaults.use_plan_cache = true;
+  // Serve sessions opt into the cross-query Bloom kill memory: the whole
+  // point of the layer is amortizing decisions across the workload.
+  defaults.exec_params.transfer_cross_query_kill = true;
+  return CreateSession(defaults);
+}
+
+std::unique_ptr<Session> SessionManager::CreateSession(
+    const SessionOptions& options) {
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    id = state_->next_session_id++;
+    SessionRow row;
+    row.session_id = id;
+    row.active = true;
+    row.plan_cache = state_->plan_cache_enabled && options.use_plan_cache;
+    state_->sessions[id] = row;
+  }
+  ActiveSessionsGauge()->Add(1.0);
+  return std::unique_ptr<Session>(new Session(state_, id, options));
+}
+
+size_t SessionManager::active_sessions() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  size_t n = 0;
+  for (const auto& [id, row] : state_->sessions) {
+    if (row.active) ++n;
+  }
+  return n;
+}
+
+std::vector<SessionRow> SessionManager::SessionRows() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  std::vector<SessionRow> out;
+  out.reserve(state_->sessions.size());
+  for (const auto& [id, row] : state_->sessions) out.push_back(row);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(std::shared_ptr<ServeState> state, uint64_t id,
+                 SessionOptions options)
+    : state_(std::move(state)), id_(id), options_(std::move(options)) {
+  ctx_.catalog = &state_->db->catalog();
+}
+
+Session::~Session() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto it = state_->sessions.find(id_);
+    if (it != state_->sessions.end()) it->second.active = false;
+  }
+  ActiveSessionsGauge()->Add(-1.0);
+}
+
+void Session::set_plan_cache_enabled(bool on) {
+  options_.use_plan_cache = on;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->sessions.find(id_);
+  if (it != state_->sessions.end()) {
+    it->second.plan_cache = on && state_->plan_cache_enabled;
+  }
+}
+
+common::Result<QueryResult> Session::Execute(const std::string& sql) {
+  const std::string keyword = FirstKeyword(sql);
+  if (keyword == "ANALYZE") return ExecuteAnalyze(sql);
+  return ExecuteSelect(sql);
+}
+
+common::Result<QueryResult> Session::ExecuteAnalyze(const std::string& sql) {
+  PPP_ASSIGN_OR_RETURN(parser::ParsedStatement stmt,
+                       parser::ParseStatement(sql));
+  if (stmt.kind != parser::StatementKind::kAnalyze) {
+    return common::Status::InvalidArgument(
+        "expected an ANALYZE statement");
+  }
+  catalog::Catalog& catalog = state_->db->catalog();
+  std::vector<std::string> tables = stmt.analyze_tables;
+  if (tables.empty()) tables = catalog.TableNames();
+  const stats::AnalyzeOptions options = stats::AnalyzeOptions::Default();
+  QueryResult result;
+  for (const std::string& name : tables) {
+    PPP_ASSIGN_OR_RETURN(catalog::Table * table, catalog.GetTable(name));
+    PPP_RETURN_IF_ERROR(stats::AnalyzeTable(table, options));
+    ++result.analyzed_tables;
+  }
+  UpdateRow(result);
+  return result;
+}
+
+common::Result<QueryResult> Session::ExecuteSelect(const std::string& sql) {
+  catalog::Catalog& catalog = state_->db->catalog();
+
+  // Root lifecycle span, as in workload::RunWithAlgorithm: probe/optimize
+  // and execute (with their own child spans) nest under it, tagged with the
+  // owning session.
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) {
+    span.emplace("query", "query");
+    span->AddArg("algorithm", optimizer::AlgorithmName(options_.algorithm));
+    span->AddArg("session_id", std::to_string(id_));
+  }
+
+  const auto plan_start = std::chrono::steady_clock::now();
+
+  // EXPLAIN prefixes run like plain SELECTs here; sessions return rows,
+  // the shell renders plans.
+  std::string rest;
+  parser::StripExplain(sql, &rest);
+
+  PPP_ASSIGN_OR_RETURN(parser::NormalizedQuery norm,
+                       parser::NormalizeSql(rest));
+  const std::string algorithm_name =
+      optimizer::AlgorithmName(options_.algorithm);
+  const bool use_cache =
+      state_->plan_cache_enabled && options_.use_plan_cache;
+  PlanCacheKey key;
+  key.text_hash = norm.text_hash;
+  key.params_hash =
+      PlacementParamsHash(options_.cost_params, algorithm_name);
+
+  QueryResult result;
+  result.text_hash = norm.text_hash;
+
+  std::shared_ptr<const plan::PlanNode> plan;
+  std::shared_ptr<const CachedPlan> cached;
+  if (use_cache) cached = state_->plan_cache.Probe(key, catalog);
+
+  if (cached != nullptr) {
+    // Hit: rebuild bindings from the entry; no parse, no optimize.
+    ctx_.binding.clear();
+    for (const auto& [alias, table_name] : cached->bindings) {
+      PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                           catalog.GetTable(table_name));
+      ctx_.binding[alias] = table;
+    }
+    plan = cached->plan;
+    result.plan_cache_hit = true;
+    result.plan_fingerprint = cached->plan_fingerprint;
+  } else {
+    PPP_ASSIGN_OR_RETURN(plan::QuerySpec spec,
+                         subquery::ParseBindRewrite(rest, &catalog));
+    // Capture bindings and stats epochs *before* optimizing: if an ANALYZE
+    // lands mid-optimization the entry's epochs are already stale and the
+    // next probe re-plans (the safe direction).
+    CachedPlan entry;
+    ctx_.binding.clear();
+    for (const plan::TableRef& ref : spec.tables) {
+      PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                           catalog.GetTable(ref.table_name));
+      ctx_.binding[ref.alias] = table;
+      entry.bindings.emplace_back(ref.alias, ref.table_name);
+      entry.stats_epochs.push_back(table->stats_epoch());
+    }
+    optimizer::Optimizer opt(&catalog, options_.cost_params);
+    PPP_ASSIGN_OR_RETURN(optimizer::OptimizeResult optimized,
+                         opt.Optimize(spec, options_.algorithm));
+    plan = std::shared_ptr<const plan::PlanNode>(std::move(optimized.plan));
+    result.plan_fingerprint = plan->Fingerprint();
+    if (use_cache) {
+      entry.plan = plan;
+      entry.text_hash = norm.text_hash;
+      entry.family_hash = norm.family_hash;
+      entry.plan_fingerprint = result.plan_fingerprint;
+      entry.algorithm = algorithm_name;
+      entry.est_cost = optimized.est_cost;
+      entry.optimize_seconds = SecondsSince(plan_start);
+      state_->plan_cache.Insert(key, std::move(entry));
+    }
+  }
+  result.optimize_seconds = SecondsSince(plan_start);
+  result.plan = plan;
+
+  // Execute on the session's persistent context. Shared engine stores are
+  // wired per query (cheap pointer writes) so manager-level toggles apply
+  // immediately.
+  ctx_.params = options_.exec_params;
+  ctx_.shared_caches =
+      state_->share_predicate_caches ? &state_->shared_caches : nullptr;
+  ctx_.log_hints.text_hash = norm.text_hash;
+  ctx_.log_hints.algorithm = algorithm_name;
+  ctx_.log_hints.optimize_seconds = result.optimize_seconds;
+  ctx_.log_hints.session_id = id_;
+
+  const auto exec_start = std::chrono::steady_clock::now();
+  exec::ExecStats stats;
+  PPP_ASSIGN_OR_RETURN(
+      result.rows,
+      exec::ExecutePlan(*plan, &ctx_, &stats, &result.schema, nullptr));
+  result.execute_seconds = SecondsSince(exec_start);
+
+  ++queries_;
+  if (result.plan_cache_hit) ++cache_hits_;
+  UpdateRow(result);
+  return result;
+}
+
+void Session::UpdateRow(const QueryResult& result) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto it = state_->sessions.find(id_);
+  if (it == state_->sessions.end()) return;
+  SessionRow& row = it->second;
+  row.queries += 1;
+  if (result.plan_cache_hit) {
+    row.plan_cache_hits += 1;
+  } else if (result.analyzed_tables == 0) {
+    row.plan_cache_misses += 1;
+  }
+  row.rows_returned += result.rows.size();
+  row.plan_cache =
+      options_.use_plan_cache && state_->plan_cache_enabled;
+}
+
+}  // namespace ppp::serve

@@ -1,0 +1,188 @@
+#ifndef PPP_SERVE_SESSION_H_
+#define PPP_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_params.h"
+#include "exec/executor.h"
+#include "exec/operator.h"
+#include "exec/shared_caches.h"
+#include "optimizer/optimizer.h"
+#include "serve/plan_cache.h"
+#include "types/row_schema.h"
+#include "types/tuple.h"
+#include "workload/database.h"
+
+namespace ppp::serve {
+
+/// Per-session planning/execution configuration. Each session owns its
+/// copy (the per-session isolation of the tentpole); the shared engine
+/// context lives in the manager.
+struct SessionOptions {
+  optimizer::Algorithm algorithm = optimizer::Algorithm::kMigration;
+  cost::CostParams cost_params;
+  exec::ExecParams exec_params;
+  /// Probe/fill the manager's plan cache for this session's queries.
+  bool use_plan_cache = true;
+};
+
+/// Outcome of one Session::Execute call.
+struct QueryResult {
+  std::vector<types::Tuple> rows;
+  types::RowSchema schema;
+  /// The executed plan (shared with the cache on a hit) for printing and
+  /// inspection; null for ANALYZE statements.
+  std::shared_ptr<const plan::PlanNode> plan;
+  /// Seconds spent producing an executable plan: parse+bind+optimize on a
+  /// miss, cache probe on a hit — the quantity the plan cache amortizes.
+  double optimize_seconds = 0.0;
+  double execute_seconds = 0.0;
+  bool plan_cache_hit = false;
+  uint64_t text_hash = 0;
+  uint64_t plan_fingerprint = 0;
+  /// For ANALYZE statements: tables analyzed (rows/schema stay empty).
+  size_t analyzed_tables = 0;
+};
+
+/// Aggregate per-session counters, the backing row of ppp_sessions.
+/// Retained (with active = false) after the session closes so a workload's
+/// full history stays queryable.
+struct SessionRow {
+  uint64_t session_id = 0;
+  bool active = false;
+  bool plan_cache = true;
+  uint64_t queries = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t rows_returned = 0;
+};
+
+class SessionManager;
+class Session;
+
+namespace internal {
+/// Engine context shared by every session of one manager: the plan cache,
+/// the cross-query predicate-cache registry, and the session table.
+/// Sessions hold it by shared_ptr so a session outliving its manager
+/// degrades gracefully; system-table providers hold it weakly.
+struct ServeState {
+  workload::Database* db = nullptr;
+  PlanCache plan_cache;
+  exec::SharedPredicateCacheRegistry shared_caches;
+  bool plan_cache_enabled = true;
+  bool share_predicate_caches = true;
+
+  std::mutex mu;
+  uint64_t next_session_id = 1;
+  std::map<uint64_t, SessionRow> sessions;
+
+  explicit ServeState(workload::Database* db_in,
+                      const PlanCache::Options& cache_options)
+      : db(db_in), plan_cache(cache_options) {}
+};
+}  // namespace internal
+
+/// One client's handle onto the shared engine: per-session ExecParams /
+/// CostParams / algorithm, a persistent ExecContext (function cache and
+/// worker pool survive across queries), and Execute() for SELECT and
+/// ANALYZE statements. Sessions are NOT individually thread-safe — one
+/// thread per session, many sessions in parallel is the supported model
+/// (everything shared underneath is synchronized).
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  /// Runs one statement. SELECTs go through the plan cache (when enabled
+  /// for both manager and session): normalize → probe → on miss
+  /// parse/bind/rewrite/optimize and fill. ANALYZE statements collect
+  /// statistics and, via the catalog's stats listener, invalidate every
+  /// cached plan that binds the analyzed tables.
+  common::Result<QueryResult> Execute(const std::string& sql);
+
+  SessionOptions& options() { return options_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// The per-session plan-cache switch (`\set plancache on|off`).
+  void set_plan_cache_enabled(bool on);
+  bool plan_cache_enabled() const { return options_.use_plan_cache; }
+
+  uint64_t queries() const { return queries_; }
+  uint64_t plan_cache_hits() const { return cache_hits_; }
+
+ private:
+  friend class SessionManager;
+  Session(std::shared_ptr<internal::ServeState> state, uint64_t id,
+          SessionOptions options);
+
+  common::Result<QueryResult> ExecuteSelect(const std::string& sql);
+  common::Result<QueryResult> ExecuteAnalyze(const std::string& sql);
+  void UpdateRow(const QueryResult& result);
+
+  std::shared_ptr<internal::ServeState> state_;
+  uint64_t id_ = 0;
+  SessionOptions options_;
+  /// Reused across queries so the function cache and worker pool persist
+  /// (the per-session half of §5.1 amortization).
+  exec::ExecContext ctx_;
+  uint64_t queries_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+/// Hands out sessions over one shared engine context and wires the
+/// serving-layer plumbing: the statistics listener that turns ANALYZE into
+/// plan-cache invalidations, the ppp_plan_cache / ppp_sessions system
+/// tables, and the serve.sessions.active gauge. Thread-safe.
+class SessionManager {
+ public:
+  struct Options {
+    PlanCache::Options plan_cache;
+    /// Master plan-cache switch; overridden to off by PPP_PLAN_CACHE=0.
+    bool plan_cache_enabled = true;
+    /// Cross-session §5.1 predicate-cache sharing.
+    bool share_predicate_caches = true;
+    /// Default configuration handed to new sessions.
+    SessionOptions session_defaults;
+  };
+
+  explicit SessionManager(workload::Database* db)
+      : SessionManager(db, Options()) {}
+  SessionManager(workload::Database* db, Options options);
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session with the manager's default options (or an explicit
+  /// override). Sessions may outlive the manager but are usually closed
+  /// first; each close retires its ppp_sessions row to inactive.
+  std::unique_ptr<Session> CreateSession();
+  std::unique_ptr<Session> CreateSession(const SessionOptions& options);
+
+  PlanCache& plan_cache() { return state_->plan_cache; }
+  exec::SharedPredicateCacheRegistry& shared_caches() {
+    return state_->shared_caches;
+  }
+  bool plan_cache_enabled() const { return state_->plan_cache_enabled; }
+
+  size_t active_sessions() const;
+  std::vector<SessionRow> SessionRows() const;
+
+ private:
+  std::shared_ptr<internal::ServeState> state_;
+  uint64_t listener_id_ = 0;
+};
+
+}  // namespace ppp::serve
+
+#endif  // PPP_SERVE_SESSION_H_
