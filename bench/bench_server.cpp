@@ -1,0 +1,385 @@
+// The network serving subsystem end to end: a real TCP server (wire
+// protocol + admission control) over the benchmark database, driven by
+// concurrent socket clients.
+//
+// Phase 1 — correctness: every Q1-Q5 result decoded off the wire must be
+// byte-identical to in-process session execution, with exact engine-wide
+// UDF invocation parity (the socket layer must not change what executes).
+//
+// Phase 2 — PREPARE/EXECUTE: distinct-literal EXECUTEs ride the family
+// (generic) plan-cache entry; their amortized plan-production time must
+// beat the per-query parse+bind+optimize of equivalent distinct-literal
+// QUERY statements by >= 10x (PPP_SERVER_MIN_PREP_SPEEDUP overrides; CI
+// sets 1 under sanitizers).
+//
+// Phase 3 — throughput: N in {1,4,8,16} TCP clients stream the Q1-Q5 mix;
+// reports QPS and p50/p99 latency per N (BENCH_server.json feeds the
+// regression gate).
+//
+// Phase 4 — admission: 2x-queue-depth pipelined statements against one
+// slow worker must all be answered — shed with ERR, never hung.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "obs/query_log.h"
+#include "serve/session.h"
+#include "workload/measurement.h"
+#include "workload/queries.h"
+
+namespace {
+
+using namespace ppp;
+
+/// Minimal blocking client (mirrors tests/net_test.cc's TestClient).
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool Send(const std::string& payload) {
+    const std::string wire = net::EncodeFrame(payload);
+    size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Frames of the next response: ROW* then the OK/ERR/METRICS terminal.
+  std::vector<std::string> ReadResponse() {
+    std::vector<std::string> response;
+    char buf[64 * 1024];
+    for (;;) {
+      while (!pending_.empty()) {
+        std::string payload = std::move(pending_.front());
+        pending_.erase(pending_.begin());
+        const bool terminal = payload.rfind("OK", 0) == 0 ||
+                              payload.rfind("ERR", 0) == 0 ||
+                              payload.rfind("METRICS", 0) == 0;
+        response.push_back(std::move(payload));
+        if (terminal) return response;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return response;
+      PPP_CHECK(parser_.Feed(buf, static_cast<size_t>(n), &pending_).ok());
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  net::FrameParser parser_;
+  std::vector<std::string> pending_;
+};
+
+std::string Terminal(const std::vector<std::string>& response) {
+  return response.empty() ? std::string() : response.back();
+}
+
+/// Canonical results of a wire response (rows + schema off the OK frame),
+/// comparable against workload::CanonicalResults of in-process rows.
+std::vector<std::string> WireCanonical(
+    const std::vector<std::string>& response) {
+  const std::string ok = Terminal(response);
+  PPP_CHECK(ok.rfind("OK", 0) == 0) << ok;
+  auto schema = net::DecodeSchema(net::OkField(ok, "schema"));
+  PPP_CHECK(schema.ok()) << schema.status().ToString();
+  std::vector<types::Tuple> rows;
+  for (const std::string& payload : response) {
+    if (payload.rfind("ROW ", 0) != 0) continue;
+    auto tuple = net::DecodeRowPayload(payload);
+    PPP_CHECK(tuple.ok()) << tuple.status().ToString();
+    rows.push_back(std::move(*tuple));
+  }
+  return workload::CanonicalResults(rows, *schema);
+}
+
+uint64_t QueryLogUdfTotal() {
+  uint64_t total = 0;
+  for (const obs::QueryLogRecord& r : obs::QueryLog::Global().Snapshot()) {
+    total += r.udf_invocations;
+  }
+  return total;
+}
+
+double EnvFloor(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && *raw != '\0' ? std::atof(raw) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t scale = bench::BenchScale(200);
+  auto db = bench::MakeBenchDatabase(scale);
+
+  std::vector<std::string> queries;
+  std::vector<std::string> ids;
+  workload::BenchmarkConfig config;
+  config.scale = scale;
+  for (const workload::BenchmarkQuery& q :
+       workload::BenchmarkQueries(config)) {
+    queries.push_back(q.sql);
+    ids.push_back(q.id);
+  }
+  const double min_prep_speedup =
+      EnvFloor("PPP_SERVER_MIN_PREP_SPEEDUP", 10.0);
+
+  std::vector<workload::Measurement> bars;
+  bool all_ok = true;
+
+  // -- Phase 1: wire results == in-process results, exact UDF parity ------
+  bench::PrintHeader("Network server: wire protocol + admission (scale " +
+                     std::to_string(scale) + ")");
+  std::vector<std::vector<std::string>> reference;
+  uint64_t inproc_udf = 0;
+  {
+    obs::QueryLog::Global().Clear();
+    serve::SessionManager manager(db.get());
+    auto session = manager.CreateSession();
+    for (const std::string& sql : queries) {
+      auto r = session->Execute(sql);
+      PPP_CHECK(r.ok()) << r.status().ToString();
+      reference.push_back(workload::CanonicalResults(r->rows, r->schema));
+    }
+    inproc_udf = QueryLogUdfTotal();
+  }
+  {
+    obs::QueryLog::Global().Clear();
+    serve::SessionManager manager(db.get());
+    net::Server::Options options;
+    options.workers = 4;
+    net::Server server(db.get(), &manager, options);
+    PPP_CHECK(server.Start().ok());
+    Client client;
+    PPP_CHECK(client.Connect(server.port()));
+    bool identical = true;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      PPP_CHECK(client.Send("QUERY " + queries[q]));
+      identical =
+          identical && WireCanonical(client.ReadResponse()) == reference[q];
+    }
+    const uint64_t socket_udf = QueryLogUdfTotal();
+    server.Stop();
+    const bool parity = socket_udf == inproc_udf;
+    std::printf("wire vs in-process over %zu queries: results %s, udf "
+                "%llu vs %llu (%s)\n",
+                queries.size(),
+                identical ? "byte-identical" : "DIVERGED",
+                static_cast<unsigned long long>(socket_udf),
+                static_cast<unsigned long long>(inproc_udf),
+                parity ? "exact parity" : "PARITY BROKEN");
+    all_ok = all_ok && identical && parity;
+  }
+
+  // -- Phase 2: PREPARE/EXECUTE vs per-query parse ------------------------
+  {
+    serve::SessionManager manager(db.get());
+    net::Server server(db.get(), &manager, net::Server::Options{});
+    PPP_CHECK(server.Start().ok());
+    Client client;
+    PPP_CHECK(client.Connect(server.port()));
+    constexpr int kLiterals = 40;
+    // The family is Q5's shape — a four-way join with an expensive join
+    // predicate, so plan production (parse + bind + join enumeration +
+    // placement) dominates per statement; the generic plan amortizes it.
+    const char* kFamily =
+        "SELECT * FROM t7, t3, t6, t10 WHERE match100(t7.ua, t3.ua) "
+        "AND t3.a10 = t6.a10 AND t6.ua = t10.ua1 AND t10.u10 < %d "
+        "AND selective100(t3.ua);";
+    // Baseline: distinct literals as plain QUERY — each one is a fresh
+    // parse+bind+optimize (distinct text hash, so no exact-cache hit).
+    double query_opt_us = 0.0;
+    for (int i = 0; i < kLiterals; ++i) {
+      PPP_CHECK(client.Send(
+          "QUERY " + common::StringPrintf(kFamily, i + 2)));
+      const std::string ok = Terminal(client.ReadResponse());
+      PPP_CHECK(ok.rfind("OK", 0) == 0) << ok;
+      PPP_CHECK(net::OkField(ok, "hit") == "0") << ok;
+      query_opt_us += std::atof(net::OkField(ok, "optimize_us").c_str());
+    }
+    // Prepared: the same statement family, distinct literals bound at
+    // EXECUTE — after the first compile every one rides the generic plan.
+    PPP_CHECK(client.Send(
+        "PREPARE spread AS SELECT * FROM t7, t3, t6, t10 WHERE "
+        "match100(t7.ua, t3.ua) AND t3.a10 = t6.a10 AND t6.ua = t10.ua1 "
+        "AND t10.u10 < $1 AND selective100(t3.ua);"));
+    PPP_CHECK(Terminal(client.ReadResponse()).rfind("OK", 0) == 0);
+    PPP_CHECK(client.Send("EXECUTE spread(1);"));  // Pays the one compile.
+    PPP_CHECK(Terminal(client.ReadResponse()).rfind("OK", 0) == 0);
+    double exec_opt_us = 0.0;
+    int generic_hits = 0;
+    for (int i = 0; i < kLiterals; ++i) {
+      PPP_CHECK(client.Send(common::StringPrintf(
+          "EXECUTE spread(%d);", i + kLiterals + 10)));
+      const std::string ok = Terminal(client.ReadResponse());
+      PPP_CHECK(ok.rfind("OK", 0) == 0) << ok;
+      if (net::OkField(ok, "hit") == "1") ++generic_hits;
+      exec_opt_us += std::atof(net::OkField(ok, "optimize_us").c_str());
+    }
+    server.Stop();
+    const double speedup =
+        (query_opt_us / kLiterals) /
+        std::max(exec_opt_us / kLiterals, 1e-3);
+    const bool prep_ok =
+        speedup >= min_prep_speedup && generic_hits == kLiterals;
+    std::printf("prepared statements: %d/%d family hits, plan production "
+                "%.1f us (QUERY) vs %.1f us (EXECUTE) = %.1fx (%s %.1fx "
+                "floor)\n",
+                generic_hits, kLiterals, query_opt_us / kLiterals,
+                exec_opt_us / kLiterals, speedup,
+                prep_ok ? "ok, >=" : "BELOW", min_prep_speedup);
+    all_ok = all_ok && prep_ok;
+
+    workload::Measurement m;
+    m.algorithm = "prepare-execute";
+    m.optimize_seconds = query_opt_us * 1e-6 / kLiterals;
+    m.wall_seconds = exec_opt_us * 1e-6 / kLiterals;
+    m.output_rows = kLiterals;
+    bars.push_back(std::move(m));
+  }
+
+  // -- Phase 3: QPS over N TCP clients ------------------------------------
+  constexpr int kStreamReps = 2;
+  std::printf("\n%-8s %10s %10s %10s  (stream = %zu queries x %d)\n",
+              "clients", "qps", "p50 (ms)", "p99 (ms)", queries.size(),
+              kStreamReps);
+  for (const size_t n : {size_t{1}, size_t{4}, size_t{8}, size_t{16}}) {
+    // A fresh manager+server per N: every config pays its own plan-cache
+    // and predicate-cache warm-up, exactly like bench_serve's sessions.
+    serve::SessionManager manager(db.get());
+    net::Server::Options options;
+    options.workers = 4;
+    options.queue_depth = 4 * n;
+    net::Server server(db.get(), &manager, options);
+    PPP_CHECK(server.Start().ok());
+    std::vector<std::vector<double>> latencies(n);
+    std::vector<bool> ok(n, true);
+    const auto started = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        Client client;
+        if (!client.Connect(server.port())) {
+          ok[i] = false;
+          return;
+        }
+        for (int rep = 0; rep < kStreamReps; ++rep) {
+          for (size_t q = 0; q < queries.size(); ++q) {
+            const auto t0 = std::chrono::steady_clock::now();
+            if (!client.Send("QUERY " + queries[q])) {
+              ok[i] = false;
+              return;
+            }
+            const auto response = client.ReadResponse();
+            latencies[i].push_back(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            if (WireCanonical(response) != reference[q]) {
+              ok[i] = false;
+              return;
+            }
+          }
+        }
+        client.Send("CLOSE");
+        client.ReadResponse();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+    server.Stop();
+    std::vector<double> all;
+    bool identical = true;
+    for (size_t i = 0; i < n; ++i) {
+      identical = identical && ok[i];
+      all.insert(all.end(), latencies[i].begin(), latencies[i].end());
+    }
+    PPP_CHECK(!all.empty());
+    std::sort(all.begin(), all.end());
+    const double qps = static_cast<double>(all.size()) / std::max(wall, 1e-9);
+    std::printf("%-8zu %10.1f %10.3f %10.3f%s\n", n, qps,
+                all[all.size() / 2] * 1e3,
+                all[(all.size() * 99) / 100] * 1e3,
+                identical ? "" : "  RESULTS DIVERGED");
+    all_ok = all_ok && identical;
+
+    workload::Measurement m;
+    m.algorithm = "server-" + std::to_string(n);
+    m.wall_seconds = static_cast<double>(all.size()) / std::max(qps, 1e-9);
+    m.output_rows = all.size();
+    bars.push_back(std::move(m));
+  }
+
+  // -- Phase 4: shed, never hang, at 2x queue depth -----------------------
+  {
+    serve::SessionManager manager(db.get());
+    net::Server::Options options;
+    options.workers = 1;
+    options.queue_depth = 4;
+    options.queue_timeout_seconds = 0;
+    net::Server server(db.get(), &manager, options);
+    PPP_CHECK(server.Start().ok());
+    Client client;
+    PPP_CHECK(client.Connect(server.port()));
+    const int burst = static_cast<int>(2 * (options.queue_depth + 1));
+    for (int i = 0; i < burst; ++i) {
+      PPP_CHECK(client.Send("QUERY " + queries[0]));
+    }
+    int answered = 0;
+    int shed = 0;
+    for (int i = 0; i < burst; ++i) {
+      const std::string terminal = Terminal(client.ReadResponse());
+      if (terminal.empty()) break;  // Connection died: a hang/crash.
+      ++answered;
+      if (terminal.rfind("ERR", 0) == 0) ++shed;
+    }
+    server.Stop();
+    const bool shed_ok = answered == burst && shed > 0;
+    std::printf("\nadmission at 2x queue depth: %d/%d answered, %d shed, "
+                "%llu queued (%s)\n",
+                answered, burst, shed,
+                static_cast<unsigned long long>(
+                    server.admission().total_queued()),
+                shed_ok ? "shed, no hang" : "ADMISSION BROKEN");
+    all_ok = all_ok && shed_ok;
+  }
+
+  bench::MaybeWriteBenchJson("server", bars);
+  return all_ok ? 0 : 1;
+}

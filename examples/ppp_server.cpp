@@ -1,0 +1,79 @@
+// Standalone network server over the benchmark database: loads the tK
+// tables at PPP_SCALE, registers the paper's UDFs, and serves the wire
+// protocol (see src/net/wire.h) until SIGINT/SIGTERM or a SHUTDOWN frame
+// triggers the graceful drain. Knobs: PPP_PORT (0 = ephemeral, printed on
+// stdout), PPP_MAX_INFLIGHT, PPP_QUEUE_DEPTH, PPP_QUEUE_TIMEOUT, PPP_SCALE.
+//
+//   PPP_PORT=7878 ./ppp_server &
+//   ./ppp_client 7878 "QUERY SELECT count(*) FROM t3;"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "net/server.h"
+#include "serve/session.h"
+#include "workload/database.h"
+#include "workload/schema_gen.h"
+
+namespace {
+
+// Written by the signal handler, polled by the main loop: signal context
+// may only touch lock-free state, so the drain itself runs on the main
+// thread, not in the handler.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main() {
+  using namespace ppp;
+
+  int64_t scale = 200;
+  if (const char* env = std::getenv("PPP_SCALE");
+      env != nullptr && *env != '\0') {
+    scale = std::atoll(env);
+  }
+  workload::Database db;
+  workload::BenchmarkConfig config;
+  config.scale = scale;
+  config.table_numbers = {1, 3, 6, 7, 9, 10};
+  if (!workload::LoadBenchmarkDatabase(&db, config).ok() ||
+      !workload::RegisterBenchmarkFunctions(&db).ok()) {
+    std::fprintf(stderr, "failed to load benchmark database\n");
+    return 1;
+  }
+
+  serve::SessionManager manager(&db);
+  net::Server server(&db, &manager, net::Server::OptionsFromEnv());
+  const common::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.message().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("ppp_server listening on 127.0.0.1:%d (scale %lld)\n",
+              server.port(), static_cast<long long>(scale));
+  std::fflush(stdout);
+
+  // A SHUTDOWN frame drains the server without raising a signal, so poll
+  // both the flag and the admission queue's shutdown state.
+  while (g_stop == 0 && !server.admission().shutdown()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("ppp_server draining: finishing in-flight statements\n");
+  std::fflush(stdout);
+  server.Stop();
+  std::printf(
+      "ppp_server stopped: %llu connections, %llu queued, %llu shed, "
+      "%llu timeouts\n",
+      static_cast<unsigned long long>(server.connections_accepted()),
+      static_cast<unsigned long long>(server.admission().total_queued()),
+      static_cast<unsigned long long>(server.admission().total_shed()),
+      static_cast<unsigned long long>(server.admission().total_timeouts()));
+  return 0;
+}

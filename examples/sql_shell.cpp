@@ -175,7 +175,14 @@ int main() {
   std::string line;
   std::string statement;
   while (true) {
-    std::printf(statement.empty() ? "ppp> " : "...> ");
+    // The prompt names the active session so multi-session exploration
+    // (\session new / \session N) always shows where a query will run.
+    if (statement.empty()) {
+      std::printf("ppp[s%llu]> ",
+                  static_cast<unsigned long long>(session->id()));
+    } else {
+      std::printf("...> ");
+    }
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
 
@@ -462,6 +469,8 @@ int main() {
             std::printf("session %lld\n", id);
           }
         } else {
+          std::printf("sessions (current: s%llu)\n",
+                      static_cast<unsigned long long>(session->id()));
           std::printf("  %3s %-7s %-9s %7s %5s %6s %9s\n", "id", "state",
                       "plancache", "queries", "hits", "misses", "rows");
           for (const serve::SessionRow& r : manager.SessionRows()) {
@@ -554,6 +563,31 @@ int main() {
       }
       const common::Status status = RunAnalyze(&db, stmt->analyze_tables);
       if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+      continue;
+    }
+
+    // PREPARE/EXECUTE go straight through the session, which owns the
+    // statement-name registry and the family-keyed plan acquisition.
+    if (FirstWordIs(sql, "PREPARE") || FirstWordIs(sql, "EXECUTE")) {
+      session->options().algorithm = algorithm;
+      session->options().cost_params = cost_params;
+      auto r = session->Execute(sql);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      if (!r->prepared_name.empty()) {
+        std::printf("prepared %s (family %016llx)\n",
+                    r->prepared_name.c_str(),
+                    static_cast<unsigned long long>(r->family_hash));
+        continue;
+      }
+      std::printf("%llu rows; plan cache %s%s; optimize %.3f ms, execute "
+                  "%.3f ms\n",
+                  static_cast<unsigned long long>(r->rows.size()),
+                  r->plan_cache_hit ? "HIT" : "miss",
+                  r->generic_plan ? " (generic)" : "",
+                  r->optimize_seconds * 1e3, r->execute_seconds * 1e3);
       continue;
     }
 

@@ -274,6 +274,82 @@ PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_serve"
   echo "missing BENCH_serve.json" >&2; exit 1;
 }
 
+# Network server smoke: ppp_server on an ephemeral port, driven by
+# ppp_client over real TCP. A plain QUERY, then PREPARE/EXECUTE with two
+# distinct literals — the second EXECUTE must ride the family (generic)
+# plan-cache entry — then a SHUTDOWN frame, which must drain and stop the
+# server (the background process exits on its own).
+NET_OUT="$BUILD_DIR/check_net_server.out"
+NET_CLIENT_OUT="$BUILD_DIR/check_net_client.out"
+PPP_SCALE=40 PPP_PORT=0 "$BUILD_DIR/examples/ppp_server" >"$NET_OUT" &
+NET_PID=$!
+NET_PORT=""
+for _ in $(seq 1 100); do
+  NET_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$NET_OUT")"
+  [[ -n "$NET_PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$NET_PORT" ]] || {
+  echo "ppp_server did not come up" >&2; cat "$NET_OUT" >&2
+  kill "$NET_PID" 2>/dev/null; exit 1;
+}
+"$BUILD_DIR/examples/ppp_client" "$NET_PORT" \
+  "QUERY SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);" \
+  "PREPARE byrange AS SELECT t3.a FROM t3 WHERE t3.a < \$1;" \
+  "EXECUTE byrange(5);" \
+  "EXECUTE byrange(7);" \
+  "PING" \
+  "CLOSE" >"$NET_CLIENT_OUT"
+grep -q "hit=1 generic=1" "$NET_CLIENT_OUT" || {
+  echo "EXECUTE with a new literal did not hit the family cache" >&2
+  cat "$NET_CLIENT_OUT" >&2; kill "$NET_PID" 2>/dev/null; exit 1;
+}
+grep -q "OK pong" "$NET_CLIENT_OUT" || {
+  echo "PING over the socket failed" >&2
+  cat "$NET_CLIENT_OUT" >&2; kill "$NET_PID" 2>/dev/null; exit 1;
+}
+# Concurrent 2-client HIT check: the QUERY above filled the shared plan
+# cache, so two clients racing the same statement from fresh connections
+# must both ride it (hit=1 on each).
+NET_SQL="QUERY SELECT * FROM t3, t10 WHERE t3.ua = t10.ua1 AND costly100(t10.ua);"
+"$BUILD_DIR/examples/ppp_client" "$NET_PORT" "$NET_SQL" \
+  >"$BUILD_DIR/check_net_c2.out" &
+NET_C2=$!
+"$BUILD_DIR/examples/ppp_client" "$NET_PORT" "$NET_SQL" \
+  >"$BUILD_DIR/check_net_c3.out" &
+NET_C3=$!
+wait "$NET_C2" && wait "$NET_C3" || {
+  echo "concurrent ppp_client run failed" >&2
+  kill "$NET_PID" 2>/dev/null; exit 1;
+}
+grep -q "hit=1" "$BUILD_DIR/check_net_c2.out" \
+  && grep -q "hit=1" "$BUILD_DIR/check_net_c3.out" || {
+  echo "concurrent clients did not hit the shared plan cache" >&2
+  cat "$BUILD_DIR/check_net_c2.out" "$BUILD_DIR/check_net_c3.out" >&2
+  kill "$NET_PID" 2>/dev/null; exit 1;
+}
+"$BUILD_DIR/examples/ppp_client" "$NET_PORT" "SHUTDOWN" >>"$NET_CLIENT_OUT"
+wait "$NET_PID" || {
+  echo "ppp_server exited non-zero after SHUTDOWN" >&2
+  cat "$NET_OUT" >&2; exit 1;
+}
+grep -q "ppp_server stopped" "$NET_OUT" || {
+  echo "ppp_server did not drain on SHUTDOWN" >&2
+  cat "$NET_OUT" >&2; exit 1;
+}
+echo "net smoke ok: QUERY, PREPARE/EXECUTE family hit, concurrent 2-client HIT, PING, SHUTDOWN drain"
+
+# Network bench smoke: bench_server asserts byte-identical results and
+# exact UDF parity over TCP, >= 10x prepared-statement plan-production
+# speedup, QPS/p50/p99 at 1/4/8/16 clients, and shed-not-hang at 2x queue
+# depth, exiting non-zero otherwise.
+rm -f BENCH_server.json
+PPP_SCALE=40 PPP_BENCH_JSON=1 "$BUILD_DIR/bench/bench_server"
+[[ -s BENCH_server.json ]] || {
+  echo "missing BENCH_server.json" >&2; exit 1;
+}
+
 # Aggregate every BENCH_*.json the smoke runs produced into one
 # BENCH_summary.json keyed by bench name. Runs before the regression gate
 # so the gate can check every baselined bench name appears in it.
@@ -328,4 +404,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # identity and UDF invocation parity still gate.
   PPP_SCALE=40 PPP_BENCH_JSON=0 PPP_SERVE_MIN_OPT_SPEEDUP=1 \
     PPP_SERVE_MIN_SCALING=1 "$TSAN_BUILD_DIR/bench/bench_serve"
+  # Network server under TSan: up to 16 TCP clients racing the accept
+  # loop, reader threads, admission queue, and per-connection write locks
+  # (the acceptance bar is clean at 8). The prepared-statement speedup
+  # floor is lifted; result identity, UDF parity, and shed-not-hang gate.
+  PPP_SCALE=40 PPP_BENCH_JSON=0 PPP_SERVER_MIN_PREP_SPEEDUP=1 \
+    "$TSAN_BUILD_DIR/bench/bench_server"
 fi

@@ -190,6 +190,13 @@ ExprPtr Const(types::Value v) {
   return e;
 }
 
+ExprPtr ParamConst(types::Value v, int slot) {
+  auto e = Make(ExprKind::kConstant);
+  e->constant = std::move(v);
+  e->param_slot = slot;
+  return e;
+}
+
 ExprPtr Int(int64_t v) { return Const(types::Value(v)); }
 
 ExprPtr Cmp(CompareOp op, ExprPtr left, ExprPtr right) {
@@ -270,6 +277,43 @@ ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
     acc = And(acc, conjuncts[i]);
   }
   return acc;
+}
+
+ExprPtr SubstituteParams(const ExprPtr& expr,
+                         const std::vector<types::Value>& values) {
+  if (expr == nullptr) return expr;
+  if (expr->kind == ExprKind::kConstant) {
+    const int slot = expr->param_slot;
+    if (slot < 1 || static_cast<size_t>(slot) > values.size()) return expr;
+    return ParamConst(values[static_cast<size_t>(slot) - 1], slot);
+  }
+  if (expr->children.empty()) return expr;
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children.size());
+  for (const ExprPtr& child : expr->children) {
+    ExprPtr replaced = SubstituteParams(child, values);
+    changed = changed || replaced != child;
+    children.push_back(std::move(replaced));
+  }
+  if (!changed) return expr;
+  auto copy = std::make_shared<Expr>(*expr);
+  copy->children = std::move(children);
+  return copy;
+}
+
+void CollectParamSlots(const ExprPtr& expr, std::set<int>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kConstant && expr->param_slot >= 1) {
+    out->insert(expr->param_slot);
+  }
+  if (expr->kind == ExprKind::kInSubquery && expr->subquery != nullptr) {
+    CollectParamSlots(expr->subquery->output, out);
+    for (const ExprPtr& c : expr->subquery->conjuncts) {
+      CollectParamSlots(c, out);
+    }
+  }
+  for (const ExprPtr& c : expr->children) CollectParamSlots(c, out);
 }
 
 }  // namespace ppp::expr

@@ -63,6 +63,12 @@ class Expr {
 
   // kConstant.
   types::Value constant;
+  /// kConstant only: 1-based prepared-statement slot this constant was
+  /// bound from, or -1 for a plain literal. Structural equality ignores it
+  /// (a bound parameter compares like the literal it carries); the
+  /// serving layer's generic-plan substitution rewrites exactly the
+  /// constants that carry a slot.
+  int param_slot = -1;
 
   // kComparison / kArithmetic.
   CompareOp compare_op = CompareOp::kEq;
@@ -98,6 +104,10 @@ class Expr {
 
 ExprPtr Col(std::string table, std::string column);
 ExprPtr Const(types::Value v);
+/// A constant bound from prepared-statement parameter slot `slot`
+/// (1-based). Behaves exactly like Const(v) everywhere except under
+/// SubstituteParams, which rebinds it.
+ExprPtr ParamConst(types::Value v, int slot);
 ExprPtr Int(int64_t v);
 ExprPtr Cmp(CompareOp op, ExprPtr left, ExprPtr right);
 ExprPtr Eq(ExprPtr left, ExprPtr right);
@@ -115,6 +125,18 @@ std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
 
 /// Rebuilds a single expression from conjuncts (nullptr if empty).
 ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+/// Rewrites every slot-carrying constant (see Expr::param_slot) to
+/// values[slot - 1], sharing unchanged subtrees. Slots outside `values`
+/// are left untouched. Does not descend into kInSubquery specs — a
+/// parameter captured by a subquery closure cannot be rebound, which the
+/// plan-level parameterizability check detects by slot coverage.
+ExprPtr SubstituteParams(const ExprPtr& expr,
+                         const std::vector<types::Value>& values);
+
+/// Adds every param_slot present in the tree to `out` (kInSubquery specs
+/// included, so pre-rewrite coverage checks see captured slots too).
+void CollectParamSlots(const ExprPtr& expr, std::set<int>* out);
 
 }  // namespace ppp::expr
 

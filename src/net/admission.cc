@@ -1,0 +1,189 @@
+#include "net/admission.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ppp::net {
+
+namespace {
+
+obs::Counter* QueuedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "serve.admission.queued");
+  return c;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "serve.admission.shed");
+  return c;
+}
+
+obs::Counter* TimeoutCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "serve.admission.timeouts");
+  return c;
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(const Options& options) : options_(options) {}
+
+bool AdmissionQueue::Enqueue(uint64_t session_key, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || total_waiting_ >= options_.queue_depth) {
+      ++stat_shed_;
+      ShedCounter()->Increment();
+      return false;
+    }
+    Item item;
+    item.task = std::move(task);
+    item.enqueued = std::chrono::steady_clock::now();
+    if (options_.queue_timeout_seconds > 0) {
+      item.deadline =
+          item.enqueued + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  options_.queue_timeout_seconds));
+      item.has_deadline = true;
+    }
+    auto& q = queues_[session_key];
+    if (q.empty()) rotation_.push_back(session_key);
+    q.push_back(std::move(item));
+    ++total_waiting_;
+    ++stat_queued_;
+  }
+  QueuedCounter()->Increment();
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<AdmissionQueue::Ticket> AdmissionQueue::Dequeue() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+
+    // Expired items are handed back immediately (any session, ahead of the
+    // fairness rotation) so their connections get a timely ERR; they do not
+    // occupy an in-flight slot because the worker will not execute them.
+    std::optional<std::chrono::steady_clock::time_point> earliest_deadline;
+    for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+      auto& q = it->second;
+      if (q.empty()) continue;
+      Item& front = q.front();
+      if (!front.has_deadline) continue;
+      if (front.deadline <= now) {
+        Ticket ticket;
+        ticket.task = std::move(front.task);
+        ticket.session_key = it->first;
+        ticket.timed_out = true;
+        ticket.queue_wait_seconds =
+            std::chrono::duration<double>(now - front.enqueued).count();
+        q.pop_front();
+        --total_waiting_;
+        ++stat_timeouts_;
+        if (q.empty()) {
+          for (auto rit = rotation_.begin(); rit != rotation_.end(); ++rit) {
+            if (*rit == it->first) {
+              rotation_.erase(rit);
+              break;
+            }
+          }
+          queues_.erase(it);
+        }
+        lock.unlock();
+        TimeoutCounter()->Increment();
+        return ticket;
+      }
+      if (!earliest_deadline || front.deadline < *earliest_deadline) {
+        earliest_deadline = front.deadline;
+      }
+    }
+
+    // Fair pick: first session in the rotation that is not already
+    // in flight, provided a run slot is free. The chosen session rotates
+    // to the back so every session advances one statement per lap.
+    if (running_ < options_.max_inflight) {
+      for (size_t i = 0; i < rotation_.size(); ++i) {
+        const uint64_t key = rotation_.front();
+        rotation_.pop_front();
+        auto it = queues_.find(key);
+        if (it == queues_.end() || it->second.empty()) {
+          queues_.erase(key);
+          continue;  // Stale rotation entry; drop it.
+        }
+        if (inflight_.count(key) > 0) {
+          rotation_.push_back(key);
+          continue;
+        }
+        Item& front = it->second.front();
+        Ticket ticket;
+        ticket.task = std::move(front.task);
+        ticket.session_key = key;
+        ticket.queue_wait_seconds =
+            std::chrono::duration<double>(now - front.enqueued).count();
+        it->second.pop_front();
+        --total_waiting_;
+        if (it->second.empty()) {
+          queues_.erase(it);
+        } else {
+          rotation_.push_back(key);
+        }
+        inflight_.insert(key);
+        ++running_;
+        lock.unlock();
+        auto& tracer = obs::SpanTracer::Global();
+        if (tracer.enabled()) {
+          obs::SpanEvent event;
+          event.name = "queue_wait";
+          event.cat = "net";
+          event.dur_us =
+              static_cast<uint64_t>(ticket.queue_wait_seconds * 1e6);
+          event.ts_us = tracer.NowMicros() - event.dur_us;
+          tracer.Record(std::move(event));
+        }
+        return ticket;
+      }
+    }
+
+    if (shutdown_ && total_waiting_ == 0) return std::nullopt;
+
+    if (earliest_deadline) {
+      cv_.wait_until(lock, *earliest_deadline);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void AdmissionQueue::Finish(uint64_t session_key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(session_key);
+    if (running_ > 0) --running_;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_waiting_;
+}
+
+bool AdmissionQueue::shutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+}  // namespace ppp::net

@@ -1,0 +1,106 @@
+#ifndef PPP_NET_ADMISSION_H_
+#define PPP_NET_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "common/status.h"
+
+namespace ppp::net {
+
+/// Bounded per-server admission queue with per-session fair dequeue.
+///
+/// Producers (connection readers) Enqueue one task per statement, keyed by
+/// session; consumers (the worker pool) Dequeue in round-robin order
+/// across sessions, at most one task per session in flight at a time
+/// (serve::Session is single-threaded by contract) and at most
+/// `max_inflight` tasks running overall. A full queue sheds instead of
+/// blocking — Enqueue returns false and the caller answers ERR — and a
+/// task queued longer than the timeout is handed back with `timed_out`
+/// set so the worker can answer ERR without running the statement.
+///
+/// Counters: serve.admission.{queued,shed,timeouts}; queue-wait time is
+/// recorded as a "queue_wait" span per dequeued task when tracing is on.
+class AdmissionQueue {
+ public:
+  struct Options {
+    /// Maximum tasks running concurrently (the worker-pool width).
+    size_t max_inflight = 4;
+    /// Maximum tasks waiting across all sessions before Enqueue sheds.
+    size_t queue_depth = 64;
+    /// Queue-wait ceiling; 0 disables timeouts.
+    double queue_timeout_seconds = 10.0;
+  };
+
+  /// `timed_out` is true when the task expired in the queue — the worker
+  /// must answer without executing.
+  using Task = std::function<void(bool timed_out)>;
+
+  struct Ticket {
+    Task task;
+    uint64_t session_key = 0;
+    bool timed_out = false;
+    double queue_wait_seconds = 0.0;
+  };
+
+  explicit AdmissionQueue(const Options& options);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// False = shed (queue full or shutting down); the task is NOT retained.
+  bool Enqueue(uint64_t session_key, Task task);
+
+  /// Blocks for the next runnable (or expired) task; nullopt once the
+  /// queue is shut down and drained. After running a non-timed-out ticket
+  /// the worker MUST call Finish(ticket.session_key).
+  std::optional<Ticket> Dequeue();
+
+  /// Releases `session_key`'s in-flight slot.
+  void Finish(uint64_t session_key);
+
+  /// Stops admissions; queued tasks still drain through Dequeue (the
+  /// graceful-drain half: new work sheds, accepted work finishes).
+  void Shutdown();
+
+  size_t queued() const;
+  bool shutdown() const;
+  uint64_t total_queued() const { return stat_queued_.load(); }
+  uint64_t total_shed() const { return stat_shed_.load(); }
+  uint64_t total_timeouts() const { return stat_timeouts_.load(); }
+
+ private:
+  struct Item {
+    Task task;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Per-session FIFOs plus the round-robin rotation of sessions that have
+  /// queued work. A session in `inflight_` is skipped until Finish.
+  std::map<uint64_t, std::deque<Item>> queues_;
+  std::deque<uint64_t> rotation_;
+  std::set<uint64_t> inflight_;
+  size_t running_ = 0;
+  size_t total_waiting_ = 0;
+  bool shutdown_ = false;
+  std::atomic<uint64_t> stat_queued_{0};
+  std::atomic<uint64_t> stat_shed_{0};
+  std::atomic<uint64_t> stat_timeouts_{0};
+};
+
+}  // namespace ppp::net
+
+#endif  // PPP_NET_ADMISSION_H_

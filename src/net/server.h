@@ -1,0 +1,114 @@
+#ifndef PPP_NET_SERVER_H_
+#define PPP_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/admission.h"
+#include "net/wire.h"
+#include "serve/session.h"
+#include "workload/database.h"
+
+namespace ppp::net {
+
+/// TCP front-end over serve::SessionManager: each accepted connection gets
+/// one serve::Session, statements arrive as length-prefixed frames (see
+/// wire.h), and execution is brokered by an AdmissionQueue feeding a
+/// common::ThreadPool of `workers` statement executors. Responses are
+/// written as one atomic buffer per statement (ROW frames then the
+/// terminal OK/ERR), so concurrent out-of-band answers — load-shed and
+/// queue-timeout ERRs — never interleave inside another statement's rows.
+///
+/// Shutdown is a drain: stop accepting connections, shed newly arriving
+/// statements, finish everything already admitted, flush the responses,
+/// then close. Triggered by RequestShutdown() (the SIGINT path in
+/// examples/ppp_server.cpp) or a SHUTDOWN frame from any client.
+class Server {
+ public:
+  struct Options {
+    /// TCP port; 0 binds an ephemeral port (read it back via port()).
+    int port = 0;
+    /// Statement-executor threads == max concurrently running statements.
+    size_t workers = 4;
+    /// Admission-queue depth across all sessions; beyond it, shed.
+    size_t queue_depth = 64;
+    /// Queue-wait ceiling before a statement is answered ERR; 0 = never.
+    double queue_timeout_seconds = 10.0;
+    size_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  /// Options with PPP_PORT / PPP_MAX_INFLIGHT / PPP_QUEUE_DEPTH /
+  /// PPP_QUEUE_TIMEOUT applied over the defaults.
+  static Options OptionsFromEnv();
+
+  /// `db` and `manager` must outlive the server. Registers the
+  /// ppp_connections system table on the database's catalog.
+  Server(workload::Database* db, serve::SessionManager* manager,
+         const Options& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept/worker threads.
+  common::Status Start();
+
+  /// The bound port (resolves option port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// Begins the graceful drain; returns immediately. Idempotent.
+  void RequestShutdown();
+
+  /// Blocks until the drain completes and every thread is joined.
+  void Wait();
+
+  /// RequestShutdown() + Wait().
+  void Stop();
+
+  const AdmissionQueue& admission() const { return *queue_; }
+  uint64_t connections_accepted() const;
+
+  /// Server-side registry the ppp_connections provider resolves through;
+  /// public only because the provider lives at namespace scope.
+  struct Shared;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  /// Handles one decoded frame payload from `conn`; returns false when the
+  /// connection should close (CLOSE frame or write failure).
+  bool HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const std::string& payload);
+  void RunStatement(const std::shared_ptr<Connection>& conn,
+                    const std::string& statement, bool timed_out);
+
+  workload::Database* db_;
+  serve::SessionManager* manager_;
+  Options options_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::shared_ptr<Shared> shared_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool joined_ = false;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::mutex lifecycle_mu_;  // Serializes Start/Wait bookkeeping.
+};
+
+}  // namespace ppp::net
+
+#endif  // PPP_NET_SERVER_H_

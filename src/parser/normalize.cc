@@ -73,8 +73,40 @@ common::Result<NormalizedQuery> NormalizeSql(const std::string& sql) {
       const std::string literal = sql.substr(start, pos - start);
       AppendToken(&out.text, literal);
       out.params.push_back(literal);
+      out.param_kinds.push_back(literal.find('.') == std::string::npos
+                                    ? ParamKind::kInt
+                                    : ParamKind::kFloat);
       AppendToken(&out.family_text,
                   "$" + std::to_string(out.params.size()));
+      continue;
+    }
+    if (c == '$') {
+      // Explicit placeholder: becomes a hole slot in both texts so that a
+      // PREPARE body lands on the same family as the literal-carrying
+      // statements it generalizes.
+      const size_t start = ++pos;
+      while (pos < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[pos]))) {
+        ++pos;
+      }
+      if (pos == start) {
+        return common::Status::ParseError(
+            "'$' must be followed by a parameter number in normalization");
+      }
+      const std::string digits = sql.substr(start, pos - start);
+      const size_t expected = out.params.size() + 1;
+      if (digits != std::to_string(expected)) {
+        return common::Status::ParseError(common::StringPrintf(
+            "placeholder $%s out of order: expected $%zu (slots must be "
+            "numbered in order of appearance)",
+            digits.c_str(), expected));
+      }
+      out.params.emplace_back();
+      out.param_kinds.push_back(ParamKind::kHole);
+      out.has_placeholders = true;
+      const std::string token = "$" + digits;
+      AppendToken(&out.text, token);
+      AppendToken(&out.family_text, token);
       continue;
     }
     if (c == '\'') {
@@ -88,6 +120,7 @@ common::Result<NormalizedQuery> NormalizeSql(const std::string& sql) {
       ++pos;
       AppendToken(&out.text, "'" + literal + "'");
       out.params.push_back(literal);
+      out.param_kinds.push_back(ParamKind::kString);
       AppendToken(&out.family_text,
                   "$" + std::to_string(out.params.size()));
       continue;

@@ -22,10 +22,20 @@ namespace ppp::parser {
 /// differing only in constants share a family — the observability grouping
 /// (ppp_plan_cache rows carry the family hash) and the natural key for a
 /// future parameterized-plan cache.
+/// Lexical class of an extracted literal (or of an explicit `$n`
+/// placeholder, which carries no literal at all — a "hole" to be bound at
+/// EXECUTE time).
+enum class ParamKind { kInt, kFloat, kString, kHole };
+
 struct NormalizedQuery {
   std::string text;
   std::string family_text;
   std::vector<std::string> params;
+  /// One entry per `params` slot, classifying how it was spelled.
+  std::vector<ParamKind> param_kinds;
+  /// True when the statement contained explicit `$n` placeholders (a
+  /// PREPARE body rather than a directly executable statement).
+  bool has_placeholders = false;
   uint64_t text_hash = 0;    ///< Fnv1aHash(text).
   uint64_t family_hash = 0;  ///< Fnv1aHash(family_text).
 };
@@ -34,6 +44,11 @@ struct NormalizedQuery {
 /// binding). Errors only on lexer-level malformations (unterminated
 /// strings, illegal characters); anything token-legal normalizes, with
 /// deeper validation left to the parser proper.
+///
+/// Explicit `$n` placeholders interleave with inline literals in one
+/// left-to-right slot numbering, and must already be numbered in order of
+/// appearance ($k is legal only as slot k) — mixed or out-of-order
+/// numbering is a parse error rather than a silent renumbering.
 common::Result<NormalizedQuery> NormalizeSql(const std::string& sql);
 
 }  // namespace ppp::parser

@@ -1,6 +1,7 @@
 #include "parser/parser.h"
 
 #include <cctype>
+#include <cstdlib>
 
 #include "common/string_util.h"
 
@@ -13,6 +14,7 @@ enum class TokenKind {
   kInteger,
   kFloat,
   kString,
+  kParam,  // $n placeholder; text is the slot number's digits.
   kSymbol,
   kEnd,
 };
@@ -76,6 +78,22 @@ class Lexer {
         ++pos_;
         continue;
       }
+      if (c == '$') {
+        const size_t at = pos_;
+        const size_t start = ++pos_;
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+        if (pos_ == start) {
+          return common::Status::ParseError(common::StringPrintf(
+              "'$' must be followed by a parameter number at offset %zu",
+              at));
+        }
+        out.push_back(
+            {TokenKind::kParam, input_.substr(start, pos_ - start), at});
+        continue;
+      }
       // Multi-char operators first.
       static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
       bool matched = false;
@@ -114,7 +132,11 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  /// `params`, when non-null, supplies the value bound to each `$n`
+  /// placeholder (slot n reads params[n - 1]); null rejects placeholders.
+  explicit Parser(std::vector<Token> tokens,
+                  const std::vector<types::Value>* params = nullptr)
+      : tokens_(std::move(tokens)), params_(params) {}
 
   common::Result<ParsedSelect> Select() {
     PPP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
@@ -387,6 +409,21 @@ class Parser {
         Advance();
         return expr::Const(types::Value(std::move(v)));
       }
+      case TokenKind::kParam: {
+        if (params_ == nullptr) {
+          return common::Status::ParseError(
+              "parameter $" + t.text + " outside a prepared statement");
+        }
+        const long slot = std::strtol(t.text.c_str(), nullptr, 10);
+        if (slot < 1 || static_cast<size_t>(slot) > params_->size()) {
+          return common::Status::ParseError(common::StringPrintf(
+              "parameter $%s out of range (%zu bound)", t.text.c_str(),
+              params_->size()));
+        }
+        Advance();
+        return expr::ParamConst((*params_)[static_cast<size_t>(slot) - 1],
+                                static_cast<int>(slot));
+      }
       case TokenKind::kSymbol:
         if (t.text == "(") {
           Advance();
@@ -438,6 +475,7 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  const std::vector<types::Value>* params_ = nullptr;
   size_t pos_ = 0;
 };
 
@@ -447,6 +485,14 @@ common::Result<ParsedSelect> ParseSelect(const std::string& sql) {
   Lexer lexer(sql);
   PPP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
+  return parser.Select();
+}
+
+common::Result<ParsedSelect> ParseSelect(
+    const std::string& sql, const std::vector<types::Value>& params) {
+  Lexer lexer(sql);
+  PPP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), &params);
   return parser.Select();
 }
 
@@ -552,6 +598,107 @@ common::Result<ParsedStatement> ParseStatement(const std::string& sql) {
     if (pos != sql.size()) {
       return common::Status::InvalidArgument(
           "unexpected trailing input in ANALYZE: '" + sql.substr(pos) + "'");
+    }
+    return out;
+  }
+  if (ConsumeWord(sql, &pos, "PREPARE")) {
+    // PREPARE name AS SELECT ... — the body stays raw: the serving layer
+    // normalizes it (assigning literal and $n slots in one numbering) and
+    // compiles the generic plan on first EXECUTE.
+    out.kind = StatementKind::kPrepare;
+    out.prepare_name = ReadIdentifier(sql, &pos);
+    if (out.prepare_name.empty()) {
+      return common::Status::ParseError(
+          "expected statement name after PREPARE");
+    }
+    if (!ConsumeWord(sql, &pos, "AS")) {
+      return common::Status::ParseError(
+          "expected AS after PREPARE " + out.prepare_name);
+    }
+    SkipSpace(sql, &pos);
+    out.prepare_body = sql.substr(pos);
+    while (!out.prepare_body.empty() &&
+           (out.prepare_body.back() == ';' ||
+            std::isspace(static_cast<unsigned char>(out.prepare_body.back())))) {
+      out.prepare_body.pop_back();
+    }
+    if (out.prepare_body.empty()) {
+      return common::Status::ParseError(
+          "empty body in PREPARE " + out.prepare_name);
+    }
+    return out;
+  }
+  if (ConsumeWord(sql, &pos, "EXECUTE")) {
+    // EXECUTE name (literal, ...) [;] — arguments are constants only.
+    out.kind = StatementKind::kExecute;
+    out.execute_name = ReadIdentifier(sql, &pos);
+    if (out.execute_name.empty()) {
+      return common::Status::ParseError(
+          "expected statement name after EXECUTE");
+    }
+    const std::string args_text = sql.substr(pos);
+    Lexer lexer_rest(args_text);
+    PPP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer_rest.Tokenize());
+    size_t i = 0;
+    auto peek = [&]() -> const Token& {
+      return tokens[std::min(i, tokens.size() - 1)];
+    };
+    auto is_symbol = [&](const char* sym) {
+      return peek().kind == TokenKind::kSymbol && peek().text == sym;
+    };
+    if (!is_symbol("(")) {
+      return common::Status::ParseError(
+          "expected '(' after EXECUTE " + out.execute_name);
+    }
+    ++i;
+    if (!is_symbol(")")) {
+      while (true) {
+        bool negate = false;
+        if (is_symbol("-")) {
+          negate = true;
+          ++i;
+        }
+        const Token& t = peek();
+        switch (t.kind) {
+          case TokenKind::kInteger: {
+            const int64_t v = static_cast<int64_t>(std::stoll(t.text));
+            out.execute_params.emplace_back(negate ? -v : v);
+            break;
+          }
+          case TokenKind::kFloat:
+            out.execute_params.emplace_back(
+                negate ? -std::stod(t.text) : std::stod(t.text));
+            break;
+          case TokenKind::kString:
+            if (negate) {
+              return common::Status::ParseError(
+                  "cannot negate a string argument in EXECUTE");
+            }
+            out.execute_params.emplace_back(t.text);
+            break;
+          default:
+            return common::Status::ParseError(
+                "expected literal argument in EXECUTE, found '" + t.text +
+                "'");
+        }
+        ++i;
+        if (is_symbol(",")) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+    }
+    if (!is_symbol(")")) {
+      return common::Status::ParseError(
+          "expected ')' closing EXECUTE arguments, found '" + peek().text +
+          "'");
+    }
+    ++i;
+    if (is_symbol(";")) ++i;
+    if (peek().kind != TokenKind::kEnd) {
+      return common::Status::ParseError(
+          "unexpected trailing input in EXECUTE: '" + peek().text + "'");
     }
     return out;
   }

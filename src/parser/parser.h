@@ -35,6 +35,14 @@ struct ParsedSelect {
 /// unqualified column references, and function calls.
 common::Result<ParsedSelect> ParseSelect(const std::string& sql);
 
+/// ParseSelect over a parameterized statement: every `$n` placeholder
+/// becomes a slot-carrying constant (expr::ParamConst) bound to
+/// params[n - 1]. Rejects `$n` with n outside `params`. The plain
+/// ParseSelect rejects `$n` entirely, so placeholders cannot leak into
+/// unprepared statements.
+common::Result<ParsedSelect> ParseSelect(
+    const std::string& sql, const std::vector<types::Value>& params);
+
 /// What the statement asks for: run the query, show its plan, run it and
 /// show the plan annotated with actuals, or collect table statistics.
 enum class StatementKind {
@@ -42,6 +50,8 @@ enum class StatementKind {
   kExplain,         // EXPLAIN SELECT ...
   kExplainAnalyze,  // EXPLAIN ANALYZE SELECT ...
   kAnalyze,         // ANALYZE [table [, table]...]
+  kPrepare,         // PREPARE name AS SELECT ... $n ...
+  kExecute,         // EXECUTE name (literal, ...)
 };
 
 struct ParsedStatement {
@@ -50,6 +60,14 @@ struct ParsedStatement {
   /// For kAnalyze: the tables to collect statistics for; empty means every
   /// table in the catalog.
   std::vector<std::string> analyze_tables;
+  /// For kPrepare: the statement name and its raw SELECT body (everything
+  /// after AS, unparsed — the serving layer normalizes and plans it).
+  std::string prepare_name;
+  std::string prepare_body;
+  /// For kExecute: the statement name and the literal argument values in
+  /// slot order.
+  std::string execute_name;
+  std::vector<types::Value> execute_params;
 };
 
 /// Strips a leading `EXPLAIN [ANALYZE]` prefix (case-insensitive) from

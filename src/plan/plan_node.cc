@@ -212,6 +212,75 @@ std::vector<std::string> PlanNode::CollectAliases() const {
   return out;
 }
 
+void CollectPlanParamSlots(const PlanNode& plan, std::set<int>* out) {
+  if (plan.predicate.expr != nullptr) {
+    expr::CollectParamSlots(plan.predicate.expr, out);
+  }
+  for (const expr::ExprPtr& p : plan.projections) {
+    expr::CollectParamSlots(p, out);
+  }
+  for (const AggregateItem& a : plan.aggregates) {
+    expr::CollectParamSlots(a.arg, out);
+  }
+  for (const std::unique_ptr<PlanNode>& child : plan.children) {
+    CollectPlanParamSlots(*child, out);
+  }
+}
+
+namespace {
+
+bool IndexScansParamFree(const PlanNode& node) {
+  if (node.kind == PlanKind::kIndexScan && node.predicate.expr != nullptr) {
+    std::set<int> slots;
+    expr::CollectParamSlots(node.predicate.expr, &slots);
+    if (!slots.empty()) return false;
+  }
+  for (const std::unique_ptr<PlanNode>& child : node.children) {
+    if (!IndexScansParamFree(*child)) return false;
+  }
+  return true;
+}
+
+void SubstituteNodeParams(PlanNode* node,
+                          const std::vector<types::Value>& values) {
+  if (node->predicate.expr != nullptr) {
+    node->predicate.expr = expr::SubstituteParams(node->predicate.expr,
+                                                  values);
+  }
+  for (expr::ExprPtr& p : node->projections) {
+    p = expr::SubstituteParams(p, values);
+  }
+  for (AggregateItem& a : node->aggregates) {
+    a.arg = expr::SubstituteParams(a.arg, values);
+  }
+  for (std::unique_ptr<PlanNode>& child : node->children) {
+    SubstituteNodeParams(child.get(), values);
+  }
+}
+
+}  // namespace
+
+bool PlanIsParameterizable(const PlanNode& plan, size_t num_params) {
+  if (!IndexScansParamFree(plan)) return false;
+  std::set<int> slots;
+  CollectPlanParamSlots(plan, &slots);
+  if (slots.size() != num_params) return false;
+  int expected = 1;
+  for (int s : slots) {
+    if (s != expected) return false;
+    ++expected;
+  }
+  return true;
+}
+
+PlanPtr CloneWithParams(const PlanNode& plan,
+                        const std::vector<types::Value>& values) {
+  if (!PlanIsParameterizable(plan, values.size())) return nullptr;
+  PlanPtr copy = plan.Clone();
+  SubstituteNodeParams(copy.get(), values);
+  return copy;
+}
+
 std::optional<AggregateItem::Op> AggregateOpFromName(
     const std::string& name) {
   const std::string lower = common::ToLower(name);

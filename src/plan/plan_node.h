@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,33 @@ const char* AggregateOpName(AggregateItem::Op op);
 /// Maps an aggregate function name (case-insensitive) to its op;
 /// nullopt for non-aggregates.
 std::optional<AggregateItem::Op> AggregateOpFromName(const std::string& name);
+
+// -- Generic (parameterized) plans ------------------------------------------
+//
+// A plan compiled from a prepared statement carries expr::Expr::param_slot
+// annotations on the constants that came from parameter slots. EXECUTE
+// substitutes fresh values into a clone of that plan instead of re-running
+// the optimizer — placement and join order are reused; per-literal
+// selectivities stay frozen at their prepare-time estimates (the standard
+// generic-plan trade-off).
+
+/// Adds every parameter slot appearing in the tree's expressions (filter
+/// and join predicates, projections, aggregate arguments) to `out`.
+void CollectPlanParamSlots(const PlanNode& plan, std::set<int>* out);
+
+/// True iff fresh values can be substituted into `plan` safely: no index
+/// scan bakes a slot-carrying constant into its probe key (index_key /
+/// index_lo / index_hi are materialized at optimize time and cannot be
+/// rebound), and the plan's expressions cover exactly slots 1..num_params
+/// (a slot swallowed by a subquery-rewrite closure or constant folding is
+/// invisible to substitution, so partial coverage means "replan").
+bool PlanIsParameterizable(const PlanNode& plan, size_t num_params);
+
+/// Deep copy of `plan` with every slot-carrying constant rebound to
+/// values[slot - 1]; nullptr when PlanIsParameterizable fails. Cost and
+/// selectivity annotations are copied as-is.
+PlanPtr CloneWithParams(const PlanNode& plan,
+                        const std::vector<types::Value>& values);
 
 }  // namespace ppp::plan
 

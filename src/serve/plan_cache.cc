@@ -30,6 +30,11 @@ obs::Counter* EvictionCounter() {
       obs::MetricsRegistry::Global().GetCounter("serve.plan_cache.evictions");
   return c;
 }
+obs::Counter* FamilyHitCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "serve.plan_cache.family_hits");
+  return c;
+}
 
 size_t CountNodes(const plan::PlanNode& node) {
   size_t n = 1;
@@ -77,6 +82,11 @@ std::shared_ptr<const CachedPlan> PlanCache::Probe(
   }
 
   cached.hits += 1;
+  if (key.family) {
+    family_hit_counts_[cached.family_hash] += 1;
+    family_hits_total_.fetch_add(1, std::memory_order_relaxed);
+    FamilyHitCounter()->Increment();
+  }
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   hits_.fetch_add(1, std::memory_order_relaxed);
   HitCounter()->Increment();
@@ -119,6 +129,7 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   slots_.clear();
   lru_.clear();
+  family_hit_counts_.clear();
   bytes_ = 0;
 }
 
@@ -145,6 +156,11 @@ std::vector<PlanCacheEntryView> PlanCache::Snapshot() const {
     view.text_hash = p.text_hash;
     view.family_hash = p.family_hash;
     view.params_hash = key.params_hash;
+    view.is_family = key.family;
+    if (const auto fh = family_hit_counts_.find(p.family_hash);
+        fh != family_hit_counts_.end()) {
+      view.family_hits = fh->second;
+    }
     view.plan_fingerprint = p.plan_fingerprint;
     view.algorithm = p.algorithm;
     for (const auto& [alias, table] : p.bindings) {

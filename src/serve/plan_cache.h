@@ -26,9 +26,14 @@ struct PlanCacheKey {
   uint64_t text_hash = 0;
   /// Hash over every placement-relevant CostParams field + algorithm name.
   uint64_t params_hash = 0;
+  /// Family (generic-plan) entries are keyed on family_hash-as-text_hash
+  /// with this flag set, so a family entry for `u10 < $1` can never
+  /// collide with an exact entry whose literal text happens to hash alike.
+  bool family = false;
 
   bool operator==(const PlanCacheKey& other) const {
-    return text_hash == other.text_hash && params_hash == other.params_hash;
+    return text_hash == other.text_hash &&
+           params_hash == other.params_hash && family == other.family;
   }
 };
 
@@ -52,6 +57,9 @@ struct CachedPlan {
   double optimize_seconds = 0.0;  ///< What the miss paid (the hit saves it).
   uint64_t hits = 0;
   size_t approx_bytes = 0;
+  /// Generic (family-keyed) entries only: how many parameter slots the
+  /// plan's expressions carry — CloneWithParams validates against it.
+  size_t num_params = 0;
 };
 
 /// Snapshot row of one entry (the ppp_plan_cache system table).
@@ -66,6 +74,8 @@ struct PlanCacheEntryView {
   double est_cost = 0.0;
   double optimize_seconds = 0.0;
   size_t approx_bytes = 0;
+  bool is_family = false;       ///< Generic (parameterized) entry?
+  uint64_t family_hits = 0;     ///< Generic-plan hits for this family.
 };
 
 /// The serving layer's normalized-query plan cache. Probe is O(1) in the
@@ -130,6 +140,9 @@ class PlanCache {
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  uint64_t family_hits() const {
+    return family_hits_total_.load(std::memory_order_relaxed);
+  }
 
   std::vector<PlanCacheEntryView> Snapshot() const;
 
@@ -139,7 +152,8 @@ class PlanCache {
       // text_hash is already FNV-mixed; fold params in with the golden
       // ratio so equal text under different knobs spreads.
       return static_cast<size_t>(key.text_hash ^
-                                 (key.params_hash * 0x9e3779b97f4a7c15ull));
+                                 (key.params_hash * 0x9e3779b97f4a7c15ull) ^
+                                 (key.family ? 0x5851f42d4c957f2dull : 0));
     }
   };
   struct Slot {
@@ -160,6 +174,10 @@ class PlanCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> invalidations_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> family_hits_total_{0};
+  /// Per-family generic-plan hit counts. Survives entry eviction so the
+  /// ppp_plan_cache family_hits column reflects lifetime reuse.
+  std::unordered_map<uint64_t, uint64_t> family_hit_counts_;
 };
 
 /// Hash over every CostParams field that can change plan choice, plus the

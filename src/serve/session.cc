@@ -75,8 +75,9 @@ void RegisterServeSystemTables(catalog::Catalog* catalog) {
           HexValue(e.text_hash), HexValue(e.family_hash),
           HexValue(e.params_hash), HexValue(e.plan_fingerprint),
           types::Value(e.algorithm), types::Value(e.tables),
-          IntValue(e.hits), types::Value(e.est_cost),
-          types::Value(e.optimize_seconds),
+          types::Value(std::string(e.is_family ? "generic" : "exact")),
+          IntValue(e.hits), IntValue(e.family_hits),
+          types::Value(e.est_cost), types::Value(e.optimize_seconds),
           IntValue(static_cast<uint64_t>(e.approx_bytes))});
     }
     return rows;
@@ -106,7 +107,9 @@ void RegisterServeSystemTables(catalog::Catalog* catalog) {
                                       {"plan_fingerprint", TypeId::kString},
                                       {"algorithm", TypeId::kString},
                                       {"tables", TypeId::kString},
+                                      {"kind", TypeId::kString},
                                       {"hits", TypeId::kInt64},
+                                      {"family_hits", TypeId::kInt64},
                                       {"est_cost", TypeId::kDouble},
                                       {"optimize_seconds", TypeId::kDouble},
                                       {"approx_bytes", TypeId::kInt64}},
@@ -133,6 +136,87 @@ void RegisterServeSystemTables(catalog::Catalog* catalog) {
         return static_cast<int64_t>(state->sessions.size());
       }));
   (void)r2;
+}
+
+/// Renders a bound parameter the way NormalizeSql spells the same literal,
+/// so an EXECUTE and a plain QUERY with identical constants share one
+/// exact plan-cache slot (doubles use %.17g — exotic spellings simply get
+/// their own slot, which is correct, just not shared).
+std::string RenderValueLiteral(const types::Value& v) {
+  switch (v.type()) {
+    case types::TypeId::kInt64:
+      return std::to_string(v.AsInt64());
+    case types::TypeId::kDouble:
+      return common::StringPrintf("%.17g", v.AsDouble());
+    case types::TypeId::kString:
+      return "'" + v.AsString() + "'";
+    default:
+      return v.ToString();
+  }
+}
+
+/// Splices `values` into the family text's $n slots, producing the
+/// normalized concrete statement text.
+std::string RenderConcreteText(const std::string& family_text,
+                               const std::vector<types::Value>& values) {
+  std::string out;
+  for (const std::string& token : common::Split(family_text, ' ')) {
+    bool is_slot = token.size() >= 2 && token[0] == '$';
+    for (size_t i = 1; is_slot && i < token.size(); ++i) {
+      is_slot = std::isdigit(static_cast<unsigned char>(token[i])) != 0;
+    }
+    if (!out.empty()) out.push_back(' ');
+    if (is_slot) {
+      const size_t slot =
+          std::strtoull(token.c_str() + 1, nullptr, 10);
+      if (slot >= 1 && slot <= values.size()) {
+        out.append(RenderValueLiteral(values[slot - 1]));
+        continue;
+      }
+    }
+    out.append(token);
+  }
+  return out;
+}
+
+/// Validates EXECUTE arguments against the family's slot kinds, widening
+/// int arguments bound to float-spelled slots.
+common::Status CheckParamTypes(const PreparedFamily& family,
+                               std::vector<types::Value>* values) {
+  if (values->size() != family.num_params) {
+    return common::Status::InvalidArgument(common::StringPrintf(
+        "prepared statement takes %zu parameter(s), %zu given",
+        family.num_params, values->size()));
+  }
+  for (size_t i = 0; i < values->size(); ++i) {
+    const types::TypeId got = (*values)[i].type();
+    switch (family.param_kinds[i]) {
+      case parser::ParamKind::kInt:
+        if (got != types::TypeId::kInt64) {
+          return common::Status::InvalidArgument(common::StringPrintf(
+              "parameter $%zu expects an integer", i + 1));
+        }
+        break;
+      case parser::ParamKind::kFloat:
+        if (got == types::TypeId::kInt64) {
+          (*values)[i] =
+              types::Value(static_cast<double>((*values)[i].AsInt64()));
+        } else if (got != types::TypeId::kDouble) {
+          return common::Status::InvalidArgument(common::StringPrintf(
+              "parameter $%zu expects a number", i + 1));
+        }
+        break;
+      case parser::ParamKind::kString:
+        if (got != types::TypeId::kString) {
+          return common::Status::InvalidArgument(common::StringPrintf(
+              "parameter $%zu expects a string", i + 1));
+        }
+        break;
+      case parser::ParamKind::kHole:
+        break;  // Explicit $n slots accept any scalar.
+    }
+  }
+  return common::Status::OK();
 }
 
 /// First keyword of `sql`, uppercased (empty when none).
@@ -265,6 +349,14 @@ void Session::set_plan_cache_enabled(bool on) {
 common::Result<QueryResult> Session::Execute(const std::string& sql) {
   const std::string keyword = FirstKeyword(sql);
   if (keyword == "ANALYZE") return ExecuteAnalyze(sql);
+  if (keyword == "PREPARE" || keyword == "EXECUTE") {
+    PPP_ASSIGN_OR_RETURN(parser::ParsedStatement stmt,
+                         parser::ParseStatement(sql));
+    if (stmt.kind == parser::StatementKind::kPrepare) {
+      return Prepare(stmt.prepare_name, stmt.prepare_body);
+    }
+    return ExecutePrepared(stmt.execute_name, stmt.execute_params);
+  }
   return ExecuteSelect(sql);
 }
 
@@ -369,6 +461,14 @@ common::Result<QueryResult> Session::ExecuteSelect(const std::string& sql) {
       state_->plan_cache.Insert(key, std::move(entry));
     }
   }
+  return RunPlan(std::move(plan), std::move(result), norm.text_hash,
+                 algorithm_name, plan_start);
+}
+
+common::Result<QueryResult> Session::RunPlan(
+    std::shared_ptr<const plan::PlanNode> plan, QueryResult result,
+    uint64_t text_hash, const std::string& algorithm_name,
+    std::chrono::steady_clock::time_point plan_start) {
   result.optimize_seconds = SecondsSince(plan_start);
   result.plan = plan;
 
@@ -378,7 +478,7 @@ common::Result<QueryResult> Session::ExecuteSelect(const std::string& sql) {
   ctx_.params = options_.exec_params;
   ctx_.shared_caches =
       state_->share_predicate_caches ? &state_->shared_caches : nullptr;
-  ctx_.log_hints.text_hash = norm.text_hash;
+  ctx_.log_hints.text_hash = text_hash;
   ctx_.log_hints.algorithm = algorithm_name;
   ctx_.log_hints.optimize_seconds = result.optimize_seconds;
   ctx_.log_hints.session_id = id_;
@@ -396,6 +496,179 @@ common::Result<QueryResult> Session::ExecuteSelect(const std::string& sql) {
   return result;
 }
 
+common::Result<QueryResult> Session::Prepare(const std::string& name,
+                                             const std::string& body) {
+  PPP_ASSIGN_OR_RETURN(parser::NormalizedQuery norm,
+                       parser::NormalizeSql(body));
+  // Surface parse errors at PREPARE time (null stand-ins for the slots);
+  // binding and optimization wait for the first EXECUTE's real values.
+  const std::vector<types::Value> stand_ins(norm.params.size());
+  PPP_ASSIGN_OR_RETURN(parser::ParsedSelect parsed,
+                       parser::ParseSelect(norm.family_text, stand_ins));
+  (void)parsed;
+
+  auto family = std::make_shared<PreparedFamily>();
+  family->family_text = norm.family_text;
+  family->family_hash = norm.family_hash;
+  family->num_params = norm.params.size();
+  family->param_kinds = norm.param_kinds;
+  std::shared_ptr<const PreparedFamily> shared = family;
+  {
+    // Statements differing only in constants normalize to one family —
+    // re-preparing an existing family shares the first entry.
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto [it, inserted] =
+        state_->prepared_families.emplace(norm.family_hash, shared);
+    if (!inserted) shared = it->second;
+  }
+  if (prepared_.find(name) == prepared_.end()) {
+    prepared_order_.push_back(name);
+  }
+  prepared_[name] = shared;
+
+  QueryResult result;
+  result.family_hash = norm.family_hash;
+  result.prepared_name = name;
+  UpdateRow(result);
+  return result;
+}
+
+common::Result<QueryResult> Session::ExecutePrepared(
+    const std::string& name, const std::vector<types::Value>& values) {
+  const auto prep_it = prepared_.find(name);
+  if (prep_it == prepared_.end()) {
+    return common::Status::InvalidArgument("unknown prepared statement '" +
+                                           name + "'");
+  }
+  const std::shared_ptr<const PreparedFamily> family = prep_it->second;
+  std::vector<types::Value> bound = values;
+  PPP_RETURN_IF_ERROR(CheckParamTypes(*family, &bound));
+
+  catalog::Catalog& catalog = state_->db->catalog();
+  std::optional<obs::Span> span;
+  if (obs::SpanTracer::Global().enabled()) {
+    span.emplace("query", "execute_prepared");
+    span->AddArg("statement", name);
+    span->AddArg("session_id", std::to_string(id_));
+  }
+
+  const auto plan_start = std::chrono::steady_clock::now();
+  const std::string concrete_text =
+      RenderConcreteText(family->family_text, bound);
+  const uint64_t text_hash = common::Fnv1aHash(concrete_text);
+  const std::string algorithm_name =
+      optimizer::AlgorithmName(options_.algorithm);
+  const uint64_t params_hash =
+      PlacementParamsHash(options_.cost_params, algorithm_name);
+  const bool use_cache =
+      state_->plan_cache_enabled && options_.use_plan_cache;
+
+  QueryResult result;
+  result.text_hash = text_hash;
+  result.family_hash = family->family_hash;
+
+  PlanCacheKey exact_key{text_hash, params_hash, /*family=*/false};
+  PlanCacheKey family_key{family->family_hash, params_hash,
+                          /*family=*/true};
+
+  std::shared_ptr<const plan::PlanNode> plan;
+
+  // Fastest path: this exact literal combination already has a plan.
+  std::shared_ptr<const CachedPlan> cached;
+  if (use_cache) cached = state_->plan_cache.Probe(exact_key, catalog);
+  if (cached != nullptr) {
+    ctx_.binding.clear();
+    for (const auto& [alias, table_name] : cached->bindings) {
+      PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                           catalog.GetTable(table_name));
+      ctx_.binding[alias] = table;
+    }
+    result.plan_cache_hit = true;
+    result.plan_fingerprint = cached->plan_fingerprint;
+    return RunPlan(cached->plan, std::move(result), text_hash,
+                   algorithm_name, plan_start);
+  }
+
+  // Generic-plan path: substitute fresh values into the family's plan —
+  // placement and join order are reused without parse/bind/optimize.
+  std::shared_ptr<const CachedPlan> generic;
+  if (use_cache) generic = state_->plan_cache.Probe(family_key, catalog);
+  if (generic != nullptr) {
+    plan::PlanPtr substituted = plan::CloneWithParams(*generic->plan, bound);
+    if (substituted != nullptr) {
+      plan = std::shared_ptr<const plan::PlanNode>(std::move(substituted));
+      ctx_.binding.clear();
+      for (const auto& [alias, table_name] : generic->bindings) {
+        PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                             catalog.GetTable(table_name));
+        ctx_.binding[alias] = table;
+      }
+      result.plan_cache_hit = true;
+      result.generic_plan = true;
+      result.plan_fingerprint = plan->Fingerprint();
+      // Promote into the exact level so a repeat of these literals skips
+      // even the substitution. Epochs were just validated by the probe.
+      CachedPlan entry;
+      entry.plan = plan;
+      entry.bindings = generic->bindings;
+      entry.stats_epochs = generic->stats_epochs;
+      entry.text_hash = text_hash;
+      entry.family_hash = family->family_hash;
+      entry.plan_fingerprint = result.plan_fingerprint;
+      entry.algorithm = algorithm_name;
+      entry.est_cost = generic->est_cost;
+      entry.optimize_seconds = SecondsSince(plan_start);
+      state_->plan_cache.Insert(exact_key, std::move(entry));
+      return RunPlan(std::move(plan), std::move(result), text_hash,
+                     algorithm_name, plan_start);
+    }
+  }
+
+  // Cold path: full parameterized compile. The spec's constants carry
+  // their slots, so the optimized plan is a generic-plan template as long
+  // as no slot got baked into an index probe or subquery closure.
+  PPP_ASSIGN_OR_RETURN(
+      plan::QuerySpec spec,
+      subquery::ParseBindRewrite(family->family_text, bound, &catalog));
+  CachedPlan entry;
+  ctx_.binding.clear();
+  for (const plan::TableRef& ref : spec.tables) {
+    PPP_ASSIGN_OR_RETURN(catalog::Table * table,
+                         catalog.GetTable(ref.table_name));
+    ctx_.binding[ref.alias] = table;
+    entry.bindings.emplace_back(ref.alias, ref.table_name);
+    entry.stats_epochs.push_back(table->stats_epoch());
+  }
+  optimizer::Optimizer opt(&catalog, options_.cost_params);
+  PPP_ASSIGN_OR_RETURN(optimizer::OptimizeResult optimized,
+                       opt.Optimize(spec, options_.algorithm));
+  plan = std::shared_ptr<const plan::PlanNode>(std::move(optimized.plan));
+  result.plan_fingerprint = plan->Fingerprint();
+  if (use_cache) {
+    entry.plan = plan;
+    entry.text_hash = text_hash;
+    entry.family_hash = family->family_hash;
+    entry.plan_fingerprint = result.plan_fingerprint;
+    entry.algorithm = algorithm_name;
+    entry.est_cost = optimized.est_cost;
+    entry.optimize_seconds = SecondsSince(plan_start);
+    entry.num_params = family->num_params;
+    if (plan::PlanIsParameterizable(*plan, family->num_params)) {
+      CachedPlan family_entry = entry;
+      family_entry.text_hash = family->family_hash;
+      state_->plan_cache.Insert(family_key, std::move(family_entry));
+    }
+    entry.num_params = 0;
+    state_->plan_cache.Insert(exact_key, std::move(entry));
+  }
+  return RunPlan(std::move(plan), std::move(result), text_hash,
+                 algorithm_name, plan_start);
+}
+
+std::vector<std::string> Session::PreparedNames() const {
+  return prepared_order_;
+}
+
 void Session::UpdateRow(const QueryResult& result) {
   std::lock_guard<std::mutex> lock(state_->mu);
   auto it = state_->sessions.find(id_);
@@ -404,7 +677,7 @@ void Session::UpdateRow(const QueryResult& result) {
   row.queries += 1;
   if (result.plan_cache_hit) {
     row.plan_cache_hits += 1;
-  } else if (result.analyzed_tables == 0) {
+  } else if (result.analyzed_tables == 0 && result.prepared_name.empty()) {
     row.plan_cache_misses += 1;
   }
   row.rows_returned += result.rows.size();

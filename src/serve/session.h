@@ -1,6 +1,7 @@
 #ifndef PPP_SERVE_SESSION_H_
 #define PPP_SERVE_SESSION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -14,9 +15,11 @@
 #include "exec/operator.h"
 #include "exec/shared_caches.h"
 #include "optimizer/optimizer.h"
+#include "parser/normalize.h"
 #include "serve/plan_cache.h"
 #include "types/row_schema.h"
 #include "types/tuple.h"
+#include "types/value.h"
 #include "workload/database.h"
 
 namespace ppp::serve {
@@ -32,12 +35,26 @@ struct SessionOptions {
   bool use_plan_cache = true;
 };
 
+/// One PREPAREd statement family. Keyed on the normalized family hash in
+/// the shared engine state, so two sessions preparing statements that
+/// differ only in constants (or placeholder spelling) share one entry;
+/// each session maps its own statement names onto these.
+struct PreparedFamily {
+  std::string family_text;  ///< Normalized body, literals as $n slots.
+  uint64_t family_hash = 0;
+  size_t num_params = 0;
+  /// Lexical class each slot was spelled with in the PREPARE body —
+  /// EXECUTE arguments are checked (and int→float widened) against it;
+  /// kHole slots (explicit $n) accept any scalar.
+  std::vector<parser::ParamKind> param_kinds;
+};
+
 /// Outcome of one Session::Execute call.
 struct QueryResult {
   std::vector<types::Tuple> rows;
   types::RowSchema schema;
   /// The executed plan (shared with the cache on a hit) for printing and
-  /// inspection; null for ANALYZE statements.
+  /// inspection; null for ANALYZE and PREPARE statements.
   std::shared_ptr<const plan::PlanNode> plan;
   /// Seconds spent producing an executable plan: parse+bind+optimize on a
   /// miss, cache probe on a hit — the quantity the plan cache amortizes.
@@ -48,6 +65,13 @@ struct QueryResult {
   uint64_t plan_fingerprint = 0;
   /// For ANALYZE statements: tables analyzed (rows/schema stay empty).
   size_t analyzed_tables = 0;
+  /// PREPARE/EXECUTE: the statement's family hash (0 for plain queries).
+  uint64_t family_hash = 0;
+  /// EXECUTE only: the plan came from the family (generic) cache with
+  /// fresh parameters substituted — no parse, no optimize.
+  bool generic_plan = false;
+  /// PREPARE only: the statement name just registered.
+  std::string prepared_name;
 };
 
 /// Aggregate per-session counters, the backing row of ppp_sessions.
@@ -81,6 +105,8 @@ struct ServeState {
   std::mutex mu;
   uint64_t next_session_id = 1;
   std::map<uint64_t, SessionRow> sessions;
+  /// PREPAREd families by family hash, shared engine-wide (guarded by mu).
+  std::map<uint64_t, std::shared_ptr<const PreparedFamily>> prepared_families;
 
   explicit ServeState(workload::Database* db_in,
                       const PlanCache::Options& cache_options)
@@ -107,8 +133,27 @@ class Session {
   /// for both manager and session): normalize → probe → on miss
   /// parse/bind/rewrite/optimize and fill. ANALYZE statements collect
   /// statistics and, via the catalog's stats listener, invalidate every
-  /// cached plan that binds the analyzed tables.
+  /// cached plan that binds the analyzed tables. PREPARE/EXECUTE route to
+  /// Prepare / ExecutePrepared.
   common::Result<QueryResult> Execute(const std::string& sql);
+
+  /// Registers `name` for the SELECT body (which may mix literals and $n
+  /// placeholders — both become parameter slots in one left-to-right
+  /// numbering). Planning is deferred to the first ExecutePrepared.
+  common::Result<QueryResult> Prepare(const std::string& name,
+                                      const std::string& body);
+
+  /// Binds `values` to the named statement's slots and executes. The plan
+  /// comes from, in fastest-first order: the exact plan-cache entry for
+  /// the rendered literal text, the family (generic) entry with fresh
+  /// values substituted (plan::CloneWithParams — placement reused,
+  /// selectivities frozen at prepare time), or a full parameterized
+  /// plan — which then fills both cache levels when safe.
+  common::Result<QueryResult> ExecutePrepared(
+      const std::string& name, const std::vector<types::Value>& values);
+
+  /// Names this session has PREPAREd, in registration order.
+  std::vector<std::string> PreparedNames() const;
 
   SessionOptions& options() { return options_; }
   const SessionOptions& options() const { return options_; }
@@ -127,6 +172,10 @@ class Session {
 
   common::Result<QueryResult> ExecuteSelect(const std::string& sql);
   common::Result<QueryResult> ExecuteAnalyze(const std::string& sql);
+  common::Result<QueryResult> RunPlan(
+      std::shared_ptr<const plan::PlanNode> plan, QueryResult result,
+      uint64_t text_hash, const std::string& algorithm_name,
+      std::chrono::steady_clock::time_point plan_start);
   void UpdateRow(const QueryResult& result);
 
   std::shared_ptr<internal::ServeState> state_;
@@ -135,6 +184,9 @@ class Session {
   /// Reused across queries so the function cache and worker pool persist
   /// (the per-session half of §5.1 amortization).
   exec::ExecContext ctx_;
+  /// This session's statement-name → shared family bindings.
+  std::map<std::string, std::shared_ptr<const PreparedFamily>> prepared_;
+  std::vector<std::string> prepared_order_;
   uint64_t queries_ = 0;
   uint64_t cache_hits_ = 0;
 };

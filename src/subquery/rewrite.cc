@@ -218,18 +218,39 @@ common::Status RewriteSubqueries(plan::QuerySpec* spec,
   return common::Status::OK();
 }
 
+namespace {
+
+common::Result<plan::QuerySpec> BindRewriteParsed(
+    parser::ParsedSelect parsed, catalog::Catalog* catalog,
+    std::optional<obs::Span>* span, bool traced) {
+  if (traced) span->emplace("frontend", "bind");
+  PPP_ASSIGN_OR_RETURN(plan::QuerySpec spec,
+                       parser::BindSelect(parsed, *catalog));
+  if (traced) span->emplace("frontend", "rewrite");
+  PPP_RETURN_IF_ERROR(RewriteSubqueries(&spec, catalog));
+  return spec;
+}
+
+}  // namespace
+
 common::Result<plan::QuerySpec> ParseBindRewrite(const std::string& sql,
                                                  catalog::Catalog* catalog) {
   const bool traced = obs::SpanTracer::Global().enabled();
   std::optional<obs::Span> span;
   if (traced) span.emplace("frontend", "parse");
   PPP_ASSIGN_OR_RETURN(parser::ParsedSelect parsed, parser::ParseSelect(sql));
-  if (traced) span.emplace("frontend", "bind");
-  PPP_ASSIGN_OR_RETURN(plan::QuerySpec spec,
-                       parser::BindSelect(parsed, *catalog));
-  if (traced) span.emplace("frontend", "rewrite");
-  PPP_RETURN_IF_ERROR(RewriteSubqueries(&spec, catalog));
-  return spec;
+  return BindRewriteParsed(std::move(parsed), catalog, &span, traced);
+}
+
+common::Result<plan::QuerySpec> ParseBindRewrite(
+    const std::string& sql, const std::vector<types::Value>& params,
+    catalog::Catalog* catalog) {
+  const bool traced = obs::SpanTracer::Global().enabled();
+  std::optional<obs::Span> span;
+  if (traced) span.emplace("frontend", "parse");
+  PPP_ASSIGN_OR_RETURN(parser::ParsedSelect parsed,
+                       parser::ParseSelect(sql, params));
+  return BindRewriteParsed(std::move(parsed), catalog, &span, traced);
 }
 
 }  // namespace ppp::subquery

@@ -2,10 +2,12 @@
 #define PPP_SUBQUERY_REWRITE_H_
 
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "plan/query_spec.h"
+#include "types/value.h"
 
 namespace ppp::subquery {
 
@@ -31,6 +33,13 @@ common::Status RewriteSubqueries(plan::QuerySpec* spec,
 /// Convenience: parse + bind + rewrite subqueries.
 common::Result<plan::QuerySpec> ParseBindRewrite(const std::string& sql,
                                                  catalog::Catalog* catalog);
+
+/// ParseBindRewrite over a parameterized statement: `$n` placeholders in
+/// `sql` become slot-carrying constants bound to params[n - 1] (see
+/// parser::ParseSelect's parameterized overload).
+common::Result<plan::QuerySpec> ParseBindRewrite(
+    const std::string& sql, const std::vector<types::Value>& params,
+    catalog::Catalog* catalog);
 
 }  // namespace ppp::subquery
 

@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "net/wire.h"
+
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 #include "workload/database.h"
@@ -107,6 +111,87 @@ TEST_P(FuzzTest, AlgorithmsAgreeAndMigrationDominates) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------------
+// Wire-protocol frame-parser fuzzing: the parser faces raw network bytes,
+// so it must absorb arbitrary garbage without crashing and recover cleanly
+// after every violation (a Reset models the connection cycling).
+
+class FrameFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameFuzzTest, RandomBytesNeverCrashAndResyncCleanly) {
+  std::mt19937 rng(0xF7A3E000u + static_cast<unsigned>(GetParam()));
+  net::FrameParser parser(/*max_frame_bytes=*/4096);
+  std::vector<std::string> out;
+  for (int round = 0; round < 200; ++round) {
+    // Random chunk: raw bytes (often a garbage length prefix), sometimes a
+    // valid frame, sometimes a truncated or oversized one, NULs included.
+    std::string chunk;
+    switch (rng() % 4) {
+      case 0: {  // Pure garbage, embedded NULs and high bytes included.
+        const size_t len = rng() % 64;
+        for (size_t i = 0; i < len; ++i) {
+          chunk.push_back(static_cast<char>(rng() % 256));
+        }
+        break;
+      }
+      case 1: {  // A well-formed frame (binary payload).
+        std::string payload;
+        const size_t len = rng() % 128;
+        for (size_t i = 0; i < len; ++i) {
+          payload.push_back(static_cast<char>(rng() % 256));
+        }
+        chunk = net::EncodeFrame(payload);
+        break;
+      }
+      case 2: {  // A truncated frame: header promises more than follows.
+        chunk = net::EncodeFrame(std::string(32, 'x'))
+                    .substr(0, 4 + rng() % 16);
+        break;
+      }
+      default: {  // A giant declared length, over the 4096-byte cap.
+        const uint32_t giant = 4097 + rng() % (1u << 30);
+        chunk.push_back(static_cast<char>((giant >> 24) & 0xff));
+        chunk.push_back(static_cast<char>((giant >> 16) & 0xff));
+        chunk.push_back(static_cast<char>((giant >> 8) & 0xff));
+        chunk.push_back(static_cast<char>(giant & 0xff));
+        break;
+      }
+    }
+    // Feed in randomly sized sub-chunks (network reads are arbitrary).
+    size_t off = 0;
+    bool poisoned = parser.poisoned();
+    while (off < chunk.size()) {
+      const size_t n = std::min<size_t>(1 + rng() % 16, chunk.size() - off);
+      const common::Status status = parser.Feed(chunk.data() + off, n, &out);
+      if (!status.ok()) {
+        EXPECT_TRUE(parser.poisoned());
+        poisoned = true;
+      }
+      off += n;
+    }
+    // Every completed payload respects the size cap, whatever went in.
+    for (const std::string& payload : out) {
+      EXPECT_LE(payload.size(), 4096u);
+    }
+    out.clear();
+    if (poisoned) {
+      // Clean resync: after Reset a canonical frame parses immediately.
+      parser.Reset();
+      const std::string probe = net::EncodeFrame("PING");
+      ASSERT_TRUE(parser.Feed(probe.data(), probe.size(), &out).ok());
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], "PING");
+      out.clear();
+    } else if (parser.buffered() > 4100) {
+      // Garbage that happens to look like a small declared length can
+      // accumulate; cycle the connection as the server would.
+      parser.Reset();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace ppp
